@@ -1,0 +1,235 @@
+// Package repro's root benchmark harness regenerates every table and
+// figure of the paper's evaluation (§IV) as testing.B benchmarks. Each
+// benchmark runs the corresponding experiment end to end on the
+// simulated testbed and reports the figure's headline metrics via
+// b.ReportMetric, so `go test -bench=. -benchmem` reproduces the same
+// series the paper plots. Absolute numbers come from the simulator; the
+// shapes (who wins, by what factor, where crossovers fall) are asserted
+// inside each experiment.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// BenchmarkMotivationRTT regenerates the §II-A cross-continent latency
+// observation.
+func BenchmarkMotivationRTT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MotivationRTT(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table II (subject services, WAN traffic,
+// latency).
+func BenchmarkTable2(b *testing.B) {
+	var loKB, leKB float64
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		loKB, leKB = rows[0].LoMS, rows[0].LeMS
+	}
+	b.ReportMetric(loKB, "fobojet_Lo_ms")
+	b.ReportMetric(leKB, "fobojet_Le_ms")
+}
+
+// BenchmarkFig6bRegression regenerates the cloud-vs-edge throughput
+// regression, whose RPi-4/RPi-3 slope ratio recovers the device speed
+// ratio (paper: 1.71 measured, 1.8 benchmark).
+func BenchmarkFig6bRegression(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig6b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = res.SpeedRatio
+	}
+	b.ReportMetric(ratio, "rpi4/rpi3_slope_ratio")
+}
+
+// BenchmarkFig7Throughput regenerates the WAN-speed throughput sweep for
+// the motivating subject, reporting the crossover index.
+func BenchmarkFig7Throughput(b *testing.B) {
+	var crossover float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7Subject("fobojet")
+		if err != nil {
+			b.Fatal(err)
+		}
+		crossover = float64(r.CrossoverIdx)
+	}
+	b.ReportMetric(crossover, "crossover_idx")
+}
+
+// BenchmarkFig7AllSubjects regenerates the full Figure 7 grid including
+// the Data Deluge indices (Fig 7-g).
+func BenchmarkFig7AllSubjects(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8Energy regenerates the mobile-energy comparison (200
+// executions per subject over the limited network).
+func BenchmarkFig8Energy(b *testing.B) {
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		saved = 0
+		for _, r := range rows {
+			saved += r.SavedJ
+		}
+	}
+	b.ReportMetric(saved, "total_saved_J")
+}
+
+// BenchmarkFig9Latency regenerates the latency-vs-RPS grid for 1-4
+// active replicas.
+func BenchmarkFig9Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig9Left(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Elasticity regenerates the elastic power-down comparison
+// (paper: 12.96% energy saving).
+func BenchmarkFig9Elasticity(b *testing.B) {
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig9Right()
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving = res.SavingPct
+	}
+	b.ReportMetric(saving, "energy_saving_pct")
+}
+
+// BenchmarkFig10aSyncTraffic regenerates the per-request WAN traffic
+// comparison against cross-ISA full-state synchronization.
+func BenchmarkFig10aSyncTraffic(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.Fig10a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = rows[0].CrossISAKB / rows[0].EdgStrKB
+	}
+	b.ReportMetric(ratio, "fobojet_crossISA/edgstr")
+}
+
+// BenchmarkFig10bProxies regenerates the caching/batching/EdgStr latency
+// box statistics.
+func BenchmarkFig10bProxies(b *testing.B) {
+	var median float64
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig10b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		median = res.EdgStr.Median
+	}
+	b.ReportMetric(median, "edgstr_median_ms")
+}
+
+// BenchmarkAnalysisAccuracy regenerates the RQ3 state-isolation
+// effectiveness measurement.
+func BenchmarkAnalysisAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.AnalysisAccuracy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDeltaVsFullSync quantifies CRDT delta sync against
+// full-state shipping.
+func BenchmarkAblationDeltaVsFullSync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationDeltaVsFullSync(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLBPolicy compares least-connections against
+// round-robin balancing.
+func BenchmarkAblationLBPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationLBPolicy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSyncInterval sweeps the background sync period
+// against staleness and WAN message cost.
+func BenchmarkAblationSyncInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSyncInterval(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransformPipeline measures the full EdgStr pipeline — traffic
+// capture, normalization, per-service dynamic analysis with fuzzing,
+// extraction, and replica generation — on the motivating subject.
+func BenchmarkTransformPipeline(b *testing.B) {
+	sub, err := workload.ByName("fobojet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.TransformSubjectTraffic(sub.Name, sub.Source, sub.Routes(), sub.RegressionVectors()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeployAndServe measures deployment instantiation plus one
+// hundred edge-served requests on virtual time.
+func BenchmarkDeployAndServe(b *testing.B) {
+	sub, err := workload.ByName("sensor-hub")
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.TransformSubjectTraffic(sub.Name, sub.Source, sub.Routes(), sub.RegressionVectors())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock := simclock.New()
+		dep, err := core.Deploy(clock, res, core.DefaultDeployConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 100; j++ {
+			dep.HandleAtEdge(sub.SampleRequest(sub.Primary, j, 7), nil)
+		}
+		clock.RunUntil(30 * time.Second)
+		dep.Stop()
+	}
+}

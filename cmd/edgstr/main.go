@@ -1,0 +1,89 @@
+// Command edgstr runs the transformation pipeline on a subject
+// application and reports its artifacts: the inferred Subject interface,
+// per-service analysis (entry/exit points, extracted statements,
+// replicated state units), and the generated edge-replica source.
+//
+// Usage:
+//
+//	edgstr -subject fobojet            # summary
+//	edgstr -subject fobojet -replica   # print generated replica source
+//	edgstr -list                       # list subjects
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	subject := flag.String("subject", "", "subject app to transform (see -list)")
+	list := flag.Bool("list", false, "list available subject apps")
+	replica := flag.Bool("replica", false, "print the generated replica source")
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.Subjects() {
+			fmt.Printf("%-16s %d services, primary %s\n", s.Name, len(s.Services), s.PrimaryService().Route)
+		}
+		return
+	}
+	if *subject == "" {
+		fmt.Fprintln(os.Stderr, "edgstr: -subject is required (use -list to see options)")
+		os.Exit(1)
+	}
+	if err := run(*subject, *replica); err != nil {
+		fmt.Fprintln(os.Stderr, "edgstr:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, printReplica bool) error {
+	sub, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("transforming %s (%d routes)…\n", sub.Name, len(sub.Services))
+	res, err := core.TransformSubjectTraffic(sub.Name, sub.Source, sub.Routes(), sub.RegressionVectors())
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\nSubject interface (inferred from captured traffic):")
+	for _, svc := range res.Services {
+		fmt.Printf("  %-28s %d samples\n", svc.Name(), len(svc.Samples))
+	}
+
+	fmt.Println("\nPer-service analysis:")
+	for _, svc := range res.Services {
+		plan := res.Plans[svc.Name()]
+		if plan == nil {
+			continue
+		}
+		sa := plan.Analysis
+		mode := "whole-handler"
+		if plan.Extraction != nil {
+			mode = "extracted → " + plan.Extraction.FuncName
+		}
+		fmt.Printf("  %-28s handler=%s %s\n", svc.Name(), sa.Handler, mode)
+		fmt.Printf("      entry: stmt %d (%s)  exit: stmt %d (%s)\n",
+			sa.Entry, sa.EntryVar, sa.Exit, sa.ExitVar)
+		fmt.Printf("      state: tables=%v files=%v globals=%v\n",
+			sa.State.Tables, sa.State.Files, sa.State.Globals)
+	}
+
+	fmt.Println("\nMerged replicated state units:")
+	fmt.Printf("  tables:  %v\n", res.Units.Tables)
+	fmt.Printf("  files:   %v\n", res.Units.Files)
+	fmt.Printf("  globals: %v (written: %v)\n", res.Units.Globals, res.Units.GlobalWrites)
+	fmt.Printf("  state_init snapshot: %d bytes\n", res.InitState.SizeBytes())
+
+	if printReplica {
+		fmt.Println("\n---- generated replica source ----")
+		fmt.Println(res.ReplicaSource)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+// Package edgstr is the public API of the EdgStr reproduction: it
+// transforms two-tier client-cloud applications into three-tier
+// client-edge-cloud deployments with CRDT-synchronized replicas.
+//
+// Typical use:
+//
+//	// 1. Describe the cloud service (script source + routes) and
+//	//    capture representative client traffic.
+//	app, _ := edgstr.NewApp("myapp", source, routes)
+//	records, _ := edgstr.CaptureTraffic(app, sampleRequests)
+//
+//	// 2. Transform: infer the Subject interface, analyze each service
+//	//    under state isolation and fuzzing, extract replicable
+//	//    functions, and generate edge-replica source.
+//	result, _ := edgstr.Transform(edgstr.Input{
+//	    Name: "myapp", Source: source, Routes: routes, Records: records,
+//	})
+//
+//	// 3. Deploy on a simulated edge cluster and serve clients at the
+//	//    edge; state synchronizes with the cloud in the background.
+//	clock := edgstr.NewClock()
+//	dep, _ := edgstr.Deploy(clock, result, edgstr.DefaultDeployConfig())
+//	dep.HandleAtEdge(req, func(resp *edgstr.Response, err error) { … })
+//
+// The heavy lifting lives in the internal packages; this package
+// re-exports the surface a downstream user needs.
+package edgstr
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/capture"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/httpapp"
+	"repro/internal/netem"
+	"repro/internal/simclock"
+)
+
+// Core transformation types.
+type (
+	// Input describes the application to transform.
+	Input = core.Input
+	// Result is the transformation artifact set.
+	Result = core.Result
+	// ServicePlan is the per-service transformation outcome.
+	ServicePlan = core.ServicePlan
+	// Deployment is a running three-tier system.
+	Deployment = core.Deployment
+	// DeployConfig describes the deployment topology.
+	DeployConfig = core.DeployConfig
+	// EdgeReplica is one deployed edge node.
+	EdgeReplica = core.EdgeReplica
+)
+
+// Application-model types.
+type (
+	// App is a service instance (cloud original or edge replica).
+	App = httpapp.App
+	// Route binds an HTTP method and path pattern to a handler.
+	Route = httpapp.Route
+	// Request is an in-process HTTP request.
+	Request = httpapp.Request
+	// Response is an in-process HTTP response.
+	Response = httpapp.Response
+	// Record is one captured request/response exchange.
+	Record = capture.Record
+	// Service is one inferred remote service of the Subject interface.
+	Service = capture.Service
+	// StateUnits lists the replicated state a service touches.
+	StateUnits = analysis.StateUnits
+)
+
+// Infrastructure types.
+type (
+	// Clock is the discrete-event virtual clock simulations run on.
+	Clock = simclock.Clock
+	// NetConfig shapes a network link (bandwidth, latency, jitter,
+	// loss).
+	NetConfig = netem.Config
+	// DeviceSpec models a device's compute speed and power draw.
+	DeviceSpec = cluster.DeviceSpec
+)
+
+// NewApp builds a service instance from script source and routes.
+func NewApp(name, source string, routes []Route) (*App, error) {
+	return httpapp.New(name, source, routes)
+}
+
+// NewClock returns a virtual clock starting at time zero.
+func NewClock() *Clock { return simclock.New() }
+
+// CaptureTraffic drives requests through an app while recording the
+// exchanges — the attach step of the pipeline.
+func CaptureTraffic(app *App, reqs []*Request) ([]Record, error) {
+	return core.CaptureTraffic(app, reqs)
+}
+
+// InferSubject reconstructs the Subject interface from captured traffic
+// (Eq. 1 of the paper).
+func InferSubject(records []Record) []Service {
+	return capture.InferSubject(records)
+}
+
+// Transform runs the full EdgStr pipeline.
+func Transform(in Input) (*Result, error) { return core.Transform(in) }
+
+// TransformWithTraffic builds the app, captures the given requests, and
+// transforms in one step.
+func TransformWithTraffic(name, source string, routes []Route, reqs []*Request) (*Result, error) {
+	return core.TransformSubjectTraffic(name, source, routes, reqs)
+}
+
+// Deploy instantiates a transformation result as a running three-tier
+// system on the given virtual clock.
+func Deploy(clock *Clock, res *Result, cfg DeployConfig) (*Deployment, error) {
+	return core.Deploy(clock, res, cfg)
+}
+
+// DefaultDeployConfig returns the evaluation's standard topology: a
+// cloud server plus the paper's four-Pi edge cluster.
+func DefaultDeployConfig() DeployConfig { return core.DefaultDeployConfig() }
+
+// Device presets matching the paper's hardware.
+var (
+	CloudSpec  = cluster.CloudSpec
+	RPi3Spec   = cluster.RPi3Spec
+	RPi4Spec   = cluster.RPi4Spec
+	MobileSpec = cluster.MobileSpec
+)
+
+// Network presets.
+var (
+	LAN            = netem.LAN
+	FastWAN        = netem.FastWAN
+	SameContinent  = netem.SameContinent
+	CrossContinent = netem.CrossContinent
+)
+
+// LimitedWAN returns a point in the paper's limited-cloud-network space
+// (bandwidth in Kbps, latency in ms).
+func LimitedWAN(bandwidthKbps, latencyMs int) NetConfig {
+	return netem.LimitedWAN(bandwidthKbps, latencyMs)
+}

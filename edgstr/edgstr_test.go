@@ -1,0 +1,126 @@
+package edgstr_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/edgstr"
+)
+
+const demoSrc = `
+var visits = 0
+
+func init() any {
+	db.exec("CREATE TABLE notes (id INT PRIMARY KEY, text TEXT)")
+	return nil
+}
+
+func addNote(req any, res any) any {
+	tv1 := req.json()
+	visits = visits + 1
+	db.exec("INSERT INTO notes (id, text) VALUES (?, ?)", visits, tv1["text"])
+	tv2 := map[string]any{"id": visits}
+	res.send(tv2)
+	return nil
+}
+
+func listNotes(req any, res any) any {
+	rows := db.query("SELECT * FROM notes ORDER BY id")
+	res.send(rows)
+	return nil
+}`
+
+var demoRoutes = []edgstr.Route{
+	{Method: "POST", Path: "/notes", Handler: "addNote"},
+	{Method: "GET", Path: "/notes", Handler: "listNotes"},
+}
+
+func demoRequests() []*edgstr.Request {
+	var reqs []*edgstr.Request
+	for i := 0; i < 3; i++ {
+		reqs = append(reqs,
+			&edgstr.Request{Method: "POST", Path: "/notes", Body: []byte(`{"text": "note"}`)},
+			&edgstr.Request{Method: "GET", Path: "/notes"},
+		)
+	}
+	return reqs
+}
+
+// TestPublicAPIEndToEnd walks the documented three-step flow: capture,
+// transform, deploy.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	app, err := edgstr.NewApp("demo", demoSrc, demoRoutes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := edgstr.CaptureTraffic(app, demoRequests())
+	if err != nil {
+		t.Fatal(err)
+	}
+	services := edgstr.InferSubject(records)
+	if len(services) != 2 {
+		t.Fatalf("services = %v", services)
+	}
+
+	res, err := edgstr.Transform(edgstr.Input{
+		Name: "demo", Source: demoSrc, Routes: demoRoutes, Records: records,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ReplicatedServiceNames()) != 2 {
+		t.Fatalf("replicated = %v", res.ReplicatedServiceNames())
+	}
+
+	clock := edgstr.NewClock()
+	cfg := edgstr.DefaultDeployConfig()
+	cfg.WAN = edgstr.LimitedWAN(500, 300)
+	dep, err := edgstr.Deploy(clock, res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBody := ""
+	dep.HandleAtEdge(&edgstr.Request{Method: "POST", Path: "/notes", Body: []byte(`{"text": "hi"}`)},
+		func(resp *edgstr.Response, err error) {
+			if err != nil {
+				t.Errorf("edge: %v", err)
+				return
+			}
+			gotBody = string(resp.Body)
+		})
+	clock.RunUntil(2 * time.Second)
+	if gotBody != `{"id":1}` {
+		t.Fatalf("body = %q", gotBody)
+	}
+	dep.SettleSync(60 * time.Second)
+	dep.Stop()
+	if !dep.Converged() {
+		t.Fatal("deployment did not converge")
+	}
+	n, err := dep.Cloud.App.DB().RowCount("notes")
+	if err != nil || n != 1 {
+		t.Fatalf("cloud rows = %d, %v", n, err)
+	}
+}
+
+func TestTransformWithTrafficConvenience(t *testing.T) {
+	res, err := edgstr.TransformWithTraffic("demo", demoSrc, demoRoutes, demoRequests())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReplicaSource == "" || res.InitState == nil {
+		t.Fatal("incomplete result")
+	}
+}
+
+func TestPresetsSane(t *testing.T) {
+	if edgstr.CloudSpec.OpsPerSec <= edgstr.RPi4Spec.OpsPerSec {
+		t.Fatal("cloud must outpace edge devices")
+	}
+	if edgstr.CrossContinent.RTT() <= edgstr.SameContinent.RTT() {
+		t.Fatal("continental RTTs inverted")
+	}
+	if edgstr.LAN.Latency >= edgstr.FastWAN.Latency {
+		t.Fatal("LAN must be closer than WAN")
+	}
+}

@@ -1,0 +1,71 @@
+// Objdet reenacts the paper's motivating example (§II-A): a
+// mission-critical image object-detection app whose cloud service may be
+// hosted on the same continent, a neighboring continent, or — after the
+// EdgStr transformation — replicated on Raspberry Pi-class devices one
+// hop away. The example prints the latency a security-monitoring client
+// would observe under each placement.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/netem"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "objdet:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		subject = "fobojet"
+		n       = 20
+		rps     = 4.0
+	)
+	type placement struct {
+		name string
+		desc string
+		cfg  netem.Config
+		edge bool
+	}
+	placements := []placement{
+		{"same-continent cloud", "cloud region co-located with the client", netem.SameContinent, false},
+		{"cross-continent cloud", "nearest neighboring continent (the paper's Heroku test)", netem.CrossContinent, false},
+		{"congested WAN cloud", "limited cloud network, 500 Kbps / 400 ms", netem.LimitedWAN(500, 400), false},
+		{"EdgStr edge cluster", "Pi replicas one LAN hop away, sync over the congested WAN", netem.LimitedWAN(500, 400), true},
+	}
+
+	fmt.Println("camera frames: 64 KB each;", n, "captures at", rps, "frames/s")
+	fmt.Println()
+	var baseline float64
+	for _, p := range placements {
+		var (
+			res *experiments.ScenarioResult
+			err error
+		)
+		if p.edge {
+			res, err = experiments.RunEdge(subject, p.cfg, n, rps, experiments.EdgeOptions{})
+		} else {
+			res, err = experiments.RunCloud(subject, p.cfg, n, rps)
+		}
+		if err != nil {
+			return err
+		}
+		mean := res.Latency.Mean()
+		if baseline == 0 {
+			baseline = mean
+		}
+		fmt.Printf("%-24s mean=%8.1f ms  p95=%8.1f ms  (%.1fx vs same-continent)\n",
+			p.name, mean, res.Latency.Percentile(95), mean/baseline)
+		fmt.Printf("%24s %s\n", "", p.desc)
+	}
+	fmt.Println()
+	fmt.Println("the mission-critical latency budget survives only with edge replicas —")
+	fmt.Println("exactly the motivation the paper opens with.")
+	return nil
+}

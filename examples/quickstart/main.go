@@ -1,0 +1,109 @@
+// Quickstart: transform a tiny client-cloud note-taking service into a
+// client-edge-cloud deployment in three steps — capture, transform,
+// deploy — then watch an edge-served write synchronize back to the
+// cloud.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/edgstr"
+)
+
+const source = `
+var count = 0
+
+func init() any {
+	db.exec("CREATE TABLE notes (id INT PRIMARY KEY, text TEXT)")
+	return nil
+}
+
+func addNote(req any, res any) any {
+	tv1 := req.json()
+	count = count + 1
+	db.exec("INSERT INTO notes (id, text) VALUES (?, ?)", count, tv1["text"])
+	tv2 := map[string]any{"id": count}
+	res.send(tv2)
+	return nil
+}
+
+func listNotes(req any, res any) any {
+	rows := db.query("SELECT * FROM notes ORDER BY id")
+	res.send(rows)
+	return nil
+}`
+
+var routes = []edgstr.Route{
+	{Method: "POST", Path: "/notes", Handler: "addNote"},
+	{Method: "GET", Path: "/notes", Handler: "listNotes"},
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Step 1 — attach to the running two-tier app and capture traffic.
+	app, err := edgstr.NewApp("notes", source, routes)
+	if err != nil {
+		return err
+	}
+	var sample []*edgstr.Request
+	for i := 0; i < 3; i++ {
+		sample = append(sample,
+			&edgstr.Request{Method: "POST", Path: "/notes", Body: []byte(`{"text": "hello"}`)},
+			&edgstr.Request{Method: "GET", Path: "/notes"},
+		)
+	}
+	records, err := edgstr.CaptureTraffic(app, sample)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("captured %d exchanges\n", len(records))
+
+	// Step 2 — transform.
+	result, err := edgstr.Transform(edgstr.Input{
+		Name: "notes", Source: source, Routes: routes, Records: records,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replicating services: %v\n", result.ReplicatedServiceNames())
+	fmt.Printf("replicated state: tables=%v globals=%v\n",
+		result.Units.Tables, result.Units.Globals)
+
+	// Step 3 — deploy on a simulated edge cluster and serve a client at
+	// the edge over a slow WAN.
+	clock := edgstr.NewClock()
+	cfg := edgstr.DefaultDeployConfig()
+	cfg.WAN = edgstr.LimitedWAN(500, 300)
+	dep, err := edgstr.Deploy(clock, result, cfg)
+	if err != nil {
+		return err
+	}
+	dep.HandleAtEdge(&edgstr.Request{Method: "POST", Path: "/notes", Body: []byte(`{"text": "from the edge"}`)},
+		func(resp *edgstr.Response, err error) {
+			if err != nil {
+				fmt.Println("edge request failed:", err)
+				return
+			}
+			fmt.Printf("edge response: %s\n", resp.Body)
+		})
+	clock.RunUntil(2 * time.Second)
+
+	// The CRDT runtime synchronizes the edge write back to the cloud in
+	// the background.
+	dep.SettleSync(60 * time.Second)
+	dep.Stop()
+	n, err := dep.Cloud.App.DB().RowCount("notes")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cloud now holds %d note(s); converged=%v\n", n, dep.Converged())
+	return nil
+}

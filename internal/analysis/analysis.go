@@ -1,0 +1,606 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/capture"
+	"repro/internal/checkpoint"
+	"repro/internal/datalog"
+	"repro/internal/httpapp"
+	"repro/internal/script"
+)
+
+// StateUnits lists the replicated components a service touches — the
+// paper's "database tables", "files", and "program variables".
+type StateUnits struct {
+	// Tables are SQL tables referenced by the service.
+	Tables []string
+	// Files are VFS paths the service accesses.
+	Files []string
+	// Globals are global variables the service reads or writes.
+	Globals []string
+	// SQLStmts are the statements performing SQL invocations.
+	SQLStmts []script.StmtID
+	// FileStmts are the statements performing file accesses.
+	FileStmts []script.StmtID
+	// GlobalWrites are the globals the service writes (they need
+	// outbound synchronization, not just initialization).
+	GlobalWrites []string
+	// WriteTables are the tables the service actually mutates, as
+	// observed by the shadow execution of its SQL invocations; read-only
+	// tables need initialization but no outbound synchronization.
+	WriteTables []string
+}
+
+// GlobalsToSync returns the globals that participate in replication:
+// everything the service reads (needs initialization) or writes (needs
+// outbound synchronization).
+func (u StateUnits) GlobalsToSync() []string { return u.Globals }
+
+// Merge folds another unit set into u.
+func (u *StateUnits) Merge(o StateUnits) {
+	u.Tables = mergeSorted(u.Tables, o.Tables)
+	u.Files = mergeSorted(u.Files, o.Files)
+	u.Globals = mergeSorted(u.Globals, o.Globals)
+	u.GlobalWrites = mergeSorted(u.GlobalWrites, o.GlobalWrites)
+	u.WriteTables = mergeSorted(u.WriteTables, o.WriteTables)
+	u.SQLStmts = mergeStmts(u.SQLStmts, o.SQLStmts)
+	u.FileStmts = mergeStmts(u.FileStmts, o.FileStmts)
+}
+
+func mergeSorted(a, b []string) []string {
+	set := map[string]bool{}
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, x := range b {
+		set[x] = true
+	}
+	out := make([]string, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mergeStmts(a, b []script.StmtID) []script.StmtID {
+	set := map[script.StmtID]bool{}
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, x := range b {
+		set[x] = true
+	}
+	out := make([]script.StmtID, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ServiceAnalysis is the result of analyzing one remote service s_i.
+type ServiceAnalysis struct {
+	// Service is the inferred interface entry.
+	Service capture.Service
+	// Handler is the script function implementing the service.
+	Handler string
+	// Entry is the unmarshaling statement (STMT-UNMAR) and the variable
+	// holding p_i there.
+	Entry    script.StmtID
+	EntryVar string
+	// Exit is the marshaling statement (STMT-MAR) and the variable (or
+	// expression base) holding r_i there.
+	Exit    script.StmtID
+	ExitVar string
+	// Extracted is the dependence closure between entry and exit — the
+	// statements the Extract Function refactoring will replicate.
+	Extracted []script.StmtID
+	// Executed is every statement observed in successful executions.
+	Executed []script.StmtID
+	// State describes the replicated state units.
+	State StateUnits
+}
+
+// Analyzer drives the per-service analysis over an app with isolated
+// state.
+type Analyzer struct {
+	app    *httpapp.App
+	runner *checkpoint.Runner
+}
+
+// NewAnalyzer captures the app's state_init and returns an analyzer.
+// The app must be freshly initialized.
+func NewAnalyzer(app *httpapp.App) *Analyzer {
+	return &Analyzer{app: app, runner: checkpoint.NewRunner(app)}
+}
+
+// Runner exposes the underlying isolation runner.
+func (a *Analyzer) Runner() *checkpoint.Runner { return a.runner }
+
+// AnalyzeService runs Algorithm 1 for one inferred service: isolated
+// base execution, fuzzed executions, Datalog solving for entry/exit and
+// the dependence closure, and state-unit identification.
+func (a *Analyzer) AnalyzeService(svc capture.Service) (*ServiceAnalysis, error) {
+	if len(svc.Samples) == 0 {
+		return nil, fmt.Errorf("analysis: service %s has no samples", svc.Name())
+	}
+	sample := svc.Samples[0]
+	baseReq := &httpapp.Request{
+		Method: sample.Method,
+		Path:   sample.Path,
+		Query:  sample.Query,
+		Body:   sample.ReqBody,
+	}
+	rt, _, err := a.app.Lookup(baseReq.Method, baseReq.Path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", svc.Name(), err)
+	}
+
+	// Isolated base execution under instrumentation.
+	a.runner.Reset()
+	base := Collect(a.app, baseReq)
+	if base.Err != nil {
+		return nil, fmt.Errorf("analysis: base execution of %s failed: %w", svc.Name(), base.Err)
+	}
+
+	// Fuzzed executions, each from state_init.
+	fuzzed := capture.Fuzz(sample, 0)
+	traces := make([]*Trace, 0, len(fuzzed))
+	for _, fz := range fuzzed {
+		a.runner.Reset()
+		tr := Collect(a.app, fz.Req)
+		traces = append(traces, tr)
+	}
+	a.runner.Reset()
+
+	res := &ServiceAnalysis{Service: svc, Handler: rt.Handler}
+	res.Executed = sortedStmts(base.ExecutedSet())
+
+	// Solve for entry/exit and dependence closure.
+	if err := a.solve(res, base, fuzzed, traces); err != nil {
+		return nil, err
+	}
+	res.State = identifyState(a.app, base)
+
+	// Merge the execution results of the remaining samples (Algorithm 1
+	// merges St_all across executions): different inputs exercise
+	// different branches, and the extraction must cover all of them.
+	for s := 1; s < len(svc.Samples) && s < maxAnalysisSamples; s++ {
+		extra := svc.Samples[s]
+		req := &httpapp.Request{Method: extra.Method, Path: extra.Path, Query: extra.Query, Body: extra.ReqBody}
+		a.runner.Reset()
+		tr := Collect(a.app, req)
+		if tr.Err != nil {
+			continue // failed executions are discarded (§III-E)
+		}
+		tmp := &ServiceAnalysis{Service: svc, Handler: rt.Handler}
+		if err := a.solve(tmp, tr, nil, nil); err != nil {
+			continue
+		}
+		res.Extracted = mergeStmts(res.Extracted, tmp.Extracted)
+		res.Executed = mergeStmts(res.Executed, sortedStmts(tr.ExecutedSet()))
+		res.State.Merge(identifyState(a.app, tr))
+	}
+	a.runner.Reset()
+	return res, nil
+}
+
+// maxAnalysisSamples bounds how many samples per service feed the merge.
+const maxAnalysisSamples = 5
+
+func sortedStmts(set map[script.StmtID]bool) []script.StmtID {
+	out := make([]script.StmtID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sid(id script.StmtID) string { return "s" + strconv.Itoa(int(id)) }
+func unsid(s string) script.StmtID {
+	n, err := strconv.Atoi(strings.TrimPrefix(s, "s"))
+	if err != nil {
+		return script.NoStmt
+	}
+	return script.StmtID(n)
+}
+
+// solve builds the Datalog program of §III-E and extracts entry, exit,
+// and the transitive dependence closure.
+func (a *Analyzer) solve(res *ServiceAnalysis, base *Trace, fuzzed []capture.FuzzedRequest, traces []*Trace) error {
+	db := datalog.NewDB()
+	prog := a.app.Program()
+
+	// RW-LOG(stmt, var) for the base execution, restricted to the
+	// handler's function so the extraction boundary stays inside it.
+	baseTouched := map[string]bool{} // "stmt|var" pairs seen in base run
+	for _, ev := range base.RW {
+		if ev.Stmt == script.NoStmt {
+			continue
+		}
+		if _, err := db.AddFact("rwlog", sid(ev.Stmt), ev.Var); err != nil {
+			return err
+		}
+		baseTouched[sid(ev.Stmt)+"|"+ev.Var] = true
+	}
+
+	// RW-LOG-FUZZED(i, stmt, var) for events touching the i-th planted
+	// value.
+	for i, tr := range traces {
+		if tr.Err != nil {
+			continue // failed fuzz executions are discarded (§III-E)
+		}
+		marker := fuzzed[i].Planted[0].Value
+		for _, ev := range tr.RW {
+			if ev.Stmt == script.NoStmt || !ContainsValue(ev.Val, marker) {
+				continue
+			}
+			if _, err := db.AddFact("rwfuzz", strconv.Itoa(i), sid(ev.Stmt), ev.Var); err != nil {
+				return err
+			}
+		}
+	}
+
+	// STMT-UNMAR(stmt, var): the same statement/variable position
+	// observed reading or writing the parameter in both the base and a
+	// fuzzed execution.
+	if err := db.AddRule(datalog.NewRule(
+		datalog.NewAtom("unmar", datalog.V("S"), datalog.V("Var")),
+		datalog.NewAtom("rwfuzz", datalog.V("I"), datalog.V("S"), datalog.V("Var")),
+		datalog.NewAtom("rwlog", datalog.V("S"), datalog.V("Var")),
+	)); err != nil {
+		return err
+	}
+
+	// Flow dependences from the base trace: DEP(s_r, s_w) when s_r reads
+	// a variable last written by s_w.
+	lastWrite := map[string]script.StmtID{}
+	for _, ev := range base.RW {
+		if ev.Stmt == script.NoStmt {
+			continue
+		}
+		if ev.Write {
+			lastWrite[ev.Var] = ev.Stmt
+			continue
+		}
+		if w, ok := lastWrite[ev.Var]; ok && w != ev.Stmt {
+			if _, err := db.AddFact("dep", sid(ev.Stmt), sid(w)); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Control dependences (the POST-DOM-derived STMT-DEP facts): every
+	// executed statement depends on its enclosing control statements.
+	parents := controlParents(prog)
+	for id := range base.ExecutedSet() {
+		for p := parents[id]; p != script.NoStmt; p = parents[p] {
+			if _, err := db.AddFact("dep", sid(id), sid(p)); err != nil {
+				return err
+			}
+		}
+	}
+
+	// ACTUAL(callStmt, fn): call-site facts let dependence flow through
+	// function calls — a call statement depends on the callee's returned
+	// computation, which the dynamic flow deps already connect via
+	// argument/return variables; the fact is recorded for completeness
+	// and for queries over call structure.
+	for _, iv := range base.Invokes {
+		if iv.Stmt == script.NoStmt {
+			continue
+		}
+		if _, err := db.AddFact("actual", sid(iv.Stmt), iv.Fn); err != nil {
+			return err
+		}
+	}
+
+	// STMT-T-DEP: transitive closure.
+	if err := db.AddRule(datalog.NewRule(
+		datalog.NewAtom("tdep", datalog.V("X"), datalog.V("Y")),
+		datalog.NewAtom("dep", datalog.V("X"), datalog.V("Y")),
+	)); err != nil {
+		return err
+	}
+	if err := db.AddRule(datalog.NewRule(
+		datalog.NewAtom("tdep", datalog.V("X"), datalog.V("Z")),
+		datalog.NewAtom("dep", datalog.V("X"), datalog.V("Y")),
+		datalog.NewAtom("tdep", datalog.V("Y"), datalog.V("Z")),
+	)); err != nil {
+		return err
+	}
+	if err := db.Run(); err != nil {
+		return err
+	}
+
+	// Entry: the earliest-executed STMT-UNMAR statement inside the
+	// handler.
+	handlerStmts := map[script.StmtID]bool{}
+	for _, id := range prog.StmtIDsIn(res.Handler) {
+		handlerStmts[id] = true
+	}
+	execIndex := map[script.StmtID]int{}
+	for i, id := range base.StmtOrder {
+		if _, seen := execIndex[id]; !seen {
+			execIndex[id] = i
+		}
+	}
+	bestIdx := int(^uint(0) >> 1)
+	for _, b := range db.Query(datalog.NewAtom("unmar", datalog.V("S"), datalog.V("Var"))) {
+		id := unsid(b["S"])
+		if !handlerStmts[id] {
+			continue
+		}
+		if idx, ok := execIndex[id]; ok && idx < bestIdx {
+			bestIdx = idx
+			res.Entry = id
+			res.EntryVar = b["Var"]
+		}
+	}
+
+	// Exit (STMT-MAR): the statement that marshals r_i — identified as
+	// the last handler statement that invokes the response-send
+	// marshaler or whose written value contains the response payload.
+	exitIdx := -1
+	respVal := base.Response.Value
+	for _, iv := range base.Invokes {
+		if !strings.HasPrefix(iv.Fn, "res.send") || !handlerStmts[iv.Stmt] {
+			continue
+		}
+		if idx, ok := execIndex[iv.Stmt]; ok && idx > exitIdx {
+			exitIdx = idx
+			res.Exit = iv.Stmt
+			res.ExitVar = marVarOf(base, iv)
+		}
+	}
+	if res.Exit == script.NoStmt && respVal != nil {
+		for _, ev := range base.RW {
+			if !ev.Write || !handlerStmts[ev.Stmt] {
+				continue
+			}
+			if script.Equal(ev.Val, respVal) {
+				if idx, ok := execIndex[ev.Stmt]; ok && idx > exitIdx {
+					exitIdx = idx
+					res.Exit = ev.Stmt
+					res.ExitVar = ev.Var
+				}
+			}
+		}
+	}
+	if res.Entry == script.NoStmt {
+		// Parameterless services have no unmarshal point; the handler's
+		// first executed statement is the boundary.
+		for _, id := range base.StmtOrder {
+			if handlerStmts[id] {
+				res.Entry = id
+				break
+			}
+		}
+	}
+	if res.Exit == script.NoStmt {
+		return fmt.Errorf("analysis: no marshaling statement found for %s", res.Service.Name())
+	}
+
+	// Extracted set: the exit's transitive dependences, the entry/exit
+	// statements, every side-effecting statement (SQL, file, global
+	// write), and their own dependences — restricted to handler
+	// statements that actually executed.
+	include := map[script.StmtID]bool{res.Entry: true, res.Exit: true}
+	addClosure := func(root script.StmtID) {
+		for _, b := range db.Query(datalog.NewAtom("tdep", datalog.C(sid(root)), datalog.V("Y"))) {
+			include[unsid(b["Y"])] = true
+		}
+	}
+	addClosure(res.Exit)
+	globals := map[string]bool{}
+	for _, g := range prog.GlobalNames() {
+		globals[g] = true
+	}
+	for _, iv := range base.Invokes {
+		if isStateInvoke(iv) {
+			include[iv.Stmt] = true
+			addClosure(iv.Stmt)
+		}
+	}
+	for _, ev := range base.RW {
+		if ev.Write && globals[ev.Var] {
+			include[ev.Stmt] = true
+			addClosure(ev.Stmt)
+		}
+	}
+	executed := base.ExecutedSet()
+	for id := range include {
+		if handlerStmts[id] && executed[id] {
+			res.Extracted = append(res.Extracted, id)
+		}
+	}
+	sort.Slice(res.Extracted, func(i, j int) bool { return res.Extracted[i] < res.Extracted[j] })
+	return nil
+}
+
+// marVarOf recovers the variable holding the marshaled value at a
+// res.send call site, when the argument came straight from a variable.
+func marVarOf(base *Trace, send InvokeEvent) string {
+	if len(send.Args) == 0 {
+		return ""
+	}
+	// Find the most recent read at the same statement whose value equals
+	// the sent argument.
+	var name string
+	for _, ev := range base.RW {
+		if ev.Step >= send.Step {
+			break
+		}
+		if ev.Stmt == send.Stmt && !ev.Write && script.Equal(ev.Val, send.Args[0]) {
+			name = ev.Var
+		}
+	}
+	return name
+}
+
+// isStateInvoke reports whether an invocation touches replicated state.
+func isStateInvoke(iv InvokeEvent) bool {
+	if strings.HasPrefix(iv.Fn, "db.") || strings.HasPrefix(iv.Fn, "fs.") {
+		return true
+	}
+	for _, arg := range iv.Args {
+		if IsSQLCommand(arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// controlParents maps each statement to its nearest enclosing control
+// statement (if/for/range/switch) within its function.
+func controlParents(prog *script.Program) map[script.StmtID]script.StmtID {
+	parents := map[script.StmtID]script.StmtID{}
+	for _, name := range prog.FuncNames() {
+		fn := prog.Funcs[name]
+		var walk func(n ast.Node, ctrl script.StmtID)
+		walk = func(n ast.Node, ctrl script.StmtID) {
+			switch x := n.(type) {
+			case *ast.IfStmt:
+				record(prog, parents, x, ctrl)
+				id := prog.IDOf(x)
+				if x.Init != nil {
+					walk(x.Init, id)
+				}
+				walk(x.Body, id)
+				if x.Else != nil {
+					walk(x.Else, id)
+				}
+			case *ast.ForStmt:
+				record(prog, parents, x, ctrl)
+				id := prog.IDOf(x)
+				if x.Init != nil {
+					walk(x.Init, id)
+				}
+				if x.Post != nil {
+					walk(x.Post, id)
+				}
+				walk(x.Body, id)
+			case *ast.RangeStmt:
+				record(prog, parents, x, ctrl)
+				walk(x.Body, prog.IDOf(x))
+			case *ast.SwitchStmt:
+				record(prog, parents, x, ctrl)
+				walk(x.Body, prog.IDOf(x))
+			case *ast.CaseClause:
+				for _, st := range x.Body {
+					walk(st, ctrl)
+				}
+			case *ast.BlockStmt:
+				for _, st := range x.List {
+					walk(st, ctrl)
+				}
+			case ast.Stmt:
+				record(prog, parents, x, ctrl)
+			}
+		}
+		walk(fn.Body, script.NoStmt)
+	}
+	return parents
+}
+
+func record(prog *script.Program, parents map[script.StmtID]script.StmtID, st ast.Stmt, ctrl script.StmtID) {
+	if id := prog.IDOf(st); id != script.NoStmt {
+		parents[id] = ctrl
+	}
+}
+
+// identifyState extracts the replicated state units from a trace.
+func identifyState(app *httpapp.App, tr *Trace) StateUnits {
+	var u StateUnits
+	tables := map[string]bool{}
+	files := map[string]bool{}
+	sqlStmts := map[script.StmtID]bool{}
+	fileStmts := map[script.StmtID]bool{}
+
+	for _, iv := range tr.Invokes {
+		for _, arg := range iv.Args {
+			if IsSQLCommand(arg) {
+				sqlStmts[iv.Stmt] = true
+				for _, t := range SQLTables(arg.(string)) {
+					tables[t] = true
+				}
+			}
+		}
+		if strings.HasPrefix(iv.Fn, "fs.") && len(iv.Args) > 0 {
+			if IsFilePath(iv.Args[0]) {
+				fileStmts[iv.Stmt] = true
+				if p, ok := iv.Args[0].(string); ok {
+					files[p] = true
+				}
+			}
+		}
+	}
+
+	// Shadow-execution results: which tables the run actually mutated.
+	writeTables := map[string]bool{}
+	for _, dm := range tr.DBMutations {
+		writeTables[dm.Mutation.Table] = true
+		tables[dm.Mutation.Table] = true
+		if dm.Stmt != script.NoStmt {
+			sqlStmts[dm.Stmt] = true
+		}
+	}
+
+	globals := map[string]bool{}
+	globalWrites := map[string]bool{}
+	declared := map[string]bool{}
+	for _, g := range app.Program().GlobalNames() {
+		declared[g] = true
+	}
+	for _, ev := range tr.RW {
+		if !declared[ev.Var] {
+			continue
+		}
+		globals[ev.Var] = true
+		if ev.Write {
+			globalWrites[ev.Var] = true
+		}
+	}
+
+	u.WriteTables = setToSorted(writeTables)
+	u.Tables = setToSorted(tables)
+	u.Files = setToSorted(files)
+	u.Globals = setToSorted(globals)
+	u.GlobalWrites = setToSorted(globalWrites)
+	u.SQLStmts = sortedStmts(sqlStmts)
+	u.FileStmts = sortedStmts(fileStmts)
+	return u
+}
+
+func setToSorted(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AnalyzeApp analyzes every inferred service and merges the state units.
+func (a *Analyzer) AnalyzeApp(services []capture.Service) ([]*ServiceAnalysis, StateUnits, error) {
+	var (
+		results []*ServiceAnalysis
+		merged  StateUnits
+	)
+	for _, svc := range services {
+		sa, err := a.AnalyzeService(svc)
+		if err != nil {
+			return nil, StateUnits{}, err
+		}
+		results = append(results, sa)
+		merged.Merge(sa.State)
+	}
+	return results, merged, nil
+}

@@ -1,0 +1,394 @@
+package analysis
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/capture"
+	"repro/internal/httpapp"
+	"repro/internal/script"
+)
+
+// predictSrc mirrors the paper's Figure 4 example: a /predict service
+// whose application logic is not delineated at a function boundary. The
+// normalized temporaries tv1 (unmarshal) and tv2 (marshal) bracket it.
+const predictSrc = `
+var hits = 0
+var model = map[string]any{"threshold": 50}
+
+func init() any {
+	db.exec("CREATE TABLE results (id INT PRIMARY KEY, score INT)")
+	fs.write("model/weights.bin", "pretrained")
+	return nil
+}
+
+func predict(req any, res any) any {
+	tv1 := req.body()
+	weights := fs.read("model/weights.bin")
+	feat := bytes.hash(tv1) + bytes.sum(weights)
+	score := detect(feat)
+	hits = hits + 1
+	db.exec("INSERT INTO results (id, score) VALUES (?, ?)", hits, score)
+	tv2 := score
+	res.send(tv2)
+	return nil
+}
+
+func detect(f any) any {
+	cpu(100)
+	return f - floor(f/97)*97
+}
+
+func stats(req any, res any) any {
+	rows := db.query("SELECT count(*) FROM results")
+	res.send(rows[0])
+	return nil
+}`
+
+var predictRoutes = []httpapp.Route{
+	{Method: "POST", Path: "/predict", Handler: "predict"},
+	{Method: "GET", Path: "/stats", Handler: "stats"},
+}
+
+func newPredictApp(t *testing.T) *httpapp.App {
+	t.Helper()
+	app, err := httpapp.New("fobojet", predictSrc, predictRoutes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func predictSample() capture.Record {
+	return capture.Record{
+		Method:   "POST",
+		Path:     "/predict",
+		ReqBody:  []byte("image-payload-0123456789-image-payload"),
+		Status:   200,
+		RespBody: []byte("1"),
+	}
+}
+
+func TestCollectTrace(t *testing.T) {
+	app := newPredictApp(t)
+	tr := Collect(app, &httpapp.Request{Method: "POST", Path: "/predict", Body: []byte("img")})
+	if tr.Err != nil {
+		t.Fatal(tr.Err)
+	}
+	if len(tr.StmtOrder) == 0 || len(tr.RW) == 0 || len(tr.Invokes) == 0 {
+		t.Fatalf("empty trace: stmts=%d rw=%d inv=%d", len(tr.StmtOrder), len(tr.RW), len(tr.Invokes))
+	}
+	// db.exec with the INSERT must appear with inspectable args.
+	found := false
+	for _, iv := range tr.Invokes {
+		if iv.Fn == "db.exec" && len(iv.Args) > 0 && IsSQLCommand(iv.Args[0]) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("SQL invocation not observed")
+	}
+	// Hooks are removed after collection.
+	if _, _, err := app.Invoke(&httpapp.Request{Method: "GET", Path: "/stats"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeServiceEntryExit(t *testing.T) {
+	app := newPredictApp(t)
+	an := NewAnalyzer(app)
+	svc := capture.Service{Method: "POST", Pattern: "/predict", Samples: []capture.Record{predictSample()}}
+	sa, err := an.AnalyzeService(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Handler != "predict" {
+		t.Fatalf("handler = %q", sa.Handler)
+	}
+	if sa.EntryVar != "tv1" {
+		t.Fatalf("entry var = %q, want tv1 (stmt %d: %s)", sa.EntryVar, sa.Entry, app.Program().StmtText(sa.Entry))
+	}
+	if !strings.Contains(app.Program().StmtText(sa.Entry), "req.body()") {
+		t.Fatalf("entry stmt = %q", app.Program().StmtText(sa.Entry))
+	}
+	if !strings.Contains(app.Program().StmtText(sa.Exit), "res.send") {
+		t.Fatalf("exit stmt = %q", app.Program().StmtText(sa.Exit))
+	}
+	if sa.ExitVar != "tv2" {
+		t.Fatalf("exit var = %q, want tv2", sa.ExitVar)
+	}
+}
+
+func TestAnalyzeServiceExtractionClosure(t *testing.T) {
+	app := newPredictApp(t)
+	an := NewAnalyzer(app)
+	svc := capture.Service{Method: "POST", Pattern: "/predict", Samples: []capture.Record{predictSample()}}
+	sa, err := an.AnalyzeService(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := app.Program()
+	var texts []string
+	for _, id := range sa.Extracted {
+		texts = append(texts, prog.StmtText(id))
+	}
+	joined := strings.Join(texts, "\n")
+	for _, want := range []string{"tv1 := req.body()", "feat :=", "score := detect(feat)", "db.exec", "tv2 := score", "res.send(tv2)"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("extraction missing %q:\n%s", want, joined)
+		}
+	}
+	// Extracted statements all belong to the handler.
+	for _, id := range sa.Extracted {
+		if prog.FuncOf(id) != "predict" {
+			t.Fatalf("extracted stmt %d belongs to %q", id, prog.FuncOf(id))
+		}
+	}
+}
+
+func TestAnalyzeServiceStateUnits(t *testing.T) {
+	app := newPredictApp(t)
+	an := NewAnalyzer(app)
+	svc := capture.Service{Method: "POST", Pattern: "/predict", Samples: []capture.Record{predictSample()}}
+	sa, err := an.AnalyzeService(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sa.State.Tables, []string{"results"}) {
+		t.Fatalf("tables = %v", sa.State.Tables)
+	}
+	if !reflect.DeepEqual(sa.State.Files, []string{"model/weights.bin"}) {
+		t.Fatalf("files = %v", sa.State.Files)
+	}
+	if !containsStr(sa.State.Globals, "hits") {
+		t.Fatalf("globals = %v", sa.State.Globals)
+	}
+	if !containsStr(sa.State.GlobalWrites, "hits") {
+		t.Fatalf("global writes = %v", sa.State.GlobalWrites)
+	}
+	// model is read-only here and wasn't touched by predict — it must
+	// not be claimed as written.
+	if containsStr(sa.State.GlobalWrites, "model") {
+		t.Fatal("read-only global reported as written")
+	}
+	if len(sa.State.SQLStmts) == 0 || len(sa.State.FileStmts) == 0 {
+		t.Fatalf("state stmts: sql=%v file=%v", sa.State.SQLStmts, sa.State.FileStmts)
+	}
+}
+
+func TestAnalyzeParameterlessService(t *testing.T) {
+	app := newPredictApp(t)
+	an := NewAnalyzer(app)
+	svc := capture.Service{Method: "GET", Pattern: "/stats", Samples: []capture.Record{{
+		Method: "GET", Path: "/stats", Status: 200, RespBody: []byte(`{"count(*)":0}`),
+	}}}
+	sa, err := an.AnalyzeService(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Handler != "stats" || sa.Entry == script.NoStmt || sa.Exit == script.NoStmt {
+		t.Fatalf("analysis = %+v", sa)
+	}
+	if !reflect.DeepEqual(sa.State.Tables, []string{"results"}) {
+		t.Fatalf("tables = %v", sa.State.Tables)
+	}
+}
+
+func TestAnalyzeQueryParamService(t *testing.T) {
+	src := `
+func greet(req any, res any) any {
+	name := req.param("who")
+	msg := "hello " + name
+	res.send(msg)
+	return nil
+}`
+	app, err := httpapp.New("greeter", src, []httpapp.Route{{Method: "GET", Path: "/greet", Handler: "greet"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := NewAnalyzer(app)
+	svc := capture.Service{Method: "GET", Pattern: "/greet", Samples: []capture.Record{{
+		Method: "GET", Path: "/greet",
+		Query:  map[string]string{"who": "ann"},
+		Status: 200, RespBody: []byte(`"hello ann"`),
+	}}}
+	sa, err := an.AnalyzeService(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.EntryVar != "name" {
+		t.Fatalf("entry var = %q, want name", sa.EntryVar)
+	}
+	if sa.ExitVar != "msg" {
+		t.Fatalf("exit var = %q, want msg", sa.ExitVar)
+	}
+}
+
+func TestAnalyzeAppMergesState(t *testing.T) {
+	app := newPredictApp(t)
+	an := NewAnalyzer(app)
+	services := []capture.Service{
+		{Method: "POST", Pattern: "/predict", Samples: []capture.Record{predictSample()}},
+		{Method: "GET", Pattern: "/stats", Samples: []capture.Record{{
+			Method: "GET", Path: "/stats", Status: 200, RespBody: []byte(`{}`),
+		}}},
+	}
+	results, merged, err := an.AnalyzeApp(services)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if !reflect.DeepEqual(merged.Tables, []string{"results"}) {
+		t.Fatalf("merged tables = %v", merged.Tables)
+	}
+	if !containsStr(merged.Globals, "hits") {
+		t.Fatalf("merged globals = %v", merged.Globals)
+	}
+}
+
+func TestAnalysisLeavesStateClean(t *testing.T) {
+	app := newPredictApp(t)
+	an := NewAnalyzer(app)
+	svc := capture.Service{Method: "POST", Pattern: "/predict", Samples: []capture.Record{predictSample()}}
+	if _, err := an.AnalyzeService(svc); err != nil {
+		t.Fatal(err)
+	}
+	// After analysis (base + fuzz executions), state is back at init.
+	if v, _ := app.Interp().GetGlobal("hits"); v != 0.0 {
+		t.Fatalf("hits = %v after analysis, want 0 (state isolation)", v)
+	}
+	n, _ := app.DB().RowCount("results")
+	if n != 0 {
+		t.Fatalf("rows = %d after analysis, want 0", n)
+	}
+}
+
+func TestIsSQLCommand(t *testing.T) {
+	for _, q := range []string{
+		"SELECT * FROM t", "insert into t (a) values (1)", "START TRANSACTION",
+		"ROLLBACK", "  UPDATE t SET a = 1",
+	} {
+		if !IsSQLCommand(q) {
+			t.Fatalf("IsSQLCommand(%q) = false", q)
+		}
+	}
+	for _, v := range []any{"hello world", "SELECTED item", 5.0, nil, "model/weights.bin"} {
+		if IsSQLCommand(v) {
+			t.Fatalf("IsSQLCommand(%v) = true", v)
+		}
+	}
+}
+
+func TestSQLTables(t *testing.T) {
+	tests := []struct {
+		q    string
+		want []string
+	}{
+		{"SELECT * FROM books WHERE id = 1", []string{"books"}},
+		{"INSERT INTO orders (id) VALUES (1)", []string{"orders"}},
+		{"UPDATE users SET name = 'x'", []string{"users"}},
+		{"CREATE TABLE visits (id INT)", []string{"visits"}},
+		{"CREATE TABLE IF NOT EXISTS logs (msg TEXT)", []string{"logs"}},
+		{"DELETE FROM cache", []string{"cache"}},
+		{"ROLLBACK", nil},
+	}
+	for _, tt := range tests {
+		if got := SQLTables(tt.q); !reflect.DeepEqual(got, tt.want) {
+			t.Fatalf("SQLTables(%q) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestIsFilePath(t *testing.T) {
+	for _, p := range []string{"model/weights.bin", "file:///etc/x", "data.csv", "a/b/c"} {
+		if !IsFilePath(p) {
+			t.Fatalf("IsFilePath(%q) = false", p)
+		}
+	}
+	for _, v := range []any{"hello world", "", 5.0, "v1.2", "SELECT x"} {
+		if IsFilePath(v) {
+			t.Fatalf("IsFilePath(%v) = true", v)
+		}
+	}
+}
+
+func TestContainsValue(t *testing.T) {
+	if !ContainsValue("xxFZV0001yy", "FZV0001") {
+		t.Fatal("string containment")
+	}
+	if !ContainsValue([]byte("abFZV0002cd"), []byte("FZV0002")) {
+		t.Fatal("byte containment")
+	}
+	if !ContainsValue(770003.0, 770003.0) {
+		t.Fatal("number equality")
+	}
+	if !ContainsValue("x=770004", 770004.0) {
+		t.Fatal("number-in-string")
+	}
+	if !ContainsValue(script.NewList("a", map[string]any{"k": "FZV0005"}), "FZV0005") {
+		t.Fatal("nested containment")
+	}
+	if ContainsValue("clean", "FZV0009") || ContainsValue(nil, "x") {
+		t.Fatal("false positive")
+	}
+	// A long repeated marker is detected inside a shorter fragment.
+	marker := []byte(strings.Repeat("FZV0007", 10))
+	if !ContainsValue([]byte("xxFZV0007yyzzwwqq"), marker) {
+		t.Fatal("fragment of repeated marker not detected")
+	}
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func TestShadowExecutionAttributesWrites(t *testing.T) {
+	app := newPredictApp(t)
+	an := NewAnalyzer(app)
+	svc := capture.Service{Method: "POST", Pattern: "/predict", Samples: []capture.Record{predictSample()}}
+	sa, err := an.AnalyzeService(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// /predict INSERTs into results: the shadow execution must attribute
+	// the mutation and classify results as a write table.
+	if !reflect.DeepEqual(sa.State.WriteTables, []string{"results"}) {
+		t.Fatalf("WriteTables = %v, want [results]", sa.State.WriteTables)
+	}
+}
+
+func TestShadowExecutionReadOnlyService(t *testing.T) {
+	app := newPredictApp(t)
+	an := NewAnalyzer(app)
+	svc := capture.Service{Method: "GET", Pattern: "/stats", Samples: []capture.Record{{
+		Method: "GET", Path: "/stats", Status: 200, RespBody: []byte(`{}`),
+	}}}
+	sa, err := an.AnalyzeService(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// stats only SELECTs: results is a read table, not a write table.
+	if len(sa.State.WriteTables) != 0 {
+		t.Fatalf("WriteTables = %v, want none for a read-only service", sa.State.WriteTables)
+	}
+	if !reflect.DeepEqual(sa.State.Tables, []string{"results"}) {
+		t.Fatalf("Tables = %v", sa.State.Tables)
+	}
+}
+
+func TestCollectLeavesNoProbe(t *testing.T) {
+	app := newPredictApp(t)
+	Collect(app, &httpapp.Request{Method: "POST", Path: "/predict", Body: []byte("x")})
+	// A later direct DB write must not panic or record anywhere.
+	if _, err := app.DB().Exec("INSERT INTO results (id, score) VALUES (99, 1)"); err != nil {
+		t.Fatal(err)
+	}
+}

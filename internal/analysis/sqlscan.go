@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"strings"
+	"unicode"
+)
+
+// sqlKeywords are the statement-leading keywords that identify an
+// argument value as a SQL command — the paper's modified INVOKEFUNCTION
+// callback examines ARGS for exactly this.
+var sqlKeywords = []string{
+	"SELECT", "INSERT", "UPDATE", "DELETE", "CREATE",
+	"BEGIN", "START", "COMMIT", "ROLLBACK", "DROP",
+}
+
+// IsSQLCommand reports whether a value looks like a SQL command.
+func IsSQLCommand(v any) bool {
+	s, ok := v.(string)
+	if !ok {
+		return false
+	}
+	s = strings.TrimSpace(s)
+	upper := strings.ToUpper(s)
+	for _, kw := range sqlKeywords {
+		if strings.HasPrefix(upper, kw+" ") || upper == kw {
+			return true
+		}
+	}
+	return false
+}
+
+// SQLTables extracts the table names referenced by a SQL command: the
+// identifiers following FROM, INTO, UPDATE, JOIN, and TABLE.
+func SQLTables(q string) []string {
+	fields := tokenizeSQL(q)
+	var tables []string
+	seen := map[string]bool{}
+	for i := 0; i+1 < len(fields); i++ {
+		switch strings.ToUpper(fields[i]) {
+		case "FROM", "INTO", "JOIN", "TABLE":
+			name := fields[i+1]
+			if isSQLIdent(name) && !seen[name] {
+				seen[name] = true
+				tables = append(tables, name)
+			}
+		case "UPDATE":
+			if i == 0 { // only statement-leading UPDATE names a table
+				name := fields[1]
+				if isSQLIdent(name) && !seen[name] {
+					seen[name] = true
+					tables = append(tables, name)
+				}
+			}
+		case "EXISTS": // CREATE TABLE IF NOT EXISTS t
+			name := fields[i+1]
+			if isSQLIdent(name) && !seen[name] {
+				seen[name] = true
+				tables = append(tables, name)
+			}
+		}
+	}
+	return tables
+}
+
+// tokenizeSQL splits a SQL string on whitespace and punctuation, keeping
+// identifiers and keywords.
+func tokenizeSQL(q string) []string {
+	var fields []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			fields = append(fields, cur.String())
+			cur.Reset()
+		}
+	}
+	inString := false
+	for _, r := range q {
+		if inString {
+			if r == '\'' {
+				inString = false
+			}
+			continue
+		}
+		switch {
+		case r == '\'':
+			inString = true
+			flush()
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_':
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return fields
+}
+
+func isSQLIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if i == 0 && !unicode.IsLetter(r) && r != '_' {
+			return false
+		}
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			return false
+		}
+	}
+	// Keywords are not table names.
+	up := strings.ToUpper(s)
+	for _, kw := range append(sqlKeywords, "IF", "NOT", "EXISTS", "WHERE", "SET", "VALUES") {
+		if up == kw {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFilePath reports whether a value looks like a file URL or path — the
+// heuristic the paper uses to identify file accesses by argument
+// inspection.
+func IsFilePath(v any) bool {
+	s, ok := v.(string)
+	if !ok || s == "" {
+		return false
+	}
+	if strings.HasPrefix(s, "file://") {
+		return true
+	}
+	if strings.ContainsAny(s, " \t\n") {
+		return false
+	}
+	// A path-like string: contains a slash or a dot-extension.
+	if strings.Contains(s, "/") {
+		return true
+	}
+	if i := strings.LastIndexByte(s, '.'); i > 0 && i < len(s)-1 {
+		ext := s[i+1:]
+		return len(ext) <= 5 && !strings.ContainsAny(ext, "0123456789")
+	}
+	return false
+}

@@ -1,0 +1,215 @@
+// Package analysis implements EdgStr's dynamic dependence analysis
+// (Algorithm 1 in the paper): it executes services under Jalangi-style
+// instrumentation with state isolation, fuzzes their HTTP messages to
+// locate unmarshaling (entry) and marshaling (exit) statements, encodes
+// the observations as Datalog facts (RW-LOG, RW-LOG-FUZZED, STMT-DEP,
+// ACTUAL), evaluates the STMT-UNMAR / STMT-MAR / transitive STMT-T-DEP
+// rules, and identifies the replicated state units — database tables,
+// files, and global variables — each service touches.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/httpapp"
+	"repro/internal/script"
+	"repro/internal/sqldb"
+)
+
+// RWEvent is one observed variable read or write.
+type RWEvent struct {
+	// Step is the event's position in execution order.
+	Step int
+	Stmt script.StmtID
+	Var  string
+	Val  any
+	// Write is true for writes, false for reads.
+	Write bool
+}
+
+// InvokeEvent is one observed function invocation (the modified
+// INVOKEFUNCTION callback of the paper, with args available for SQL and
+// file-URL inspection).
+type InvokeEvent struct {
+	Step   int
+	Stmt   script.StmtID
+	Fn     string
+	Args   []any
+	Result any
+}
+
+// DBMutation attributes one observed database row change to the
+// statement whose SQL invocation caused it — the product of the paper's
+// shadow execution of identified SQL commands (§III-C).
+type DBMutation struct {
+	Stmt     script.StmtID
+	Mutation sqldb.Mutation
+}
+
+// Trace is the full instrumentation record of one service execution.
+type Trace struct {
+	RW      []RWEvent
+	Invokes []InvokeEvent
+	// DBMutations records row changes with statement attribution.
+	DBMutations []DBMutation
+	// StmtOrder records statement entries in execution order.
+	StmtOrder []script.StmtID
+	// Response is the execution's HTTP response.
+	Response *httpapp.Response
+	// Err is the handler error, if the execution failed.
+	Err error
+}
+
+// ExecutedSet returns the distinct executed statements.
+func (t *Trace) ExecutedSet() map[script.StmtID]bool {
+	set := make(map[script.StmtID]bool, len(t.StmtOrder))
+	for _, id := range t.StmtOrder {
+		set[id] = true
+	}
+	return set
+}
+
+// Collect executes one request under instrumentation and returns the
+// trace. The caller is responsible for state isolation (restore before
+// each Collect).
+func Collect(app *httpapp.App, req *httpapp.Request) *Trace {
+	tr := &Trace{}
+	step := 0
+	var cur script.StmtID
+	in := app.Interp()
+	// Shadow-execution probe: every committed row change is attributed
+	// to the statement under execution when it happened.
+	app.DB().SetProbe(func(m sqldb.Mutation) {
+		tr.DBMutations = append(tr.DBMutations, DBMutation{Stmt: cur, Mutation: m})
+	})
+	defer app.DB().SetProbe(nil)
+	in.SetHooks(script.Hooks{
+		EnterStmt: func(id script.StmtID) {
+			cur = id
+			tr.StmtOrder = append(tr.StmtOrder, id)
+		},
+		Read: func(id script.StmtID, name string, val any) {
+			step++
+			tr.RW = append(tr.RW, RWEvent{Step: step, Stmt: id, Var: name, Val: val})
+		},
+		Write: func(id script.StmtID, name string, val any) {
+			step++
+			tr.RW = append(tr.RW, RWEvent{Step: step, Stmt: id, Var: name, Val: val, Write: true})
+		},
+		Invoke: func(id script.StmtID, fn string, args []any, result any) {
+			step++
+			tr.Invokes = append(tr.Invokes, InvokeEvent{Step: step, Stmt: id, Fn: fn, Args: args, Result: result})
+		},
+	})
+	defer in.SetHooks(script.Hooks{})
+	resp, _, err := app.Invoke(req)
+	tr.Response = resp
+	tr.Err = err
+	return tr
+}
+
+// ContainsValue reports whether haystack contains the marker value:
+// equal scalars, substring for strings, subslice for bytes, or any
+// nested occurrence inside lists and maps. This is how planted fuzz
+// values are recognized in RW logs even after light processing.
+func ContainsValue(haystack, marker any) bool {
+	switch m := marker.(type) {
+	case string:
+		return containsString(haystack, m)
+	case float64:
+		return containsNumber(haystack, m)
+	case []byte:
+		return containsBytes(haystack, m)
+	default:
+		return false
+	}
+}
+
+func containsString(v any, m string) bool {
+	switch x := v.(type) {
+	case string:
+		return strings.Contains(x, m)
+	case []byte:
+		return strings.Contains(string(x), m)
+	case *script.List:
+		for _, e := range x.Elems {
+			if containsString(e, m) {
+				return true
+			}
+		}
+	case map[string]any:
+		for _, e := range x {
+			if containsString(e, m) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func containsNumber(v any, m float64) bool {
+	switch x := v.(type) {
+	case float64:
+		return x == m
+	case string:
+		// Numbers often travel as strings in query parameters.
+		return strings.Contains(x, trimFloat(m))
+	case *script.List:
+		for _, e := range x.Elems {
+			if containsNumber(e, m) {
+				return true
+			}
+		}
+	case map[string]any:
+		for _, e := range x {
+			if containsNumber(e, m) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+func containsBytes(v any, m []byte) bool {
+	if len(m) == 0 {
+		return false
+	}
+	switch x := v.(type) {
+	case []byte:
+		return bytesContains(x, m)
+	case string:
+		return bytesContains([]byte(x), m)
+	case *script.List:
+		for _, e := range x.Elems {
+			if containsBytes(e, m) {
+				return true
+			}
+		}
+	case map[string]any:
+		for _, e := range x {
+			if containsBytes(e, m) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func bytesContains(h, n []byte) bool {
+	if strings.Contains(string(h), string(n)) {
+		return true
+	}
+	// Planted byte markers repeat a short unit (capture.Fuzz); a
+	// processed fragment of the payload still contains one whole unit if
+	// it is long enough.
+	if len(n) >= 7 && len(h) >= 14 {
+		return strings.Contains(string(h), string(n[:7]))
+	}
+	return false
+}

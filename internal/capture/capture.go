@@ -1,0 +1,345 @@
+// Package capture implements EdgStr's first stage: instrumenting live
+// HTTP traffic between a client and a cloud service to recover the
+// Subject access interface (Eq. 1 in the paper),
+//
+//	S = [s_1(p_1) … s_N(p_N)] = [r_1 … r_N],
+//
+// and generating the fuzzed message variants — tracked by a fuzz
+// dictionary — that the dynamic analysis later uses to locate the
+// unmarshaling (entry) and marshaling (exit) statements of each service.
+package capture
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/httpapp"
+)
+
+// Record is one observed request/response exchange.
+type Record struct {
+	Method   string
+	Path     string
+	Query    map[string]string
+	ReqBody  []byte
+	Status   int
+	RespBody []byte
+	Latency  time.Duration
+}
+
+// ReqSize returns the request's wire size.
+func (r *Record) ReqSize() int {
+	n := len(r.Method) + len(r.Path) + len(r.ReqBody)
+	for k, v := range r.Query {
+		n += len(k) + len(v) + 2
+	}
+	return n
+}
+
+// RespSize returns the response's wire size.
+func (r *Record) RespSize() int { return len(r.RespBody) }
+
+// Log accumulates captured traffic. It is safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// NewLog returns an empty traffic log.
+func NewLog() *Log { return &Log{} }
+
+// Add appends a record.
+func (l *Log) Add(r Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.records = append(l.records, r)
+}
+
+// Records returns a copy of the captured records.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Record(nil), l.records...)
+}
+
+// Len returns the number of captured records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Middleware wraps an http.Handler so every exchange through it is
+// recorded — the packet-level sniffer of the paper, attached after TLS
+// termination.
+func (l *Log) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		rw := &recordingWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rw, r)
+		q := map[string]string{}
+		for k, vs := range r.URL.Query() {
+			if len(vs) > 0 {
+				q[k] = vs[0]
+			}
+		}
+		l.Add(Record{
+			Method:   r.Method,
+			Path:     r.URL.Path,
+			Query:    q,
+			ReqBody:  body,
+			Status:   rw.status,
+			RespBody: rw.buf.Bytes(),
+			Latency:  time.Since(start),
+		})
+	})
+}
+
+type recordingWriter struct {
+	http.ResponseWriter
+	status int
+	buf    bytes.Buffer
+}
+
+func (w *recordingWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *recordingWriter) Write(b []byte) (int, error) {
+	w.buf.Write(b)
+	return w.ResponseWriter.Write(b)
+}
+
+// InvokeRecorded drives an app in-process while recording the exchange —
+// the same observation point as Middleware without a network hop.
+func (l *Log) InvokeRecorded(app *httpapp.App, req *httpapp.Request) (*httpapp.Response, error) {
+	start := time.Now()
+	resp, _, err := app.Invoke(req)
+	rec := Record{
+		Method:  req.Method,
+		Path:    req.Path,
+		Query:   req.Query,
+		ReqBody: req.Body,
+		Latency: time.Since(start),
+	}
+	if resp != nil {
+		rec.Status = resp.Status
+		rec.RespBody = resp.Body
+	}
+	l.Add(rec)
+	return resp, err
+}
+
+// Service is one inferred remote service s_i of the Subject interface:
+// an HTTP method with a path pattern, plus the sample exchanges observed
+// for it.
+type Service struct {
+	Method  string
+	Pattern string // path with ":pN" parameter segments
+	Samples []Record
+}
+
+// Name renders "GET /books/:p1".
+func (s Service) Name() string { return s.Method + " " + s.Pattern }
+
+// InferSubject reconstructs the Subject interface from captured traffic.
+// Records are grouped by method, segment count, and leading segment;
+// path positions whose observed values vary become parameter segments.
+// Only successful exchanges with non-empty responses participate, per
+// the paper's assumption of non-empty responses.
+func InferSubject(records []Record) []Service {
+	type groupKey struct {
+		method string
+		nseg   int
+		head   string
+	}
+	groups := map[groupKey][]Record{}
+	for _, r := range records {
+		if r.Status >= 400 || len(r.RespBody) == 0 {
+			continue
+		}
+		segs := splitPath(r.Path)
+		head := ""
+		if len(segs) > 0 {
+			head = segs[0]
+		}
+		k := groupKey{method: strings.ToUpper(r.Method), nseg: len(segs), head: head}
+		groups[k] = append(groups[k], r)
+	}
+	var services []Service
+	for k, recs := range groups {
+		segLists := make([][]string, len(recs))
+		for i, r := range recs {
+			segLists[i] = splitPath(r.Path)
+		}
+		pattern := make([]string, k.nseg)
+		param := 0
+		for pos := 0; pos < k.nseg; pos++ {
+			distinct := map[string]bool{}
+			for _, segs := range segLists {
+				distinct[segs[pos]] = true
+			}
+			if len(distinct) == 1 {
+				pattern[pos] = segLists[0][pos]
+			} else {
+				param++
+				pattern[pos] = ":p" + strconv.Itoa(param)
+			}
+		}
+		services = append(services, Service{
+			Method:  k.method,
+			Pattern: "/" + strings.Join(pattern, "/"),
+			Samples: recs,
+		})
+	}
+	sort.Slice(services, func(i, j int) bool { return services[i].Name() < services[j].Name() })
+	return services
+}
+
+func splitPath(p string) []string {
+	p = strings.Trim(p, "/")
+	if p == "" {
+		return nil
+	}
+	return strings.Split(p, "/")
+}
+
+// ---- Fuzzing ----
+
+// Planted records one tracked value injected into a fuzzed request —
+// an entry of the paper's fuzz dictionary.
+type Planted struct {
+	// Where locates the injection: "query:<name>", "json:<key>", or
+	// "body".
+	Where string
+	// Value is the distinctive planted value.
+	Value any
+}
+
+// FuzzedRequest pairs a mutated request with the dictionary of values
+// planted into it.
+type FuzzedRequest struct {
+	Req     *httpapp.Request
+	Planted []Planted
+}
+
+// fuzzString returns a distinctive string marker unlikely to collide
+// with organic values.
+func fuzzString(i int) string { return fmt.Sprintf("FZV%04d", i) }
+
+// fuzzNumber returns a distinctive numeric marker.
+func fuzzNumber(i int) float64 { return 770000 + float64(i) }
+
+// Fuzz derives tracked variants of a sample exchange: one variant per
+// mutable location (each query parameter, each scalar JSON body field,
+// or the raw body). The planted values are what the dynamic analysis
+// greps for in the RW logs to find unmarshal statements.
+func Fuzz(sample Record, startIdx int) []FuzzedRequest {
+	var out []FuzzedRequest
+	idx := startIdx
+
+	baseReq := func() *httpapp.Request {
+		q := make(map[string]string, len(sample.Query))
+		for k, v := range sample.Query {
+			q[k] = v
+		}
+		return &httpapp.Request{
+			Method: sample.Method,
+			Path:   sample.Path,
+			Query:  q,
+			Body:   append([]byte(nil), sample.ReqBody...),
+		}
+	}
+
+	// Query parameters.
+	qkeys := make([]string, 0, len(sample.Query))
+	for k := range sample.Query {
+		qkeys = append(qkeys, k)
+	}
+	sort.Strings(qkeys)
+	for _, k := range qkeys {
+		req := baseReq()
+		var planted any
+		if _, err := strconv.ParseFloat(sample.Query[k], 64); err == nil {
+			n := fuzzNumber(idx)
+			req.Query[k] = strconv.FormatFloat(n, 'f', -1, 64)
+			planted = n
+		} else {
+			s := fuzzString(idx)
+			req.Query[k] = s
+			planted = s
+		}
+		out = append(out, FuzzedRequest{
+			Req:     req,
+			Planted: []Planted{{Where: "query:" + k, Value: planted}},
+		})
+		idx++
+	}
+
+	// JSON body fields.
+	var jsonBody map[string]any
+	if len(sample.ReqBody) > 0 && json.Unmarshal(sample.ReqBody, &jsonBody) == nil && jsonBody != nil {
+		jkeys := make([]string, 0, len(jsonBody))
+		for k := range jsonBody {
+			jkeys = append(jkeys, k)
+		}
+		sort.Strings(jkeys)
+		for _, k := range jkeys {
+			req := baseReq()
+			mutated := make(map[string]any, len(jsonBody))
+			for kk, vv := range jsonBody {
+				mutated[kk] = vv
+			}
+			var planted any
+			switch jsonBody[k].(type) {
+			case float64:
+				planted = fuzzNumber(idx)
+			case string:
+				planted = fuzzString(idx)
+			default:
+				continue // only scalar fields are fuzzed
+			}
+			mutated[k] = planted
+			b, err := json.Marshal(mutated)
+			if err != nil {
+				continue
+			}
+			req.Body = b
+			out = append(out, FuzzedRequest{
+				Req:     req,
+				Planted: []Planted{{Where: "json:" + k, Value: planted}},
+			})
+			idx++
+		}
+		return out
+	}
+
+	// Raw (non-JSON) body: plant a distinctive byte pattern of the same
+	// length.
+	if len(sample.ReqBody) > 0 {
+		req := baseReq()
+		marker := []byte(fuzzString(idx))
+		body := bytes.Repeat(marker, len(sample.ReqBody)/len(marker)+1)[:len(sample.ReqBody)]
+		req.Body = body
+		out = append(out, FuzzedRequest{
+			Req:     req,
+			Planted: []Planted{{Where: "body", Value: append([]byte(nil), body...)}},
+		})
+	}
+	return out
+}

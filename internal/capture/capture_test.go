@@ -1,0 +1,252 @@
+package capture
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/httpapp"
+)
+
+const echoSrc = `
+func echo(req any, res any) any {
+	res.send(req.param("msg"))
+	return nil
+}
+func getItem(req any, res any) any {
+	res.send("item-" + req.param("id"))
+	return nil
+}
+func compute(req any, res any) any {
+	body := req.json()
+	res.send(body["x"] + 1)
+	return nil
+}`
+
+var echoRoutes = []httpapp.Route{
+	{Method: "GET", Path: "/echo", Handler: "echo"},
+	{Method: "GET", Path: "/items/:id", Handler: "getItem"},
+	{Method: "POST", Path: "/compute", Handler: "compute"},
+}
+
+func newEchoApp(t *testing.T) *httpapp.App {
+	t.Helper()
+	app, err := httpapp.New("echo", echoSrc, echoRoutes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestMiddlewareRecordsExchanges(t *testing.T) {
+	app := newEchoApp(t)
+	log := NewLog()
+	srv := httptest.NewServer(log.Middleware(app))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/echo?msg=hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Error(err)
+	}
+	post, err := srv.Client().Post(srv.URL+"/compute", "application/json", strings.NewReader(`{"x": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := post.Body.Close(); err != nil {
+		t.Error(err)
+	}
+
+	recs := log.Records()
+	if len(recs) != 2 {
+		t.Fatalf("captured %d records, want 2", len(recs))
+	}
+	if recs[0].Method != "GET" || recs[0].Path != "/echo" || recs[0].Query["msg"] != "hi" {
+		t.Fatalf("rec[0] = %+v", recs[0])
+	}
+	if string(recs[0].RespBody) != `"hi"` {
+		t.Fatalf("resp body = %s", recs[0].RespBody)
+	}
+	if recs[1].Method != "POST" || string(recs[1].ReqBody) != `{"x": 4}` {
+		t.Fatalf("rec[1] = %+v", recs[1])
+	}
+	if string(recs[1].RespBody) != "5" {
+		t.Fatalf("compute resp = %s", recs[1].RespBody)
+	}
+	if recs[0].ReqSize() <= 0 || recs[0].RespSize() <= 0 {
+		t.Fatal("sizes not positive")
+	}
+}
+
+func TestInvokeRecorded(t *testing.T) {
+	app := newEchoApp(t)
+	log := NewLog()
+	resp, err := log.InvokeRecorded(app, &httpapp.Request{
+		Method: "GET", Path: "/echo", Query: map[string]string{"msg": "x"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || log.Len() != 1 {
+		t.Fatalf("status=%d len=%d", resp.Status, log.Len())
+	}
+}
+
+func TestInferSubjectStaticAndParam(t *testing.T) {
+	records := []Record{
+		{Method: "GET", Path: "/echo", Status: 200, RespBody: []byte("a")},
+		{Method: "GET", Path: "/echo", Status: 200, RespBody: []byte("b")},
+		{Method: "GET", Path: "/items/1", Status: 200, RespBody: []byte("x")},
+		{Method: "GET", Path: "/items/2", Status: 200, RespBody: []byte("y")},
+		{Method: "POST", Path: "/compute", Status: 200, RespBody: []byte("5")},
+		// Errors and empty responses are excluded.
+		{Method: "GET", Path: "/broken", Status: 500, RespBody: []byte("e")},
+		{Method: "GET", Path: "/empty", Status: 200, RespBody: nil},
+	}
+	services := InferSubject(records)
+	names := make([]string, len(services))
+	for i, s := range services {
+		names[i] = s.Name()
+	}
+	want := []string{"GET /echo", "GET /items/:p1", "POST /compute"}
+	if len(names) != len(want) {
+		t.Fatalf("services = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("services = %v, want %v", names, want)
+		}
+	}
+	// Samples are preserved per service.
+	for _, s := range services {
+		if len(s.Samples) == 0 {
+			t.Fatalf("service %s has no samples", s.Name())
+		}
+	}
+}
+
+func TestInferSubjectDistinguishesMethods(t *testing.T) {
+	records := []Record{
+		{Method: "GET", Path: "/x", Status: 200, RespBody: []byte("1")},
+		{Method: "POST", Path: "/x", Status: 200, RespBody: []byte("1")},
+	}
+	if got := len(InferSubject(records)); got != 2 {
+		t.Fatalf("services = %d, want 2 (GET and POST are distinct)", got)
+	}
+}
+
+func TestFuzzQueryParams(t *testing.T) {
+	sample := Record{
+		Method: "GET", Path: "/echo",
+		Query: map[string]string{"msg": "hello", "n": "42"},
+	}
+	fuzzed := Fuzz(sample, 0)
+	if len(fuzzed) != 2 {
+		t.Fatalf("fuzzed %d variants, want 2", len(fuzzed))
+	}
+	// The string param gets a marker string, the numeric one a marker
+	// number.
+	byWhere := map[string]FuzzedRequest{}
+	for _, f := range fuzzed {
+		if len(f.Planted) != 1 {
+			t.Fatalf("planted = %v", f.Planted)
+		}
+		byWhere[f.Planted[0].Where] = f
+	}
+	msgF, ok := byWhere["query:msg"]
+	if !ok {
+		t.Fatal("no fuzz for query:msg")
+	}
+	if !strings.HasPrefix(msgF.Req.Query["msg"], "FZV") {
+		t.Fatalf("msg fuzz = %q", msgF.Req.Query["msg"])
+	}
+	nF, ok := byWhere["query:n"]
+	if !ok {
+		t.Fatal("no fuzz for query:n")
+	}
+	if v, isNum := nF.Planted[0].Value.(float64); !isNum || v < 770000 {
+		t.Fatalf("numeric fuzz = %v", nF.Planted[0].Value)
+	}
+	// Unfuzzed fields keep their original values.
+	if msgF.Req.Query["n"] != "42" {
+		t.Fatal("fuzz mutated unrelated parameter")
+	}
+}
+
+func TestFuzzJSONBody(t *testing.T) {
+	sample := Record{
+		Method: "POST", Path: "/compute",
+		ReqBody: []byte(`{"x": 4, "tag": "t", "nested": {"deep": 1}}`),
+	}
+	fuzzed := Fuzz(sample, 10)
+	// Only the two scalar fields are fuzzed.
+	if len(fuzzed) != 2 {
+		t.Fatalf("fuzzed %d variants, want 2", len(fuzzed))
+	}
+	for _, f := range fuzzed {
+		var body map[string]any
+		if err := json.Unmarshal(f.Req.Body, &body); err != nil {
+			t.Fatal(err)
+		}
+		where := f.Planted[0].Where
+		switch where {
+		case "json:x":
+			if body["x"].(float64) < 770000 {
+				t.Fatalf("x fuzz = %v", body["x"])
+			}
+			if body["tag"] != "t" {
+				t.Fatal("unrelated field mutated")
+			}
+		case "json:tag":
+			if !strings.HasPrefix(body["tag"].(string), "FZV") {
+				t.Fatalf("tag fuzz = %v", body["tag"])
+			}
+		default:
+			t.Fatalf("unexpected fuzz location %q", where)
+		}
+	}
+}
+
+func TestFuzzRawBody(t *testing.T) {
+	sample := Record{
+		Method: "POST", Path: "/upload",
+		ReqBody: bytes.Repeat([]byte{0xAB}, 100),
+	}
+	fuzzed := Fuzz(sample, 0)
+	if len(fuzzed) != 1 {
+		t.Fatalf("fuzzed %d variants, want 1", len(fuzzed))
+	}
+	f := fuzzed[0]
+	if f.Planted[0].Where != "body" {
+		t.Fatalf("where = %q", f.Planted[0].Where)
+	}
+	if len(f.Req.Body) != 100 {
+		t.Fatalf("fuzzed body length = %d, want 100 (length-preserving)", len(f.Req.Body))
+	}
+	if !bytes.Contains(f.Req.Body, []byte("FZV")) {
+		t.Fatal("body lacks marker")
+	}
+}
+
+func TestFuzzDistinctIndices(t *testing.T) {
+	sample := Record{Method: "GET", Path: "/e", Query: map[string]string{"a": "x", "b": "y"}}
+	fuzzed := Fuzz(sample, 0)
+	vals := map[string]bool{}
+	for _, f := range fuzzed {
+		vals[f.Req.Query[strings.TrimPrefix(f.Planted[0].Where, "query:")]] = true
+	}
+	if len(vals) != 2 {
+		t.Fatalf("markers not distinct: %v", vals)
+	}
+}
+
+func TestFuzzNoMutableLocations(t *testing.T) {
+	sample := Record{Method: "GET", Path: "/static"}
+	if fuzzed := Fuzz(sample, 0); len(fuzzed) != 0 {
+		t.Fatalf("fuzzed %d variants for an immutable request", len(fuzzed))
+	}
+}

@@ -1,0 +1,127 @@
+// Package checkpoint implements EdgStr's state isolation: capturing the
+// server's post-initialization state (state_init) and restoring it
+// between service executions, so that repeated dynamic analyses observe
+// a fixed initial state:
+//
+//	init, save "init", exec_i, restore "init", exec_{i+1}, restore "init", …
+//
+// A checkpoint spans the three replicated units the paper identifies —
+// database tables (whole-database snapshot guarded by transactional
+// shadow execution), files (duplication), and global variables (deep
+// copy behind generated get/set accessors).
+package checkpoint
+
+import (
+	"fmt"
+
+	"repro/internal/httpapp"
+	"repro/internal/script"
+	"repro/internal/sqldb"
+	"repro/internal/vfs"
+)
+
+// State is a captured state_init: everything needed to reset an app to
+// the moment just after initialization.
+type State struct {
+	globals map[string]any
+	db      *sqldb.Snapshot
+	fs      *vfs.Snapshot
+
+	globalBytes int64
+	dbBytes     int64
+	fsBytes     int64
+}
+
+// Capture snapshots the app's current state.
+func Capture(app *httpapp.App) *State {
+	s := &State{
+		globals: map[string]any{},
+		db:      app.DB().Snapshot(),
+		fs:      app.FS().Snapshot(),
+		dbBytes: app.DB().SizeBytes(),
+		fsBytes: app.FS().TotalBytes(),
+	}
+	for name, v := range app.Interp().Globals() {
+		s.globals[name] = script.DeepCopy(v)
+		s.globalBytes += script.SizeOf(v)
+	}
+	return s
+}
+
+// Restore resets the app to the captured state.
+func (s *State) Restore(app *httpapp.App) {
+	app.DB().Restore(s.db)
+	app.FS().Restore(s.fs)
+	for name, v := range s.globals {
+		app.Interp().SetGlobal(name, script.DeepCopy(v))
+	}
+}
+
+// Globals returns the captured global values (deep copies).
+func (s *State) Globals() map[string]any {
+	out := make(map[string]any, len(s.globals))
+	for k, v := range s.globals {
+		out[k] = script.DeepCopy(v)
+	}
+	return out
+}
+
+// SizeBytes returns the approximate footprint of the captured state —
+// the S_app metric the evaluation compares cross-ISA synchronization
+// against.
+func (s *State) SizeBytes() int64 { return s.globalBytes + s.dbBytes + s.fsBytes }
+
+// ComponentSizes returns the per-unit breakdown (globals, database,
+// files) in bytes.
+func (s *State) ComponentSizes() (globals, db, fs int64) {
+	return s.globalBytes, s.dbBytes, s.fsBytes
+}
+
+// Runner drives isolated executions: each Exec restores state_init
+// first, so every service execution observes the same initial state.
+type Runner struct {
+	app  *httpapp.App
+	init *State
+}
+
+// NewRunner captures the app's current state as state_init and returns
+// a runner that pins executions to it.
+func NewRunner(app *httpapp.App) *Runner {
+	return &Runner{app: app, init: Capture(app)}
+}
+
+// Init returns the captured state_init.
+func (r *Runner) Init() *State { return r.init }
+
+// Exec restores state_init and invokes the request.
+func (r *Runner) Exec(req *httpapp.Request) (*httpapp.Response, float64, error) {
+	r.init.Restore(r.app)
+	return r.app.Invoke(req)
+}
+
+// ExecDirty invokes without restoring first (for observing stateful
+// drift across executions).
+func (r *Runner) ExecDirty(req *httpapp.Request) (*httpapp.Response, float64, error) {
+	return r.app.Invoke(req)
+}
+
+// Reset restores state_init without executing anything.
+func (r *Runner) Reset() { r.init.Restore(r.app) }
+
+// VerifyFixedInit checks the isolation invariant: executing the request
+// twice with restore in between must produce identical responses. The
+// paper relies on this to make stateful services analyzable.
+func (r *Runner) VerifyFixedInit(req *httpapp.Request) error {
+	r1, _, err := r.Exec(req.Clone())
+	if err != nil {
+		return err
+	}
+	r2, _, err := r.Exec(req.Clone())
+	if err != nil {
+		return err
+	}
+	if r1.Status != r2.Status || string(r1.Body) != string(r2.Body) {
+		return fmt.Errorf("checkpoint: executions diverge under restore: %q vs %q", r1.Body, r2.Body)
+	}
+	return nil
+}

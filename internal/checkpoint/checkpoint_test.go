@@ -1,0 +1,191 @@
+package checkpoint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/httpapp"
+	"repro/internal/script"
+)
+
+const statefulSrc = `
+var counter = 0
+var log = []any{}
+
+func init() any {
+	db.exec("CREATE TABLE visits (id INT PRIMARY KEY, who TEXT)")
+	fs.write("state.txt", "fresh")
+	return nil
+}
+
+func visit(req any, res any) any {
+	counter = counter + 1
+	push(log, req.param("who"))
+	db.exec("INSERT INTO visits (id, who) VALUES (?, ?)", counter, req.param("who"))
+	fs.write("state.txt", "visited-" + counter)
+	res.send(counter)
+	return nil
+}`
+
+var statefulRoutes = []httpapp.Route{
+	{Method: "GET", Path: "/visit", Handler: "visit"},
+}
+
+func newStatefulApp(t *testing.T) *httpapp.App {
+	t.Helper()
+	app, err := httpapp.New("stateful", statefulSrc, statefulRoutes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func visitReq(who string) *httpapp.Request {
+	return &httpapp.Request{Method: "GET", Path: "/visit", Query: map[string]string{"who": who}}
+}
+
+func TestCaptureRestoreAllUnits(t *testing.T) {
+	app := newStatefulApp(t)
+	st := Capture(app)
+
+	// Mutate all three units.
+	if _, _, err := app.Invoke(visitReq("alice")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := app.Invoke(visitReq("bob")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := app.Interp().GetGlobal("counter"); v != 2.0 {
+		t.Fatalf("counter = %v", v)
+	}
+	n, _ := app.DB().RowCount("visits")
+	if n != 2 {
+		t.Fatalf("rows = %d", n)
+	}
+
+	st.Restore(app)
+	if v, _ := app.Interp().GetGlobal("counter"); v != 0.0 {
+		t.Fatalf("counter after restore = %v", v)
+	}
+	if n, _ := app.DB().RowCount("visits"); n != 0 {
+		t.Fatalf("rows after restore = %d", n)
+	}
+	b, err := app.FS().Read("state.txt")
+	if err != nil || string(b) != "fresh" {
+		t.Fatalf("file after restore = %q, %v", b, err)
+	}
+	lst, _ := app.Interp().GetGlobal("log")
+	if l, ok := lst.(*script.List); !ok || len(l.Elems) != 0 {
+		t.Fatalf("log after restore = %v, want empty list", lst)
+	}
+}
+
+func TestRestoreIsDeepForGlobals(t *testing.T) {
+	app := newStatefulApp(t)
+	st := Capture(app)
+	// Mutate the captured list through the app, then restore twice; the
+	// second restore must still see the original state.
+	for i := 0; i < 2; i++ {
+		if _, _, err := app.Invoke(visitReq("x")); err != nil {
+			t.Fatal(err)
+		}
+		st.Restore(app)
+		resp, _, err := app.Invoke(visitReq("first"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resp.Body) != "1" {
+			t.Fatalf("iteration %d: response = %s, want 1", i, resp.Body)
+		}
+		st.Restore(app)
+	}
+}
+
+func TestRunnerIsolatesExecutions(t *testing.T) {
+	app := newStatefulApp(t)
+	r := NewRunner(app)
+	for i := 0; i < 3; i++ {
+		resp, _, err := r.Exec(visitReq("w"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resp.Body) != "1" {
+			t.Fatalf("exec %d: body = %s, want 1 (isolation broken)", i, resp.Body)
+		}
+	}
+	// Dirty executions accumulate.
+	r.Reset()
+	if _, _, err := r.ExecDirty(visitReq("a")); err != nil {
+		t.Fatal(err)
+	}
+	resp, _, err := r.ExecDirty(visitReq("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "2" {
+		t.Fatalf("dirty exec = %s, want 2", resp.Body)
+	}
+}
+
+func TestVerifyFixedInit(t *testing.T) {
+	app := newStatefulApp(t)
+	r := NewRunner(app)
+	if err := r.VerifyFixedInit(visitReq("z")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyFixedInitDetectsEscape(t *testing.T) {
+	// A service that depends on hidden state the checkpoint cannot see
+	// (a native object) must be flagged.
+	src := `
+func leaky(req any, res any) any {
+	res.send(tick.next())
+	return nil
+}`
+	app, err := httpapp.New("leaky", src, []httpapp.Route{{Method: "GET", Path: "/t", Handler: "leaky"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0.0
+	app.Interp().Register("tick", tickObject(&n))
+	r := NewRunner(app)
+	if err := r.VerifyFixedInit(&httpapp.Request{Method: "GET", Path: "/t"}); err == nil {
+		t.Fatal("hidden-state service passed isolation verification")
+	} else if !strings.Contains(err.Error(), "diverge") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	app := newStatefulApp(t)
+	if _, _, err := app.Invoke(visitReq("someone")); err != nil {
+		t.Fatal(err)
+	}
+	st := Capture(app)
+	if st.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes = 0")
+	}
+	g, d, f := st.ComponentSizes()
+	if g <= 0 || d <= 0 || f <= 0 {
+		t.Fatalf("component sizes = %d %d %d, want all positive", g, d, f)
+	}
+	if g+d+f != st.SizeBytes() {
+		t.Fatal("component sizes do not sum to total")
+	}
+	// Globals accessor returns copies.
+	gs := st.Globals()
+	if gs["counter"] != 1.0 {
+		t.Fatalf("captured counter = %v", gs["counter"])
+	}
+}
+
+// tickObject returns a native object with hidden mutable state.
+func tickObject(n *float64) *script.Object {
+	return script.NewObject("tick", map[string]script.Builtin{
+		"next": func(c *script.Call) (any, error) {
+			*n++
+			return *n, nil
+		},
+	})
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/httpapp"
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/simclock"
+)
+
+// Client is a simulated mobile client: it sends requests over its
+// network link, measures end-to-end latency, and accounts its own energy
+// (active while the radio transmits, low-power idle while waiting for
+// the response — §IV-C3).
+type Client struct {
+	Spec DeviceSpec
+	// Link connects the client to its serving tier (edge LAN or cloud
+	// WAN).
+	Link *netem.Duplex
+
+	clock *simclock.Clock
+
+	// Latency collects end-to-end request latencies (ms).
+	Latency metrics.Series
+	// EnergyJoules accumulates the client's per-request energy.
+	EnergyJoules float64
+	// Completed and Failed count finished requests.
+	Completed int
+	Failed    int
+}
+
+// NewClient returns a client on the given clock and link.
+func NewClient(clock *simclock.Clock, spec DeviceSpec, link *netem.Duplex) *Client {
+	return &Client{Spec: spec, Link: link, clock: clock}
+}
+
+// Route selects a destination server for a request.
+type Route func() (*Server, error)
+
+// Dispatch delivers a request to its serving tier and calls back with
+// the response. The deployment's Remote Proxy (edge replica with
+// forwarding) plugs in here.
+type Dispatch func(req *httpapp.Request, done func(*httpapp.Response, error))
+
+// Send models one request: uplink transfer, server execution, downlink
+// transfer. done (optional) receives the response after the downlink
+// delivery. Handler failures are counted and reported to done with a
+// nil latency contribution — failure redirection is the proxy layer's
+// job, not the client's.
+func (c *Client) Send(req *httpapp.Request, route Route, done func(*httpapp.Response, error)) {
+	c.SendVia(req, func(r *httpapp.Request, cb func(*httpapp.Response, error)) {
+		srv, err := route()
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		srv.Handle(r, func(resp *httpapp.Response, _ time.Duration, err error) {
+			cb(resp, err)
+		})
+	}, done)
+}
+
+// SendVia models one request through an arbitrary dispatcher: uplink
+// transfer, dispatch, downlink transfer.
+func (c *Client) SendVia(req *httpapp.Request, dispatch Dispatch, done func(*httpapp.Response, error)) {
+	start := c.clock.Now()
+	upSer := serializationTime(c.Link.Up.Config(), req.Size())
+
+	c.Link.Up.Send(req.Size(), func() {
+		dispatch(req, func(resp *httpapp.Response, err error) {
+			if err != nil && resp == nil {
+				c.finish(start, upSer, 0, nil, err, done)
+				return
+			}
+			respSize := 0
+			if resp != nil {
+				respSize = resp.Size()
+			}
+			downSer := serializationTime(c.Link.Down.Config(), respSize)
+			c.Link.Down.Send(respSize, func() {
+				c.finish(start, upSer, downSer, resp, err, done)
+			})
+		})
+	})
+}
+
+func (c *Client) finish(start time.Duration, upSer, downSer time.Duration, resp *httpapp.Response, err error, done func(*httpapp.Response, error)) {
+	total := c.clock.Now() - start
+	active := upSer + downSer
+	wait := total - active
+	if wait < 0 {
+		wait = 0
+	}
+	c.EnergyJoules += energy.MobileRequestEnergy(c.Spec.Power, active, wait)
+	if err != nil {
+		c.Failed++
+	} else {
+		c.Completed++
+		c.Latency.AddDuration(total)
+	}
+	if done != nil {
+		done(resp, err)
+	}
+}
+
+func serializationTime(cfg netem.Config, size int) time.Duration {
+	return time.Duration(float64(size) / cfg.BandwidthBps * float64(time.Second))
+}
+
+// OpenLoop schedules n request firings at the given rate (requests per
+// second), starting one interval from now. fire receives the request
+// index.
+func OpenLoop(clock *simclock.Clock, rps float64, n int, fire func(i int)) {
+	if rps <= 0 || n <= 0 {
+		return
+	}
+	interval := time.Duration(float64(time.Second) / rps)
+	for i := 0; i < n; i++ {
+		i := i
+		clock.After(time.Duration(i+1)*interval, func() { fire(i) })
+	}
+}

@@ -1,0 +1,342 @@
+// Package cluster simulates the paper's deployment hardware on virtual
+// time: a cloud server (Dell OptiPlex-class), edge nodes (Raspberry Pi 3
+// and 4), and mobile clients. Nodes execute real service invocations
+// (the interpreter runs for real); only their *duration* is modeled, by
+// dividing the invocation's metered ops by the device's speed. The
+// package also provides the least-connections load balancer and the
+// elasticity controller of §IV-D, which powers replicas up and down with
+// client-request volume.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/httpapp"
+	"repro/internal/simclock"
+)
+
+// ErrNoActiveServer is returned when the balancer has nothing to route
+// to.
+var ErrNoActiveServer = errors.New("cluster: no active server")
+
+// DeviceSpec describes a device's compute capability and power draw.
+type DeviceSpec struct {
+	Name string
+	// Cores is the number of independent execution units.
+	Cores int
+	// OpsPerSec is per-core throughput in abstract script ops.
+	OpsPerSec float64
+	// Power is the device's power profile.
+	Power energy.Profile
+}
+
+// Device presets. Per-core speeds are calibrated so the RPi-4/RPi-3
+// ratio is 1.8 — the processor-benchmark figure the paper cites (its own
+// measurement was 1.71) — and the cloud box is roughly an order of
+// magnitude faster per core than the edge devices, with twice the cores.
+var (
+	CloudSpec = DeviceSpec{Name: "cloud-optiplex", Cores: 8, OpsPerSec: 1.0e6,
+		Power: energy.Profile{ActiveW: 90, LowPowerW: 25}}
+	RPi4Spec   = DeviceSpec{Name: "rpi-4", Cores: 4, OpsPerSec: 0.18e6, Power: energy.RPi4Profile}
+	RPi3Spec   = DeviceSpec{Name: "rpi-3", Cores: 4, OpsPerSec: 0.10e6, Power: energy.RPi3Profile}
+	MobileSpec = DeviceSpec{Name: "snapdragon", Cores: 8, OpsPerSec: 0.15e6,
+		Power: energy.MobileProfile}
+)
+
+// ServiceTime converts metered ops to execution time on one core.
+func (d DeviceSpec) ServiceTime(ops float64) time.Duration {
+	if ops <= 0 {
+		return 0
+	}
+	return time.Duration(ops / d.OpsPerSec * float64(time.Second))
+}
+
+// Node is one simulated device: per-core FIFO scheduling plus an energy
+// meter.
+type Node struct {
+	Spec   DeviceSpec
+	Energy *energy.Meter
+
+	clock     *simclock.Clock
+	coreBusy  []time.Duration
+	active    bool
+	served    int64
+	busyOps   float64
+	createdAt time.Duration
+}
+
+// NewNode returns an active node on the given clock.
+func NewNode(clock *simclock.Clock, spec DeviceSpec) *Node {
+	return &Node{
+		Spec:      spec,
+		Energy:    energy.NewMeter(clock, spec.Power, energy.StateActive),
+		clock:     clock,
+		coreBusy:  make([]time.Duration, spec.Cores),
+		active:    true,
+		createdAt: clock.Now(),
+	}
+}
+
+// Active reports whether the node is powered up for serving.
+func (n *Node) Active() bool { return n.active }
+
+// SetActive powers the node up (active) or parks it in low-power mode.
+func (n *Node) SetActive(active bool) {
+	n.active = active
+	if active {
+		n.Energy.SetState(energy.StateActive)
+	} else {
+		n.Energy.SetState(energy.StateLowPower)
+	}
+}
+
+// Served returns the number of completed executions.
+func (n *Node) Served() int64 { return n.served }
+
+// Utilization returns mean busy fraction across cores since creation.
+func (n *Node) Utilization() float64 {
+	elapsed := (n.clock.Now() - n.createdAt).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return n.busyOps / n.Spec.OpsPerSec / float64(n.Spec.Cores) / elapsed
+}
+
+// Process schedules ops on the earliest-free core and calls done with
+// the execution latency (queueing + service) when it completes.
+func (n *Node) Process(ops float64, done func(execLatency time.Duration)) {
+	now := n.clock.Now()
+	best := 0
+	for i := 1; i < len(n.coreBusy); i++ {
+		if n.coreBusy[i] < n.coreBusy[best] {
+			best = i
+		}
+	}
+	start := now
+	if n.coreBusy[best] > start {
+		start = n.coreBusy[best]
+	}
+	finish := start + n.Spec.ServiceTime(ops)
+	n.coreBusy[best] = finish
+	n.busyOps += ops
+	n.clock.At(finish, func() {
+		n.served++
+		if done != nil {
+			done(finish - now)
+		}
+	})
+}
+
+// QueueDelay returns how long a request arriving now would wait for a
+// core.
+func (n *Node) QueueDelay() time.Duration {
+	best := n.coreBusy[0]
+	for _, b := range n.coreBusy[1:] {
+		if b < best {
+			best = b
+		}
+	}
+	if d := best - n.clock.Now(); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Server is a service instance hosted on a node.
+type Server struct {
+	Name string
+	Node *Node
+	App  *httpapp.App
+
+	conns int
+	// AfterInvoke, when set, runs after every successful invocation —
+	// the replica runtime uses it to mirror global-variable changes into
+	// the CRDT state.
+	AfterInvoke func()
+}
+
+// NewServer hosts app on node.
+func NewServer(name string, node *Node, app *httpapp.App) *Server {
+	return &Server{Name: name, Node: node, App: app}
+}
+
+// ActiveConns returns the server's in-flight request count.
+func (s *Server) ActiveConns() int { return s.conns }
+
+// Handle executes a request: the app runs immediately (its state
+// changes take effect now) and the response is delivered after the
+// node's simulated execution latency.
+func (s *Server) Handle(req *httpapp.Request, done func(*httpapp.Response, time.Duration, error)) {
+	s.conns++
+	resp, ops, err := s.App.Invoke(req)
+	if err == nil && s.AfterInvoke != nil {
+		s.AfterInvoke()
+	}
+	s.Node.Process(ops, func(lat time.Duration) {
+		s.conns--
+		done(resp, lat, err)
+	})
+}
+
+// Policy selects how the balancer picks a server.
+type Policy int
+
+// Balancing policies.
+const (
+	// LeastConnections routes to the active server with the fewest
+	// in-flight requests (the paper's choice, §IV-D).
+	LeastConnections Policy = iota + 1
+	// RoundRobin rotates through active servers (ablation baseline).
+	RoundRobin
+)
+
+// Balancer distributes client requests across edge replicas.
+type Balancer struct {
+	servers []*Server
+	policy  Policy
+	rrNext  int
+}
+
+// NewBalancer returns a balancer over the given servers.
+func NewBalancer(policy Policy, servers ...*Server) *Balancer {
+	return &Balancer{servers: servers, policy: policy}
+}
+
+// Servers returns the managed servers.
+func (b *Balancer) Servers() []*Server { return b.servers }
+
+// ActiveCount returns how many servers are powered up.
+func (b *Balancer) ActiveCount() int {
+	n := 0
+	for _, s := range b.servers {
+		if s.Node.Active() {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalConns returns in-flight requests across active servers — the
+// balancer's traffic-volume estimate (§IV-D capability 2).
+func (b *Balancer) TotalConns() int {
+	n := 0
+	for _, s := range b.servers {
+		if s.Node.Active() {
+			n += s.conns
+		}
+	}
+	return n
+}
+
+// Pick selects a server for the next request.
+func (b *Balancer) Pick() (*Server, error) {
+	switch b.policy {
+	case RoundRobin:
+		for i := 0; i < len(b.servers); i++ {
+			s := b.servers[(b.rrNext+i)%len(b.servers)]
+			if s.Node.Active() {
+				b.rrNext = (b.rrNext + i + 1) % len(b.servers)
+				return s, nil
+			}
+		}
+		return nil, ErrNoActiveServer
+	default: // LeastConnections
+		var best *Server
+		for _, s := range b.servers {
+			if !s.Node.Active() {
+				continue
+			}
+			if best == nil || s.conns < best.conns {
+				best = s
+			}
+		}
+		if best == nil {
+			return nil, ErrNoActiveServer
+		}
+		return best, nil
+	}
+}
+
+// SetActiveCount powers up the first k servers and parks the rest —
+// used by the elasticity controller and by fixed-size experiments.
+func (b *Balancer) SetActiveCount(k int) {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(b.servers) {
+		k = len(b.servers)
+	}
+	for i, s := range b.servers {
+		s.Node.SetActive(i < k)
+	}
+}
+
+// Autoscaler is the elasticity controller of §IV-D: it monitors the
+// number of active connections and adjusts the number of powered-up
+// replicas, parking the rest in low-power mode so they "can be brought
+// back without incurring unnecessary delays".
+type Autoscaler struct {
+	clock    *simclock.Clock
+	balancer *Balancer
+	// ConnsPerReplica is the load one replica is expected to absorb.
+	ConnsPerReplica int
+	interval        time.Duration
+	running         bool
+	// transitions counts scale events, for reporting.
+	transitions int
+}
+
+// NewAutoscaler returns a controller sampling every interval.
+func NewAutoscaler(clock *simclock.Clock, b *Balancer, connsPerReplica int, interval time.Duration) (*Autoscaler, error) {
+	if connsPerReplica < 1 {
+		return nil, fmt.Errorf("cluster: connsPerReplica must be ≥ 1, got %d", connsPerReplica)
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("cluster: autoscaler interval must be positive, got %v", interval)
+	}
+	return &Autoscaler{clock: clock, balancer: b, ConnsPerReplica: connsPerReplica, interval: interval}, nil
+}
+
+// Transitions returns the number of scale adjustments made.
+func (a *Autoscaler) Transitions() int { return a.transitions }
+
+// Start begins periodic adjustment.
+func (a *Autoscaler) Start() {
+	if a.running {
+		return
+	}
+	a.running = true
+	a.tick()
+}
+
+// Stop halts adjustment.
+func (a *Autoscaler) Stop() { a.running = false }
+
+func (a *Autoscaler) tick() {
+	a.clock.After(a.interval, func() {
+		if !a.running {
+			return
+		}
+		a.Adjust()
+		a.tick()
+	})
+}
+
+// Adjust applies one scaling decision immediately.
+func (a *Autoscaler) Adjust() {
+	conns := a.balancer.TotalConns()
+	want := (conns + a.ConnsPerReplica - 1) / a.ConnsPerReplica
+	if want < 1 {
+		want = 1
+	}
+	if want > len(a.balancer.servers) {
+		want = len(a.balancer.servers)
+	}
+	if want != a.balancer.ActiveCount() {
+		a.balancer.SetActiveCount(want)
+		a.transitions++
+	}
+}

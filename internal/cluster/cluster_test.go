@@ -1,0 +1,405 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/httpapp"
+	"repro/internal/netem"
+	"repro/internal/simclock"
+)
+
+const echoSrc = `
+func work(req any, res any) any {
+	cpu(num(req.param("ops")))
+	res.send("done")
+	return nil
+}`
+
+func newWorkApp(t testing.TB) *httpapp.App {
+	t.Helper()
+	app, err := httpapp.New("work", echoSrc, []httpapp.Route{{Method: "GET", Path: "/work", Handler: "work"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func workReq(ops string) *httpapp.Request {
+	return &httpapp.Request{Method: "GET", Path: "/work", Query: map[string]string{"ops": ops}}
+}
+
+func TestServiceTimeScalesWithSpeed(t *testing.T) {
+	ops := 10000.0
+	t3 := RPi3Spec.ServiceTime(ops)
+	t4 := RPi4Spec.ServiceTime(ops)
+	tc := CloudSpec.ServiceTime(ops)
+	if !(tc < t4 && t4 < t3) {
+		t.Fatalf("ordering wrong: cloud=%v rpi4=%v rpi3=%v", tc, t4, t3)
+	}
+	ratio := float64(t3) / float64(t4)
+	if ratio < 1.7 || ratio > 1.9 {
+		t.Fatalf("RPi4/RPi3 speed ratio = %.2f, want ≈ 1.8", ratio)
+	}
+	if RPi3Spec.ServiceTime(0) != 0 || RPi3Spec.ServiceTime(-5) != 0 {
+		t.Fatal("nonpositive ops must take zero time")
+	}
+}
+
+func TestNodeProcessQueues(t *testing.T) {
+	clock := simclock.New()
+	spec := DeviceSpec{Name: "uni", Cores: 1, OpsPerSec: 1000}
+	node := NewNode(clock, spec)
+	var lats []time.Duration
+	// Two 1000-op jobs on one core: 1s and 2s latencies.
+	node.Process(1000, func(l time.Duration) { lats = append(lats, l) })
+	node.Process(1000, func(l time.Duration) { lats = append(lats, l) })
+	clock.Run()
+	if len(lats) != 2 || lats[0] != time.Second || lats[1] != 2*time.Second {
+		t.Fatalf("latencies = %v", lats)
+	}
+	if node.Served() != 2 {
+		t.Fatalf("served = %d", node.Served())
+	}
+}
+
+func TestNodeMultiCoreParallelism(t *testing.T) {
+	clock := simclock.New()
+	node := NewNode(clock, DeviceSpec{Name: "quad", Cores: 4, OpsPerSec: 1000})
+	done := 0
+	for i := 0; i < 4; i++ {
+		node.Process(1000, func(l time.Duration) {
+			if l != time.Second {
+				t.Errorf("latency = %v, want 1s (parallel cores)", l)
+			}
+			done++
+		})
+	}
+	clock.Run()
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+}
+
+func TestNodeUtilizationAndQueueDelay(t *testing.T) {
+	clock := simclock.New()
+	node := NewNode(clock, DeviceSpec{Name: "uni", Cores: 1, OpsPerSec: 1000})
+	node.Process(2000, nil)
+	if got := node.QueueDelay(); got != 2*time.Second {
+		t.Fatalf("QueueDelay = %v", got)
+	}
+	clock.Run()
+	clock.Advance(2 * time.Second) // total elapsed 4s, busy 2s
+	u := node.Utilization()
+	if u < 0.45 || u > 0.55 {
+		t.Fatalf("Utilization = %v, want ≈ 0.5", u)
+	}
+}
+
+func TestNodePowerStates(t *testing.T) {
+	clock := simclock.New()
+	node := NewNode(clock, RPi3Spec)
+	clock.Advance(10 * time.Second)
+	activeJ := node.Energy.Joules()
+	node.SetActive(false)
+	clock.Advance(10 * time.Second)
+	totalJ := node.Energy.Joules()
+	lowJ := totalJ - activeJ
+	if lowJ >= activeJ {
+		t.Fatalf("low-power %v J should be below active %v J", lowJ, activeJ)
+	}
+	if node.Active() {
+		t.Fatal("node still active")
+	}
+}
+
+func TestServerHandle(t *testing.T) {
+	clock := simclock.New()
+	node := NewNode(clock, DeviceSpec{Name: "n", Cores: 1, OpsPerSec: 1000})
+	srv := NewServer("s", node, newWorkApp(t))
+	mirrored := 0
+	srv.AfterInvoke = func() { mirrored++ }
+	var gotResp *httpapp.Response
+	srv.Handle(workReq("500"), func(resp *httpapp.Response, lat time.Duration, err error) {
+		if err != nil {
+			t.Errorf("err = %v", err)
+		}
+		gotResp = resp
+		if lat <= 0 {
+			t.Errorf("latency = %v", lat)
+		}
+	})
+	if srv.ActiveConns() != 1 {
+		t.Fatalf("conns = %d during processing", srv.ActiveConns())
+	}
+	clock.Run()
+	if srv.ActiveConns() != 0 {
+		t.Fatal("conns not released")
+	}
+	if gotResp == nil || string(gotResp.Body) != `"done"` {
+		t.Fatalf("resp = %v", gotResp)
+	}
+	if mirrored != 1 {
+		t.Fatalf("AfterInvoke ran %d times", mirrored)
+	}
+}
+
+func newTestBalancer(t *testing.T, clock *simclock.Clock, policy Policy, n int) *Balancer {
+	t.Helper()
+	servers := make([]*Server, n)
+	for i := range servers {
+		servers[i] = NewServer(string(rune('a'+i)), NewNode(clock, RPi4Spec), newWorkApp(t))
+	}
+	return NewBalancer(policy, servers...)
+}
+
+func TestBalancerLeastConnections(t *testing.T) {
+	clock := simclock.New()
+	b := newTestBalancer(t, clock, LeastConnections, 3)
+	b.Servers()[0].conns = 5
+	b.Servers()[1].conns = 1
+	b.Servers()[2].conns = 3
+	s, err := b.Pick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != b.Servers()[1] {
+		t.Fatalf("picked %s, want least-loaded", s.Name)
+	}
+	if b.TotalConns() != 9 {
+		t.Fatalf("TotalConns = %d", b.TotalConns())
+	}
+}
+
+func TestBalancerSkipsInactive(t *testing.T) {
+	clock := simclock.New()
+	b := newTestBalancer(t, clock, LeastConnections, 2)
+	b.Servers()[0].conns = 0
+	b.Servers()[0].Node.SetActive(false)
+	b.Servers()[1].conns = 99
+	s, err := b.Pick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != b.Servers()[1] {
+		t.Fatal("picked a parked server")
+	}
+	b.Servers()[1].Node.SetActive(false)
+	if _, err := b.Pick(); !errors.Is(err, ErrNoActiveServer) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBalancerRoundRobin(t *testing.T) {
+	clock := simclock.New()
+	b := newTestBalancer(t, clock, RoundRobin, 3)
+	var picks []string
+	for i := 0; i < 6; i++ {
+		s, err := b.Pick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		picks = append(picks, s.Name)
+	}
+	want := []string{"a", "b", "c", "a", "b", "c"}
+	for i := range want {
+		if picks[i] != want[i] {
+			t.Fatalf("picks = %v", picks)
+		}
+	}
+}
+
+func TestSetActiveCountBounds(t *testing.T) {
+	clock := simclock.New()
+	b := newTestBalancer(t, clock, LeastConnections, 4)
+	b.SetActiveCount(2)
+	if b.ActiveCount() != 2 {
+		t.Fatalf("ActiveCount = %d", b.ActiveCount())
+	}
+	b.SetActiveCount(0) // clamps to 1
+	if b.ActiveCount() != 1 {
+		t.Fatalf("ActiveCount = %d, want 1 (clamp)", b.ActiveCount())
+	}
+	b.SetActiveCount(99) // clamps to 4
+	if b.ActiveCount() != 4 {
+		t.Fatalf("ActiveCount = %d, want 4 (clamp)", b.ActiveCount())
+	}
+}
+
+func TestAutoscalerScalesWithLoad(t *testing.T) {
+	clock := simclock.New()
+	b := newTestBalancer(t, clock, LeastConnections, 4)
+	as, err := NewAutoscaler(clock, b, 2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy load: 7 conns / 2 per replica → 4 replicas.
+	b.Servers()[0].conns = 7
+	as.Adjust()
+	if b.ActiveCount() != 4 {
+		t.Fatalf("ActiveCount = %d, want 4", b.ActiveCount())
+	}
+	// Load drains → scale to 1 (but never 0).
+	for _, s := range b.Servers() {
+		s.conns = 0
+	}
+	as.Adjust()
+	if b.ActiveCount() != 1 {
+		t.Fatalf("ActiveCount = %d, want 1", b.ActiveCount())
+	}
+	// All nodes start active, so only the scale-down transitioned.
+	if as.Transitions() != 1 {
+		t.Fatalf("Transitions = %d, want 1", as.Transitions())
+	}
+}
+
+func TestAutoscalerValidation(t *testing.T) {
+	clock := simclock.New()
+	b := newTestBalancer(t, clock, LeastConnections, 1)
+	if _, err := NewAutoscaler(clock, b, 0, time.Second); err == nil {
+		t.Fatal("zero connsPerReplica accepted")
+	}
+	if _, err := NewAutoscaler(clock, b, 1, 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	clock := simclock.New()
+	link, err := netem.NewDuplex(clock, netem.LAN, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(clock, MobileSpec, link)
+	node := NewNode(clock, RPi4Spec)
+	srv := NewServer("edge", node, newWorkApp(t))
+	route := func() (*Server, error) { return srv, nil }
+
+	OpenLoop(clock, 10, 5, func(i int) {
+		client.Send(workReq("1000"), route, nil)
+	})
+	clock.Run()
+	if client.Completed != 5 || client.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d", client.Completed, client.Failed)
+	}
+	if client.Latency.N() != 5 || client.Latency.Mean() <= 0 {
+		t.Fatalf("latency series = %d points, mean %v", client.Latency.N(), client.Latency.Mean())
+	}
+	if client.EnergyJoules <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestClientSlowLinkCostsMoreEnergy(t *testing.T) {
+	run := func(cfg netem.Config) float64 {
+		clock := simclock.New()
+		link, err := netem.NewDuplex(clock, cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client := NewClient(clock, MobileSpec, link)
+		srv := NewServer("s", NewNode(clock, CloudSpec), newWorkApp(t))
+		route := func() (*Server, error) { return srv, nil }
+		OpenLoop(clock, 1, 10, func(int) { client.Send(workReq("1000"), route, nil) })
+		clock.Run()
+		return client.EnergyJoules
+	}
+	fast := run(netem.FastWAN)
+	slow := run(netem.LimitedWAN(100, 1000))
+	if slow <= fast {
+		t.Fatalf("slow link energy %v must exceed fast link energy %v", slow, fast)
+	}
+}
+
+func TestClientRouteFailureCounted(t *testing.T) {
+	clock := simclock.New()
+	link, err := netem.NewDuplex(clock, netem.LAN, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(clock, MobileSpec, link)
+	route := func() (*Server, error) { return nil, ErrNoActiveServer }
+	client.Send(workReq("1"), route, func(_ *httpapp.Response, err error) {
+		if !errors.Is(err, ErrNoActiveServer) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	clock.Run()
+	if client.Failed != 1 || client.Completed != 0 {
+		t.Fatalf("failed=%d completed=%d", client.Failed, client.Completed)
+	}
+}
+
+func TestOpenLoopRate(t *testing.T) {
+	clock := simclock.New()
+	var times []time.Duration
+	OpenLoop(clock, 2, 4, func(int) { times = append(times, clock.Now()) })
+	clock.Run()
+	if len(times) != 4 {
+		t.Fatalf("fired %d", len(times))
+	}
+	if times[0] != 500*time.Millisecond || times[3] != 2*time.Second {
+		t.Fatalf("times = %v", times)
+	}
+	OpenLoop(clock, 0, 5, func(int) { t.Fatal("fired with rps=0") })
+	clock.Run()
+}
+
+func BenchmarkNodeProcess(b *testing.B) {
+	clock := simclock.New()
+	node := NewNode(clock, RPi4Spec)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		node.Process(100, nil)
+		if i%1024 == 1023 {
+			clock.Run()
+		}
+	}
+	clock.Run()
+}
+
+func TestAutoscalerPeriodicLoop(t *testing.T) {
+	clock := simclock.New()
+	b := newTestBalancer(t, clock, LeastConnections, 4)
+	as, err := NewAutoscaler(clock, b, 2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as.Start()
+	as.Start() // idempotent
+	// Load appears at t=0; the first tick (t=1s) scales nothing down
+	// because conns are high; when load drains at t=5s the controller
+	// parks replicas on its next tick.
+	b.Servers()[0].conns = 8
+	clock.At(5*time.Second, func() { b.Servers()[0].conns = 0 })
+	clock.RunUntil(10 * time.Second)
+	as.Stop()
+	clock.Run()
+	if got := b.ActiveCount(); got != 1 {
+		t.Fatalf("ActiveCount = %d, want 1 after load drained", got)
+	}
+	if as.Transitions() == 0 {
+		t.Fatal("controller never adjusted")
+	}
+}
+
+func TestSendViaDispatchErrors(t *testing.T) {
+	clock := simclock.New()
+	link, err := netem.NewDuplex(clock, netem.LAN, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(clock, MobileSpec, link)
+	client.SendVia(workReq("1"), func(r *httpapp.Request, cb func(*httpapp.Response, error)) {
+		cb(nil, ErrNoActiveServer)
+	}, func(resp *httpapp.Response, err error) {
+		if !errors.Is(err, ErrNoActiveServer) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	clock.Run()
+	if client.Failed != 1 {
+		t.Fatalf("Failed = %d", client.Failed)
+	}
+}

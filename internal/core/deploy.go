@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/crdt"
+	"repro/internal/httpapp"
+	"repro/internal/netem"
+	"repro/internal/simclock"
+	"repro/internal/statesync"
+)
+
+// DeployConfig describes the three-tier deployment topology.
+type DeployConfig struct {
+	// CloudSpec is the cloud node's device model.
+	CloudSpec cluster.DeviceSpec
+	// EdgeSpecs lists one device model per edge replica.
+	EdgeSpecs []cluster.DeviceSpec
+	// WAN shapes every edge↔cloud link.
+	WAN netem.Config
+	// SyncInterval is the background synchronization period.
+	SyncInterval time.Duration
+	// Policy picks how the balancer routes across edge replicas.
+	Policy cluster.Policy
+}
+
+// DefaultDeployConfig returns the evaluation's standard topology: one
+// cloud server and the paper's four-Pi edge cluster (2 × RPi-3,
+// 2 × RPi-4) behind a least-connections balancer.
+func DefaultDeployConfig() DeployConfig {
+	return DeployConfig{
+		CloudSpec: cluster.CloudSpec,
+		EdgeSpecs: []cluster.DeviceSpec{
+			cluster.RPi3Spec, cluster.RPi3Spec, cluster.RPi4Spec, cluster.RPi4Spec,
+		},
+		WAN:          netem.FastWAN,
+		SyncInterval: 500 * time.Millisecond,
+		Policy:       cluster.LeastConnections,
+	}
+}
+
+// EdgeReplica is one deployed edge node: a generated replica app bound
+// to forked CRDT state, proxying for the cloud master.
+type EdgeReplica struct {
+	Name    string
+	Server  *cluster.Server
+	Binding *statesync.Binding
+	State   *statesync.ReplicaState
+	// WAN is the replica's private link to the cloud (used for failure
+	// forwarding and synchronization).
+	WAN *netem.Duplex
+	// Forwarded counts requests redirected to the cloud master.
+	Forwarded int64
+	// ServedLocally counts requests completed at the edge.
+	ServedLocally int64
+}
+
+// Deployment is a running three-tier system.
+type Deployment struct {
+	Clock  *simclock.Clock
+	Result *Result
+
+	Cloud        *cluster.Server
+	CloudBinding *statesync.Binding
+	CloudState   *statesync.ReplicaState
+
+	Edges    []*EdgeReplica
+	Balancer *cluster.Balancer
+	Sync     *statesync.Manager
+
+	replicated map[string]bool // "METHOD /pattern" served at the edge
+}
+
+// Deploy instantiates the transformation result as a running three-tier
+// system on the given virtual clock.
+func Deploy(clock *simclock.Clock, res *Result, cfg DeployConfig) (*Deployment, error) {
+	if len(cfg.EdgeSpecs) == 0 {
+		return nil, fmt.Errorf("core: deployment needs at least one edge node")
+	}
+	if cfg.SyncInterval <= 0 {
+		return nil, fmt.Errorf("core: sync interval must be positive")
+	}
+
+	// Cloud master: normalized app + seeded CRDT state.
+	cloudApp, err := httpapp.New(res.Name, res.NormalizedSource, res.Routes)
+	if err != nil {
+		return nil, fmt.Errorf("core: cloud app: %w", err)
+	}
+	res.InitState.Restore(cloudApp)
+	cloudState, err := statesync.NewReplicaState("cloud")
+	if err != nil {
+		return nil, err
+	}
+	cloudBinding, err := statesync.Bind(cloudApp, cloudState, res.Units)
+	if err != nil {
+		return nil, fmt.Errorf("core: cloud binding: %w", err)
+	}
+	cloudNode := cluster.NewNode(clock, cfg.CloudSpec)
+	cloudServer := cluster.NewServer("cloud", cloudNode, cloudApp)
+	cloudServer.AfterInvoke = func() { _ = cloudBinding.MirrorGlobals() }
+
+	d := &Deployment{
+		Clock:        clock,
+		Result:       res,
+		Cloud:        cloudServer,
+		CloudBinding: cloudBinding,
+		CloudState:   cloudState,
+		replicated:   map[string]bool{},
+	}
+	for _, name := range res.ReplicatedServiceNames() {
+		d.replicated[name] = true
+	}
+
+	mgr, err := statesync.NewManager(clock,
+		&statesync.Endpoint{Name: "cloud", State: cloudState, Binding: cloudBinding},
+		cfg.SyncInterval)
+	if err != nil {
+		return nil, err
+	}
+	d.Sync = mgr
+
+	servers := make([]*cluster.Server, 0, len(cfg.EdgeSpecs))
+	for i, spec := range cfg.EdgeSpecs {
+		name := fmt.Sprintf("edge-%d(%s)", i+1, spec.Name)
+		replicaApp, err := httpapp.New(res.Name+"-replica", res.ReplicaSource, res.Routes)
+		if err != nil {
+			return nil, fmt.Errorf("core: replica app %s: %w", name, err)
+		}
+		edgeState, err := cloudState.Fork(crdt.ActorID(fmt.Sprintf("edge%d", i+1)))
+		if err != nil {
+			return nil, err
+		}
+		// BindReplica loads the snapshot state into the replica app —
+		// the paper's "initializes its CRDT data structure with a
+		// passed state snapshot".
+		binding, err := statesync.BindReplica(replicaApp, edgeState, res.Units)
+		if err != nil {
+			return nil, fmt.Errorf("core: replica binding %s: %w", name, err)
+		}
+		node := cluster.NewNode(clock, spec)
+		server := cluster.NewServer(name, node, replicaApp)
+		server.AfterInvoke = func() { _ = binding.MirrorGlobals() }
+
+		wan, err := netem.NewDuplex(clock, cfg.WAN, int64(1000+i))
+		if err != nil {
+			return nil, err
+		}
+		edge := &EdgeReplica{
+			Name:    name,
+			Server:  server,
+			Binding: binding,
+			State:   edgeState,
+			WAN:     wan,
+		}
+		if err := mgr.AddEdge(&statesync.Endpoint{Name: name, State: edgeState, Binding: binding}, wan); err != nil {
+			return nil, err
+		}
+		d.Edges = append(d.Edges, edge)
+		servers = append(servers, server)
+	}
+	d.Balancer = cluster.NewBalancer(cfg.Policy, servers...)
+	mgr.Start()
+	return d, nil
+}
+
+// edgeFor finds the EdgeReplica wrapping a balancer-picked server.
+func (d *Deployment) edgeFor(s *cluster.Server) *EdgeReplica {
+	for _, e := range d.Edges {
+		if e.Server == s {
+			return e
+		}
+	}
+	return nil
+}
+
+// HandleAtEdge implements the Remote Proxy: the balancer picks an edge
+// replica; replicated services execute in place, everything else — and
+// every local failure — is forwarded to the cloud master over the WAN.
+// done may be nil for fire-and-forget loads.
+func (d *Deployment) HandleAtEdge(req *httpapp.Request, done func(*httpapp.Response, error)) {
+	if done == nil {
+		done = func(*httpapp.Response, error) {}
+	}
+	srv, err := d.Balancer.Pick()
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	edge := d.edgeFor(srv)
+	if edge == nil {
+		done(nil, fmt.Errorf("core: balancer returned unknown server"))
+		return
+	}
+	if !d.isReplicated(req) {
+		d.forwardToCloud(edge, req, done)
+		return
+	}
+	edge.Server.Handle(req, func(resp *httpapp.Response, _ time.Duration, err error) {
+		if err != nil {
+			// Failure handling: redirect the failed invocation to the
+			// cloud master (§II-B, §IV-F).
+			d.forwardToCloud(edge, req, done)
+			return
+		}
+		edge.ServedLocally++
+		done(resp, nil)
+	})
+}
+
+// HandleAtCloud serves a request directly at the cloud (the original
+// two-tier path), for baseline comparisons.
+func (d *Deployment) HandleAtCloud(req *httpapp.Request, done func(*httpapp.Response, error)) {
+	d.Cloud.Handle(req, func(resp *httpapp.Response, _ time.Duration, err error) {
+		done(resp, err)
+	})
+}
+
+func (d *Deployment) isReplicated(req *httpapp.Request) bool {
+	rt, _, err := d.Cloud.App.Lookup(req.Method, req.Path)
+	if err != nil {
+		return false
+	}
+	for name := range d.replicated {
+		if matchesServiceName(name, rt, req) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchesServiceName matches an inferred service name ("GET /books/:p1")
+// against a concrete routed request.
+func matchesServiceName(name string, rt httpapp.Route, req *httpapp.Request) bool {
+	// The inferred pattern and the route pattern may differ in parameter
+	// naming only; compare by method plus route resolution.
+	var method string
+	var pattern string
+	if n, err := fmt.Sscanf(name, "%s %s", &method, &pattern); n != 2 || err != nil {
+		return false
+	}
+	if method != req.Method && method != rt.Method {
+		return false
+	}
+	return samePathShape(pattern, rt.Path)
+}
+
+// samePathShape compares path patterns treating any ":x" segment as a
+// wildcard.
+func samePathShape(a, b string) bool {
+	as, bs := splitSegs(a), splitSegs(b)
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		aParam := len(as[i]) > 0 && as[i][0] == ':'
+		bParam := len(bs[i]) > 0 && bs[i][0] == ':'
+		if aParam || bParam {
+			continue
+		}
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func splitSegs(p string) []string {
+	var out []string
+	cur := ""
+	for i := 0; i < len(p); i++ {
+		if p[i] == '/' {
+			if cur != "" {
+				out = append(out, cur)
+				cur = ""
+			}
+			continue
+		}
+		cur += string(p[i])
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// forwardToCloud ships a request over the edge's WAN to the cloud master
+// and the response back.
+func (d *Deployment) forwardToCloud(edge *EdgeReplica, req *httpapp.Request, done func(*httpapp.Response, error)) {
+	edge.Forwarded++
+	edge.WAN.Up.Send(req.Size(), func() {
+		d.Cloud.Handle(req, func(resp *httpapp.Response, _ time.Duration, err error) {
+			size := 0
+			if resp != nil {
+				size = resp.Size()
+			}
+			edge.WAN.Down.Send(size, func() {
+				done(resp, err)
+			})
+		})
+	})
+}
+
+// Converged reports whether every replica matches the cloud state.
+func (d *Deployment) Converged() bool { return d.Sync.Converged() }
+
+// SettleSync runs the clock forward until synchronization quiesces (or
+// the budget elapses).
+func (d *Deployment) SettleSync(budget time.Duration) {
+	deadline := d.Clock.Now() + budget
+	for d.Clock.Now() < deadline {
+		d.Clock.RunUntil(d.Clock.Now() + 200*time.Millisecond)
+		if d.Converged() {
+			return
+		}
+	}
+}
+
+// Stop halts background synchronization.
+func (d *Deployment) Stop() {
+	d.Sync.Stop()
+	d.Clock.Run()
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/capture"
+	"repro/internal/httpapp"
+	"repro/internal/netem"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// TestEdgeServesDuringWANPartition exercises the paper's availability
+// argument: edge replicas keep serving replicated services at LAN
+// latency while the cloud link is down; the deferred state changes merge
+// once connectivity returns.
+func TestEdgeServesDuringWANPartition(t *testing.T) {
+	res := transformSubject(t, "sensor-hub")
+	clock := simclock.New()
+	cfg := DefaultDeployConfig()
+	cfg.WAN = netem.LimitedWAN(800, 250)
+	cfg.EdgeSpecs = cfg.EdgeSpecs[:1]
+	d, err := Deploy(clock, res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := workload.ByName("sensor-hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition the edge↔cloud WAN.
+	d.Edges[0].WAN.SetDown(true)
+
+	served := 0
+	var worst time.Duration
+	for i := 0; i < 5; i++ {
+		start := clock.Now()
+		d.HandleAtEdge(sub.SampleRequest(0, i, 91), func(resp *httpapp.Response, err error) {
+			if err != nil {
+				t.Errorf("request %d failed during partition: %v", i, err)
+				return
+			}
+			served++
+			if lat := clock.Now() - start; lat > worst {
+				worst = lat
+			}
+		})
+		clock.RunUntil(clock.Now() + time.Second)
+	}
+	if served != 5 {
+		t.Fatalf("served %d of 5 during partition", served)
+	}
+	if worst > 500*time.Millisecond {
+		t.Fatalf("worst partition-time latency %v — edge should serve at LAN speed", worst)
+	}
+	// The cloud is stale: nothing crossed the downed WAN.
+	if n, _ := d.Cloud.App.DB().RowCount("readings"); n != 0 {
+		t.Fatalf("cloud saw %d rows during partition", n)
+	}
+
+	// Heal and converge.
+	d.Edges[0].WAN.SetDown(false)
+	d.SettleSync(120 * time.Second)
+	d.Stop()
+	if !d.Converged() {
+		t.Fatal("no convergence after heal")
+	}
+	n, err := d.Cloud.App.DB().RowCount("readings")
+	if err != nil || n != 5 {
+		t.Fatalf("cloud rows after heal = %d, %v; want 5", n, err)
+	}
+}
+
+// TestNonReplicatedFailsDuringPartition documents the flip side: a
+// request that must be forwarded to the cloud cannot complete while the
+// WAN is down (the proxy's forward is dropped). The request neither
+// succeeds nor fabricates a response.
+func TestNonReplicatedFailsDuringPartition(t *testing.T) {
+	sub, err := workload.ByName("bookworm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := sub.NewApp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := CaptureTraffic(app, sub.RegressionVectors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Transform(Input{
+		Name: sub.Name, Source: sub.Source, Routes: sub.Routes(), Records: records,
+		Consult: func(svc capture.Service, _ analysis.StateUnits) bool { return svc.Method == "GET" },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := simclock.New()
+	cfg := DefaultDeployConfig()
+	cfg.EdgeSpecs = cfg.EdgeSpecs[:1]
+	d, err := Deploy(clock, res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Edges[0].WAN.SetDown(true)
+	answered := false
+	d.HandleAtEdge(sub.SampleRequest(3, 0, 9), func(*httpapp.Response, error) { answered = true })
+	clock.RunUntil(30 * time.Second)
+	d.Stop()
+	if answered {
+		t.Fatal("forwarded request completed across a downed WAN")
+	}
+}

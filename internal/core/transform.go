@@ -1,0 +1,234 @@
+// Package core implements EdgStr itself: the automated transformation of
+// a two-tier client-cloud application into its three-tier
+// client-edge-cloud counterpart (paper Figure 3).
+//
+// The pipeline attaches to a running app, captures its live HTTP
+// traffic, infers the Subject interface, normalizes the server source,
+// profiles each service under state isolation with fuzzed messages,
+// solves for entry/exit points and dependence closures, consults the
+// developer about eventual-consistency suitability, applies the Extract
+// Function refactoring, generates edge-replica source, and deploys
+// replicas whose state stays eventually consistent with the cloud
+// master through the CRDT synchronization runtime. Edge replicas act as
+// Remote Proxies: requests for replicated services are served in place;
+// everything else — and every failure — is forwarded to the cloud.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/capture"
+	"repro/internal/checkpoint"
+	"repro/internal/httpapp"
+	"repro/internal/refactor"
+)
+
+// Input describes the client-cloud application to transform.
+type Input struct {
+	// Name identifies the app.
+	Name string
+	// Source is the cloud service's script source.
+	Source string
+	// Routes is the app's route table.
+	Routes []httpapp.Route
+	// Records is the captured client-cloud traffic EdgStr attaches to.
+	Records []capture.Record
+	// Consult, if set, is the Consult Developer step: it decides per
+	// service whether eventual consistency is congruent with the
+	// replicated state the analysis presents. Nil accepts everything.
+	Consult func(svc capture.Service, units analysis.StateUnits) bool
+}
+
+// ServicePlan is the transformation outcome for one service.
+type ServicePlan struct {
+	// Analysis holds the entry/exit points, dependence closure, and
+	// state units.
+	Analysis *analysis.ServiceAnalysis
+	// Extraction is the Extract Function result; nil when the handler
+	// was replicated whole (fallback for multi-path handlers).
+	Extraction *refactor.Extraction
+	// Replicated reports whether the service is served at the edge
+	// (false when the developer rejected eventual consistency).
+	Replicated bool
+}
+
+// Result is the complete transformation artifact set.
+type Result struct {
+	// Name is the app name.
+	Name string
+	// NormalizedSource is the server source after temporary-variable
+	// normalization; all analyses refer to its statement numbering.
+	NormalizedSource string
+	// Routes is the app's route table.
+	Routes []httpapp.Route
+	// Services is the inferred Subject interface (Eq. 1).
+	Services []capture.Service
+	// Plans maps service name ("GET /path") to its plan.
+	Plans map[string]*ServicePlan
+	// Units is the union of replicated state units across services.
+	Units analysis.StateUnits
+	// ReplicaSource is the generated edge-replica source.
+	ReplicaSource string
+	// InitState is the cloud's post-init state snapshot (state_init).
+	InitState *checkpoint.State
+}
+
+// ReplicatedServiceNames returns the services that will be served at the
+// edge.
+func (r *Result) ReplicatedServiceNames() []string {
+	var out []string
+	for _, svc := range r.Services {
+		if p := r.Plans[svc.Name()]; p != nil && p.Replicated {
+			out = append(out, svc.Name())
+		}
+	}
+	return out
+}
+
+// ExtractedCount returns how many services received a genuine Extract
+// Function refactoring (vs whole-handler fallback).
+func (r *Result) ExtractedCount() int {
+	n := 0
+	for _, p := range r.Plans {
+		if p.Extraction != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// CaptureTraffic drives the given requests through the app while
+// recording the exchanges — the "attach to a running application" step.
+// Failed invocations are recorded too (they are filtered by Subject
+// inference), but transport errors abort.
+func CaptureTraffic(app *httpapp.App, reqs []*httpapp.Request) ([]capture.Record, error) {
+	log := capture.NewLog()
+	for _, req := range reqs {
+		if _, err := log.InvokeRecorded(app, req.Clone()); err != nil &&
+			!errors.Is(err, httpapp.ErrNoRoute) {
+			// Handler-level failures stay in the log with their status;
+			// only continue.
+			continue
+		}
+	}
+	return log.Records(), nil
+}
+
+// Transform runs the full EdgStr pipeline over the input.
+func Transform(in Input) (*Result, error) {
+	if in.Name == "" || in.Source == "" || len(in.Routes) == 0 {
+		return nil, fmt.Errorf("core: incomplete input (name, source, and routes are required)")
+	}
+	if len(in.Records) == 0 {
+		return nil, fmt.Errorf("core: no captured traffic — attach CaptureTraffic first")
+	}
+
+	// 1. Normalize the server source so unmarshal/marshal values occupy
+	//    dedicated temporaries (Figure 4 left).
+	normalized, err := refactor.Normalize(in.Source)
+	if err != nil {
+		return nil, fmt.Errorf("core: normalize: %w", err)
+	}
+	app, err := httpapp.New(in.Name, normalized, in.Routes)
+	if err != nil {
+		return nil, fmt.Errorf("core: building normalized app: %w", err)
+	}
+
+	// 2. Infer the Subject interface from the captured traffic (Eq. 1).
+	services := capture.InferSubject(in.Records)
+	if len(services) == 0 {
+		return nil, fmt.Errorf("core: no services inferred from %d records", len(in.Records))
+	}
+
+	// 3. Profile each service under state isolation, with fuzzing, and
+	//    solve for entry/exit and the dependence closure (Algorithm 1).
+	analyzer := analysis.NewAnalyzer(app)
+	res := &Result{
+		Name:             in.Name,
+		NormalizedSource: normalized,
+		Routes:           app.Routes(),
+		Services:         services,
+		Plans:            map[string]*ServicePlan{},
+	}
+	extractions := map[string]*refactor.Extraction{}
+	var replicated []string
+	for _, svc := range services {
+		sa, err := analyzer.AnalyzeService(svc)
+		if err != nil {
+			return nil, fmt.Errorf("core: analyzing %s: %w", svc.Name(), err)
+		}
+		plan := &ServicePlan{Analysis: sa}
+
+		// 4. Consult Developer: is eventual consistency acceptable for
+		//    this service's isolated state?
+		plan.Replicated = in.Consult == nil || in.Consult(svc, sa.State)
+		if plan.Replicated {
+			res.Units.Merge(sa.State)
+			replicated = append(replicated, svc.Name())
+
+			// 5. Extract Function refactoring; multi-path handlers fall
+			//    back to whole-handler replication.
+			ex, exErr := refactor.Extract(app.Program(), sa)
+			switch {
+			case exErr == nil:
+				if prev, dup := extractions[sa.Handler]; dup {
+					// Services sharing a handler keep the first
+					// decision (including a not-extractable verdict).
+					plan.Extraction = prev
+				} else {
+					plan.Extraction = ex
+					extractions[sa.Handler] = ex
+				}
+			case errors.Is(exErr, refactor.ErrNotExtractable):
+				if _, dup := extractions[sa.Handler]; !dup {
+					extractions[sa.Handler] = nil
+				}
+			default:
+				return nil, fmt.Errorf("core: extracting %s: %w", svc.Name(), exErr)
+			}
+		}
+		res.Plans[svc.Name()] = plan
+	}
+	if len(replicated) == 0 {
+		return nil, fmt.Errorf("core: developer rejected every service — nothing to replicate")
+	}
+
+	// 6. Generate the edge-replica source (handlebars analog).
+	liveExtractions := map[string]*refactor.Extraction{}
+	for h, ex := range extractions {
+		if ex != nil {
+			liveExtractions[h] = ex
+		}
+	}
+	replicaSrc, err := refactor.GenerateReplica(app.Program(), refactor.ReplicaSpec{
+		AppName:     in.Name,
+		Services:    replicated,
+		Extractions: liveExtractions,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: generating replica: %w", err)
+	}
+	res.ReplicaSource = replicaSrc
+
+	// 7. Capture state_init for replica initialization.
+	analyzer.Runner().Reset()
+	res.InitState = checkpoint.Capture(app)
+	return res, nil
+}
+
+// TransformSubjectTraffic is a convenience that drives sample traffic
+// and transforms in one step: it builds the original app, captures the
+// given requests, and runs Transform.
+func TransformSubjectTraffic(name, source string, routes []httpapp.Route, reqs []*httpapp.Request) (*Result, error) {
+	app, err := httpapp.New(name, source, routes)
+	if err != nil {
+		return nil, fmt.Errorf("core: building app: %w", err)
+	}
+	records, err := CaptureTraffic(app, reqs)
+	if err != nil {
+		return nil, err
+	}
+	return Transform(Input{Name: name, Source: source, Routes: routes, Records: records})
+}

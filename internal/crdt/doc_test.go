@@ -1,0 +1,681 @@
+package crdt
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func mustPut(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sync ships all changes from src that dst is missing.
+func syncDocs(t *testing.T, dst, src *Doc) {
+	t.Helper()
+	chs := src.GetChanges(dst.Heads())
+	if _, err := dst.ApplyChanges(chs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTSOrdering(t *testing.T) {
+	a := TS{Counter: 1, Actor: "a"}
+	b := TS{Counter: 1, Actor: "b"}
+	c := TS{Counter: 2, Actor: "a"}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("actor tiebreak broken")
+	}
+	if !a.Less(c) || !b.Less(c) {
+		t.Fatal("counter ordering broken")
+	}
+}
+
+func TestParseTSRoundTrip(t *testing.T) {
+	ts := TS{Counter: 42, Actor: "edge-1"}
+	got, err := ParseTS(ts.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ts {
+		t.Fatalf("round trip = %v, want %v", got, ts)
+	}
+	if _, err := ParseTS("garbage"); err == nil {
+		t.Fatal("ParseTS accepted malformed input")
+	}
+	if _, err := ParseTS("x@a"); err == nil {
+		t.Fatal("ParseTS accepted non-numeric counter")
+	}
+}
+
+func TestVersionVector(t *testing.T) {
+	v := VersionVector{"a": 3, "b": 1}
+	u := VersionVector{"a": 2}
+	if !v.Covers(u) {
+		t.Fatal("v should cover u")
+	}
+	if u.Covers(v) {
+		t.Fatal("u should not cover v")
+	}
+	u.Merge(v)
+	if !u.Equal(v) {
+		t.Fatalf("after merge u = %v, want %v", u, v)
+	}
+	c := v.Clone()
+	c["a"] = 99
+	if v["a"] != 3 {
+		t.Fatal("Clone is not independent")
+	}
+}
+
+func TestBasicMapOps(t *testing.T) {
+	d := NewDoc("a")
+	mustPut(t, d.PutScalar(RootObj, "name", "edgstr"))
+	mustPut(t, d.PutScalar(RootObj, "count", 7))
+	v, ok := d.MapGet(RootObj, "name")
+	if !ok || v.Str != "edgstr" {
+		t.Fatalf("MapGet(name) = %v, %v", v, ok)
+	}
+	mustPut(t, d.Delete(RootObj, "name"))
+	if _, ok := d.MapGet(RootObj, "name"); ok {
+		t.Fatal("deleted key still visible")
+	}
+	keys := d.MapKeys(RootObj)
+	if len(keys) != 1 || keys[0] != "count" {
+		t.Fatalf("MapKeys = %v", keys)
+	}
+}
+
+func TestNestedObjects(t *testing.T) {
+	d := NewDoc("a")
+	cfg, err := d.PutNewMap(RootObj, "cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, d.PutScalar(cfg, "threshold", 0.5))
+	lst, err := d.PutNewList(RootObj, "log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, d.ListAppend(lst, "first"))
+	mustPut(t, d.ListAppend(lst, "second"))
+	ctr, err := d.PutNewCounter(RootObj, "hits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, d.CounterAdd(ctr, 5))
+	mustPut(t, d.CounterAdd(ctr, -2))
+
+	got := d.ToGo()
+	want := map[string]any{
+		"cfg":  map[string]any{"threshold": 0.5},
+		"log":  []any{"first", "second"},
+		"hits": int64(3),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ToGo() = %#v, want %#v", got, want)
+	}
+}
+
+func TestListInsertDeleteSet(t *testing.T) {
+	d := NewDoc("a")
+	lst, err := d.PutNewList(RootObj, "l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, d.ListInsert(lst, 0, "b"))
+	mustPut(t, d.ListInsert(lst, 0, "a"))
+	mustPut(t, d.ListInsert(lst, 2, "c"))
+	if got := d.ListLen(lst); got != 3 {
+		t.Fatalf("ListLen = %d, want 3", got)
+	}
+	mustPut(t, d.ListSet(lst, 1, "B"))
+	mustPut(t, d.ListDelete(lst, 0))
+	v, ok := d.ListGet(lst, 0)
+	if !ok || v.Str != "B" {
+		t.Fatalf("ListGet(0) = %v, %v; want B", v, ok)
+	}
+	if err := d.ListInsert(lst, 5, "x"); err == nil {
+		t.Fatal("out-of-range insert accepted")
+	}
+	if err := d.ListDelete(lst, 9); err == nil {
+		t.Fatal("out-of-range delete accepted")
+	}
+}
+
+func TestLWWConcurrentWrites(t *testing.T) {
+	master := NewDoc("m")
+	mustPut(t, master.PutScalar(RootObj, "x", 0))
+	a, err := master.Fork("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := master.Fork("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, a.PutScalar(RootObj, "x", 1))
+	mustPut(t, b.PutScalar(RootObj, "x", 2))
+	// Cross-sync both ways.
+	syncDocs(t, a, b)
+	syncDocs(t, b, a)
+	va, _ := a.MapGet(RootObj, "x")
+	vb, _ := b.MapGet(RootObj, "x")
+	if !va.Equal(vb) {
+		t.Fatalf("replicas diverged: a=%v b=%v", va, vb)
+	}
+	// Deterministic winner: same counter, actor "b" > "a" tiebreak.
+	if va.Num != 2 {
+		t.Fatalf("winner = %v, want 2 (actor tiebreak)", va.Num)
+	}
+}
+
+func TestConcurrentListInsertConverges(t *testing.T) {
+	master := NewDoc("m")
+	lst, err := master.PutNewList(RootObj, "l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, master.ListAppend(lst, "base"))
+	a, _ := master.Fork("a")
+	b, _ := master.Fork("b")
+	mustPut(t, a.ListAppend(lst, "fromA"))
+	mustPut(t, b.ListAppend(lst, "fromB"))
+	syncDocs(t, a, b)
+	syncDocs(t, b, a)
+	ga, _ := a.Materialize(lst)
+	gb, _ := b.Materialize(lst)
+	if !reflect.DeepEqual(ga, gb) {
+		t.Fatalf("lists diverged: %v vs %v", ga, gb)
+	}
+	if len(ga.([]any)) != 3 {
+		t.Fatalf("list = %v, want 3 elements", ga)
+	}
+}
+
+func TestCounterConcurrentAdds(t *testing.T) {
+	master := NewDoc("m")
+	ctr, err := master.PutNewCounter(RootObj, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := master.Fork("a")
+	b, _ := master.Fork("b")
+	mustPut(t, a.CounterAdd(ctr, 10))
+	mustPut(t, b.CounterAdd(ctr, 32))
+	mustPut(t, b.CounterAdd(ctr, -2))
+	syncDocs(t, a, b)
+	syncDocs(t, b, a)
+	if got := a.CounterValue(ctr); got != 40 {
+		t.Fatalf("a counter = %d, want 40", got)
+	}
+	if got := b.CounterValue(ctr); got != 40 {
+		t.Fatalf("b counter = %d, want 40", got)
+	}
+}
+
+func TestApplyChangesIdempotent(t *testing.T) {
+	a := NewDoc("a")
+	mustPut(t, a.PutScalar(RootObj, "k", "v"))
+	chs := a.GetChanges(nil)
+	b := NewDoc("b")
+	for i := 0; i < 3; i++ {
+		if _, err := b.ApplyChanges(chs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(a.ToGo(), b.ToGo()) {
+		t.Fatal("duplicate application diverged state")
+	}
+	if len(b.GetChanges(nil)) != len(chs) {
+		t.Fatal("duplicate application duplicated history")
+	}
+}
+
+func TestOutOfOrderChangesPark(t *testing.T) {
+	a := NewDoc("a")
+	mustPut(t, a.PutScalar(RootObj, "k", 1))
+	a.Commit("first")
+	mustPut(t, a.PutScalar(RootObj, "k", 2))
+	a.Commit("second")
+	chs := a.GetChanges(nil)
+	if len(chs) != 2 {
+		t.Fatalf("history = %d changes, want 2", len(chs))
+	}
+	b := NewDoc("b")
+	// Deliver the second change first: it must park, not apply.
+	if _, err := b.ApplyChanges(chs[1:]); err != nil {
+		t.Fatal(err)
+	}
+	if b.Parked() != 1 {
+		t.Fatalf("Parked = %d, want 1", b.Parked())
+	}
+	if _, ok := b.MapGet(RootObj, "k"); ok {
+		t.Fatal("out-of-order change was applied")
+	}
+	if _, err := b.ApplyChanges(chs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if b.Parked() != 0 {
+		t.Fatal("parked change not drained")
+	}
+	v, _ := b.MapGet(RootObj, "k")
+	if v.Num != 2 {
+		t.Fatalf("k = %v, want 2", v.Num)
+	}
+}
+
+func TestCrossActorDependencyOrdering(t *testing.T) {
+	// Actor a creates a nested map; actor b writes into it. Delivering
+	// b's change before a's must park until the dependency arrives.
+	a := NewDoc("a")
+	cfg, err := a.PutNewMap(RootObj, "cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := a.Fork("b")
+	mustPut(t, b.PutScalar(cfg, "v", 9))
+	bChs := b.GetChanges(a.Heads())
+
+	fresh := NewDoc("c")
+	if _, err := fresh.ApplyChanges(bChs); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Parked() != 1 {
+		t.Fatalf("Parked = %d, want 1 (dep on a's change)", fresh.Parked())
+	}
+	if _, err := fresh.ApplyChanges(a.GetChanges(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Parked() != 0 {
+		t.Fatal("dependency did not unblock parked change")
+	}
+	v, ok := fresh.MapGet(cfg, "v")
+	if !ok || v.Num != 9 {
+		t.Fatalf("cfg.v = %v, %v; want 9", v, ok)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	a := NewDoc("a")
+	mustPut(t, a.PutScalar(RootObj, "s", "hello"))
+	mustPut(t, a.PutScalar(RootObj, "data", []byte{1, 2, 3}))
+	lst, _ := a.PutNewList(RootObj, "l")
+	mustPut(t, a.ListAppend(lst, 1.5))
+	blob, err := a.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load("b", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.ToGo(), b.ToGo()) {
+		t.Fatalf("loaded state %#v != saved %#v", b.ToGo(), a.ToGo())
+	}
+	// Loading as the same actor must resume sequence numbering.
+	a2, err := Load("a", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, a2.PutScalar(RootObj, "more", 1))
+	a2.Commit("")
+	if got := a2.Heads()["a"]; got < 2 {
+		t.Fatalf("resumed actor seq = %d, want ≥ 2", got)
+	}
+}
+
+func TestForkSameActorResumesSeq(t *testing.T) {
+	a := NewDoc("a")
+	mustPut(t, a.PutScalar(RootObj, "k", 1))
+	f, err := a.Fork("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, f.PutScalar(RootObj, "k2", 2))
+	f.Commit("")
+	// If seq did not resume, this change would collide with seq 1 and be
+	// dropped as a duplicate.
+	back := NewDoc("x")
+	if _, err := back.ApplyChanges(f.GetChanges(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := back.MapGet(RootObj, "k2"); !ok {
+		t.Fatal("fork with same actor produced colliding change")
+	}
+}
+
+func TestScalarConversions(t *testing.T) {
+	for _, v := range []any{nil, "s", true, 1, int32(2), int64(3), uint64(4), float32(1.5), 2.5, []byte("b")} {
+		if _, err := Scalar(v); err != nil {
+			t.Fatalf("Scalar(%T) failed: %v", v, err)
+		}
+	}
+	if _, err := Scalar(struct{}{}); err == nil {
+		t.Fatal("Scalar accepted a struct")
+	}
+	if _, err := Scalar(map[string]any{}); err == nil {
+		t.Fatal("Scalar accepted a map (must use PutGo)")
+	}
+}
+
+func TestPutGoNested(t *testing.T) {
+	d := NewDoc("a")
+	err := d.PutGo(RootObj, "state", map[string]any{
+		"name":  "svc",
+		"limit": 10,
+		"tags":  []any{"x", "y"},
+		"inner": map[string]any{"deep": true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.ToGo()["state"]
+	want := map[string]any{
+		"name":  "svc",
+		"limit": 10.0,
+		"tags":  []any{"x", "y"},
+		"inner": map[string]any{"deep": true},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PutGo round trip = %#v, want %#v", got, want)
+	}
+}
+
+func TestKindMismatchErrors(t *testing.T) {
+	d := NewDoc("a")
+	lst, _ := d.PutNewList(RootObj, "l")
+	if err := d.PutScalar(lst, "k", 1); err == nil {
+		t.Fatal("map write on list accepted")
+	}
+	if err := d.ListAppend(RootObj, 1); err == nil {
+		t.Fatal("list append on map accepted")
+	}
+	if err := d.CounterAdd(RootObj, 1); err == nil {
+		t.Fatal("counter add on map accepted")
+	}
+	if _, err := d.Materialize("nope"); err == nil {
+		t.Fatal("Materialize of unknown object accepted")
+	}
+}
+
+// randomMutate applies one random mutation to the doc's shared objects.
+func randomMutate(rng *rand.Rand, d *Doc, lst, ctr ObjID) {
+	switch rng.Intn(6) {
+	case 0:
+		_ = d.PutScalar(RootObj, string(rune('a'+rng.Intn(5))), rng.Intn(100))
+	case 1:
+		_ = d.Delete(RootObj, string(rune('a'+rng.Intn(5))))
+	case 2:
+		_ = d.ListInsert(lst, rng.Intn(d.ListLen(lst)+1), rng.Intn(100))
+	case 3:
+		if n := d.ListLen(lst); n > 0 {
+			_ = d.ListDelete(lst, rng.Intn(n))
+		}
+	case 4:
+		if n := d.ListLen(lst); n > 0 {
+			_ = d.ListSet(lst, rng.Intn(n), rng.Intn(100))
+		}
+	case 5:
+		_ = d.CounterAdd(ctr, int64(rng.Intn(10)-5))
+	}
+}
+
+// TestPropertyConvergence is the core SEC guarantee: N replicas mutate
+// concurrently; after full pairwise exchange (in randomized order, with
+// duplicate delivery), all replicas have identical state.
+func TestPropertyConvergence(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		master := NewDoc("m")
+		lst, err := master.PutNewList(RootObj, "l")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctr, err := master.PutNewCounter(RootObj, "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nReplicas := 2 + rng.Intn(3)
+		docs := make([]*Doc, nReplicas)
+		for i := range docs {
+			docs[i], err = master.Fork(ActorID(rune('A' + i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Random concurrent mutations with occasional partial syncs.
+		for step := 0; step < 60; step++ {
+			d := docs[rng.Intn(nReplicas)]
+			randomMutate(rng, d, lst, ctr)
+			if rng.Intn(10) == 0 {
+				i, j := rng.Intn(nReplicas), rng.Intn(nReplicas)
+				syncDocs(t, docs[i], docs[j])
+			}
+		}
+		// Full anti-entropy: repeated random pairwise sync with duplicates.
+		for round := 0; round < 4; round++ {
+			for i := range docs {
+				for j := range docs {
+					if i != j {
+						chs := docs[j].GetChanges(docs[i].Heads())
+						if _, err := docs[i].ApplyChanges(chs); err != nil {
+							t.Fatalf("trial %d: %v", trial, err)
+						}
+						// Duplicate delivery must be harmless.
+						if _, err := docs[i].ApplyChanges(chs); err != nil {
+							t.Fatalf("trial %d dup: %v", trial, err)
+						}
+					}
+				}
+			}
+		}
+		ref := docs[0].ToGo()
+		for i := 1; i < nReplicas; i++ {
+			if !reflect.DeepEqual(ref, docs[i].ToGo()) {
+				t.Fatalf("trial %d: replica %d diverged:\n%#v\nvs\n%#v", trial, i, ref, docs[i].ToGo())
+			}
+		}
+		for i := range docs {
+			if docs[i].Parked() != 0 {
+				t.Fatalf("trial %d: replica %d still has parked changes", trial, i)
+			}
+		}
+	}
+}
+
+// TestPropertyOrderInsensitivity: applying the same change set in any
+// permutation (change granularity) yields the same state.
+func TestPropertyOrderInsensitivity(t *testing.T) {
+	master := NewDoc("m")
+	lst, _ := master.PutNewList(RootObj, "l")
+	ctr, _ := master.PutNewCounter(RootObj, "c")
+	a, _ := master.Fork("a")
+	b, _ := master.Fork("b")
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 25; i++ {
+		randomMutate(rng, a, lst, ctr)
+		a.Commit("")
+		randomMutate(rng, b, lst, ctr)
+		b.Commit("")
+	}
+	all := append(a.GetChanges(master.Heads()), b.GetChanges(master.Heads())...)
+	base := master.GetChanges(nil)
+
+	var ref map[string]any
+	for perm := 0; perm < 10; perm++ {
+		shuffled := make([]Change, len(all))
+		copy(shuffled, all)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		d := NewDoc("fresh")
+		if _, err := d.ApplyChanges(base); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.ApplyChanges(shuffled); err != nil {
+			t.Fatal(err)
+		}
+		if d.Parked() != 0 {
+			t.Fatalf("perm %d: parked changes remain", perm)
+		}
+		got := d.ToGo()
+		if ref == nil {
+			ref = got
+		} else if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("perm %d diverged:\n%#v\nvs\n%#v", perm, got, ref)
+		}
+	}
+}
+
+func TestEncodeDecodeChanges(t *testing.T) {
+	a := NewDoc("a")
+	mustPut(t, a.PutScalar(RootObj, "x", 1))
+	mustPut(t, a.PutScalar(RootObj, "b", []byte{9, 8}))
+	chs := a.GetChanges(nil)
+	blob, err := EncodeChanges(chs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeChanges(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare semantically: a fresh doc fed the decoded changes must
+	// reach the same state (empty maps/slices may decode as nil).
+	d1, d2 := NewDoc("x"), NewDoc("y")
+	if _, err := d1.ApplyChanges(chs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.ApplyChanges(back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d1.ToGo(), d2.ToGo()) {
+		t.Fatalf("decode(encode(chs)) state diverged: %#v vs %#v", d1.ToGo(), d2.ToGo())
+	}
+	if _, err := DecodeChanges([]byte("not json")); err == nil {
+		t.Fatal("DecodeChanges accepted garbage")
+	}
+}
+
+func TestDeltaSyncSendsOnlyMissing(t *testing.T) {
+	a := NewDoc("a")
+	for i := 0; i < 10; i++ {
+		mustPut(t, a.PutScalar(RootObj, "k", i))
+		a.Commit("")
+	}
+	b, _ := a.Fork("b")
+	mustPut(t, a.PutScalar(RootObj, "k", 99))
+	a.Commit("")
+	missing := a.GetChanges(b.Heads())
+	if len(missing) != 1 {
+		t.Fatalf("delta = %d changes, want 1", len(missing))
+	}
+}
+
+func TestZeroSeqChangeRejected(t *testing.T) {
+	d := NewDoc("a")
+	if _, err := d.ApplyChanges([]Change{{Actor: "x", Seq: 0}}); err == nil {
+		t.Fatal("zero-seq change accepted")
+	}
+}
+
+func BenchmarkDocLocalWrites(b *testing.B) {
+	d := NewDoc("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = d.PutScalar(RootObj, "key", i)
+		if i%256 == 255 {
+			d.Commit("")
+		}
+	}
+}
+
+func BenchmarkDocSyncRoundTrip(b *testing.B) {
+	master := NewDoc("m")
+	_ = master.PutScalar(RootObj, "x", 0)
+	edge, _ := master.Fork("e")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = edge.PutScalar(RootObj, "x", i)
+		chs := edge.GetChanges(master.Heads())
+		if _, err := master.ApplyChanges(chs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCompactDropsAcknowledgedHistory(t *testing.T) {
+	a := NewDoc("a")
+	for i := 0; i < 10; i++ {
+		mustPut(t, a.PutScalar(RootObj, "k", i))
+		a.Commit("")
+	}
+	if got := a.HistoryLen(); got != 10 {
+		t.Fatalf("history = %d", got)
+	}
+	// A peer acknowledged through seq 6.
+	acked := VersionVector{"a": 6}
+	dropped := a.Compact(acked)
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", dropped)
+	}
+	if got := a.HistoryLen(); got != 4 {
+		t.Fatalf("history after compact = %d, want 4", got)
+	}
+	// State is unaffected.
+	v, _ := a.MapGet(RootObj, "k")
+	if v.Num != 9 {
+		t.Fatalf("k = %v", v.Num)
+	}
+	// Delta sync for an up-to-date peer still works.
+	chs, err := a.GetChangesChecked(VersionVector{"a": 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chs) != 4 {
+		t.Fatalf("delta = %d changes", len(chs))
+	}
+	// A lagging peer is refused incremental sync.
+	if _, err := a.GetChangesChecked(VersionVector{"a": 3}); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("lagging peer err = %v, want ErrCompacted", err)
+	}
+	// Truncated logs cannot be saved or forked.
+	if _, err := a.Save(); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("Save err = %v", err)
+	}
+	if _, err := a.Fork("b"); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("Fork err = %v", err)
+	}
+}
+
+func TestCompactNeverExceedsOwnKnowledge(t *testing.T) {
+	a := NewDoc("a")
+	mustPut(t, a.PutScalar(RootObj, "k", 1))
+	a.Commit("")
+	// Peer claims knowledge we do not have; compaction clamps to ours.
+	dropped := a.Compact(VersionVector{"a": 99, "ghost": 5})
+	if dropped != 1 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+	if got := a.Compacted()["a"]; got != 1 {
+		t.Fatalf("compaction point = %d, want 1", got)
+	}
+	if got := a.Compacted()["ghost"]; got != 0 {
+		t.Fatalf("ghost compaction point = %d, want 0 (no such history)", got)
+	}
+}
+
+func TestCompactZeroIsNoOp(t *testing.T) {
+	a := NewDoc("a")
+	mustPut(t, a.PutScalar(RootObj, "k", 1))
+	if dropped := a.Compact(VersionVector{}); dropped != 0 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+	if _, err := a.Save(); err != nil {
+		t.Fatalf("no-op compaction broke Save: %v", err)
+	}
+}

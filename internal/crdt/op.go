@@ -1,0 +1,248 @@
+package crdt
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ObjID names an object (map, list, or counter) inside a document. The
+// root map is RootObj; every other object is named by the timestamp of
+// the operation that created it, so IDs are globally unique.
+type ObjID string
+
+// RootObj is the implicit top-level map of every document.
+const RootObj ObjID = "root"
+
+// ObjKind distinguishes the object types a document can hold.
+type ObjKind int
+
+// Object kinds.
+const (
+	KindMap ObjKind = iota + 1
+	KindList
+	KindCounter
+)
+
+func (k ObjKind) String() string {
+	switch k {
+	case KindMap:
+		return "map"
+	case KindList:
+		return "list"
+	case KindCounter:
+		return "counter"
+	default:
+		return fmt.Sprintf("ObjKind(%d)", int(k))
+	}
+}
+
+// ValKind distinguishes the scalar value types.
+type ValKind int
+
+// Value kinds.
+const (
+	ValNull ValKind = iota + 1
+	ValStr
+	ValNum
+	ValBool
+	ValBytes
+	ValObj // reference to a nested object
+)
+
+// Value is a scalar or object reference stored in a map entry or list
+// element.
+type Value struct {
+	Kind  ValKind `json:"k"`
+	Str   string  `json:"s,omitempty"`
+	Num   float64 `json:"n,omitempty"`
+	Bool  bool    `json:"b,omitempty"`
+	Bytes []byte  `json:"y,omitempty"`
+	Obj   ObjID   `json:"o,omitempty"`
+}
+
+// Null is the null scalar value.
+var Null = Value{Kind: ValNull}
+
+// Str returns a string value.
+func Str(s string) Value { return Value{Kind: ValStr, Str: s} }
+
+// Num returns a numeric value.
+func Num(f float64) Value { return Value{Kind: ValNum, Num: f} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{Kind: ValBool, Bool: b} }
+
+// Bytes returns a binary value. The slice is copied to keep the document
+// isolated from caller mutation.
+func Bytes(b []byte) Value {
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return Value{Kind: ValBytes, Bytes: cp}
+}
+
+// ObjRef returns a reference to a nested object.
+func ObjRef(id ObjID) Value { return Value{Kind: ValObj, Obj: id} }
+
+// Scalar converts a Go scalar (nil, string, bool, numeric types, []byte)
+// to a Value. It returns an error for unsupported types, including nested
+// maps and slices — use Doc.PutGo for those.
+func Scalar(v any) (Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return Null, nil
+	case string:
+		return Str(x), nil
+	case bool:
+		return Bool(x), nil
+	case float64:
+		return Num(x), nil
+	case float32:
+		return Num(float64(x)), nil
+	case int:
+		return Num(float64(x)), nil
+	case int32:
+		return Num(float64(x)), nil
+	case int64:
+		return Num(float64(x)), nil
+	case uint64:
+		return Num(float64(x)), nil
+	case []byte:
+		return Bytes(x), nil
+	case Value:
+		return x, nil
+	default:
+		return Value{}, fmt.Errorf("crdt: unsupported scalar type %T", v)
+	}
+}
+
+// ToGo converts the value to its Go representation. Object references
+// convert to their ObjID; use Doc.Materialize to expand them.
+func (v Value) ToGo() any {
+	switch v.Kind {
+	case ValNull:
+		return nil
+	case ValStr:
+		return v.Str
+	case ValNum:
+		return v.Num
+	case ValBool:
+		return v.Bool
+	case ValBytes:
+		cp := make([]byte, len(v.Bytes))
+		copy(cp, v.Bytes)
+		return cp
+	case ValObj:
+		return v.Obj
+	default:
+		return nil
+	}
+}
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(u Value) bool {
+	if v.Kind != u.Kind {
+		return false
+	}
+	switch v.Kind {
+	case ValBytes:
+		if len(v.Bytes) != len(u.Bytes) {
+			return false
+		}
+		for i := range v.Bytes {
+			if v.Bytes[i] != u.Bytes[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return v.Str == u.Str && v.Num == u.Num && v.Bool == u.Bool && v.Obj == u.Obj
+	}
+}
+
+// OpType enumerates document operations.
+type OpType int
+
+// Operation types.
+const (
+	// OpMake creates a new object; its ID is the op's timestamp.
+	OpMake OpType = iota + 1
+	// OpSet writes a map key (LWW per key).
+	OpSet
+	// OpDel deletes a map key (LWW against concurrent sets).
+	OpDel
+	// OpInsert inserts a list element after Elem ("" = head); the new
+	// element's ID is the op's timestamp.
+	OpInsert
+	// OpUpdate overwrites a list element's value (LWW per element).
+	OpUpdate
+	// OpRemove tombstones a list element.
+	OpRemove
+	// OpAdd adds Delta to a counter object.
+	OpAdd
+)
+
+func (t OpType) String() string {
+	switch t {
+	case OpMake:
+		return "make"
+	case OpSet:
+		return "set"
+	case OpDel:
+		return "del"
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpRemove:
+		return "remove"
+	case OpAdd:
+		return "add"
+	default:
+		return fmt.Sprintf("OpType(%d)", int(t))
+	}
+}
+
+// Op is a single operation within a change. Ops are designed so that a
+// document that applies the same op set in any change-legal order reaches
+// the same state.
+type Op struct {
+	Type  OpType  `json:"t"`
+	TS    TS      `json:"ts"`
+	Obj   ObjID   `json:"obj,omitempty"`
+	Key   string  `json:"key,omitempty"`
+	Elem  string  `json:"elem,omitempty"`
+	Val   Value   `json:"val,omitempty"`
+	Kind  ObjKind `json:"kind,omitempty"`
+	Delta int64   `json:"d,omitempty"`
+}
+
+// Change is an atomic batch of operations produced by one actor. Changes
+// from one actor are totally ordered by Seq; Deps records the causal
+// context the change was made in, and a replica applies a change only
+// once its dependencies are satisfied.
+type Change struct {
+	Actor ActorID       `json:"actor"`
+	Seq   uint64        `json:"seq"`
+	Deps  VersionVector `json:"deps,omitempty"`
+	Msg   string        `json:"msg,omitempty"`
+	Ops   []Op          `json:"ops"`
+}
+
+// EncodeChanges serializes changes for network transfer. The evaluation
+// measures synchronization traffic as the length of this encoding.
+func EncodeChanges(chs []Change) ([]byte, error) {
+	b, err := json.Marshal(chs)
+	if err != nil {
+		return nil, fmt.Errorf("crdt: encoding changes: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeChanges reverses EncodeChanges.
+func DecodeChanges(b []byte) ([]Change, error) {
+	var chs []Change
+	if err := json.Unmarshal(b, &chs); err != nil {
+		return nil, fmt.Errorf("crdt: decoding changes: %w", err)
+	}
+	return chs, nil
+}

@@ -1,0 +1,157 @@
+package crdt
+
+import "sort"
+
+// This file provides standalone state-based CRDT primitives. They are
+// simpler than the change-log Doc: replicas converge by exchanging and
+// merging full (small) states. The workload services use them directly
+// for lightweight counters and sets; the document CRDT is used where the
+// transformation needs a change log.
+
+// LWWRegister is a last-writer-wins register.
+type LWWRegister struct {
+	Val Value `json:"v"`
+	TS  TS    `json:"ts"`
+}
+
+// Set overwrites the register if ts is newer than the stored timestamp.
+// It reports whether the write won.
+func (r *LWWRegister) Set(v Value, ts TS) bool {
+	if !r.TS.Less(ts) && !r.TS.IsZero() {
+		return false
+	}
+	r.Val, r.TS = v, ts
+	return true
+}
+
+// Merge folds another register into r (idempotent, commutative,
+// associative).
+func (r *LWWRegister) Merge(o LWWRegister) {
+	if o.TS.IsZero() {
+		return
+	}
+	r.Set(o.Val, o.TS)
+}
+
+// ORSet is an observed-remove set of strings. Additions are tagged with
+// unique timestamps; a removal deletes only the tags it has observed, so
+// a concurrent re-add survives (add-wins).
+type ORSet struct {
+	// Adds maps element → live tags.
+	Adds map[string]map[TS]bool `json:"adds"`
+	// Tombs holds removed tags.
+	Tombs map[TS]bool `json:"tombs"`
+}
+
+// NewORSet returns an empty observed-remove set.
+func NewORSet() *ORSet {
+	return &ORSet{Adds: map[string]map[TS]bool{}, Tombs: map[TS]bool{}}
+}
+
+// Add inserts elem with the given unique tag.
+func (s *ORSet) Add(elem string, tag TS) {
+	if s.Tombs[tag] {
+		return
+	}
+	tags := s.Adds[elem]
+	if tags == nil {
+		tags = map[TS]bool{}
+		s.Adds[elem] = tags
+	}
+	tags[tag] = true
+}
+
+// Remove deletes elem by tombstoning every currently observed tag.
+func (s *ORSet) Remove(elem string) {
+	for tag := range s.Adds[elem] {
+		s.Tombs[tag] = true
+	}
+	delete(s.Adds, elem)
+}
+
+// Contains reports whether elem is in the set.
+func (s *ORSet) Contains(elem string) bool {
+	return len(s.Adds[elem]) > 0
+}
+
+// Elems returns the live elements in sorted order.
+func (s *ORSet) Elems() []string {
+	out := make([]string, 0, len(s.Adds))
+	for e, tags := range s.Adds {
+		if len(tags) > 0 {
+			out = append(out, e)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge folds another OR-set into s.
+func (s *ORSet) Merge(o *ORSet) {
+	for tag := range o.Tombs {
+		s.Tombs[tag] = true
+	}
+	for e, tags := range o.Adds {
+		for tag := range tags {
+			s.Add(e, tag)
+		}
+	}
+	// Drop any tags tombstoned by the merge.
+	for e, tags := range s.Adds {
+		for tag := range tags {
+			if s.Tombs[tag] {
+				delete(tags, tag)
+			}
+		}
+		if len(tags) == 0 {
+			delete(s.Adds, e)
+		}
+	}
+}
+
+// PNCounter is a positive-negative counter: one increment and one
+// decrement total per actor, merged by componentwise max.
+type PNCounter struct {
+	P map[ActorID]uint64 `json:"p"`
+	N map[ActorID]uint64 `json:"n"`
+}
+
+// NewPNCounter returns a zeroed counter.
+func NewPNCounter() *PNCounter {
+	return &PNCounter{P: map[ActorID]uint64{}, N: map[ActorID]uint64{}}
+}
+
+// Add applies a delta on behalf of actor.
+func (c *PNCounter) Add(actor ActorID, delta int64) {
+	if delta >= 0 {
+		c.P[actor] += uint64(delta)
+	} else {
+		c.N[actor] += uint64(-delta)
+	}
+}
+
+// Value returns the current count.
+func (c *PNCounter) Value() int64 {
+	var v int64
+	for _, p := range c.P {
+		v += int64(p)
+	}
+	for _, n := range c.N {
+		v -= int64(n)
+	}
+	return v
+}
+
+// Merge folds another counter into c by componentwise max.
+func (c *PNCounter) Merge(o *PNCounter) {
+	for a, p := range o.P {
+		if c.P[a] < p {
+			c.P[a] = p
+		}
+	}
+	for a, n := range o.N {
+		if c.N[a] < n {
+			c.N[a] = n
+		}
+	}
+}

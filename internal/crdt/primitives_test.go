@@ -1,0 +1,195 @@
+package crdt
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestLWWRegisterBasics(t *testing.T) {
+	var r LWWRegister
+	if !r.Set(Str("a"), TS{Counter: 1, Actor: "x"}) {
+		t.Fatal("first write rejected")
+	}
+	if r.Set(Str("stale"), TS{Counter: 1, Actor: "x"}) {
+		t.Fatal("equal-timestamp write accepted")
+	}
+	if !r.Set(Str("b"), TS{Counter: 2, Actor: "x"}) {
+		t.Fatal("newer write rejected")
+	}
+	if r.Val.Str != "b" {
+		t.Fatalf("value = %q, want b", r.Val.Str)
+	}
+}
+
+func TestLWWRegisterMergeCommutative(t *testing.T) {
+	a := LWWRegister{Val: Str("a"), TS: TS{Counter: 5, Actor: "p"}}
+	b := LWWRegister{Val: Str("b"), TS: TS{Counter: 5, Actor: "q"}}
+	x, y := a, b
+	x.Merge(b)
+	y.Merge(a)
+	if !x.Val.Equal(y.Val) || x.TS != y.TS {
+		t.Fatalf("merge not commutative: %v vs %v", x, y)
+	}
+	// Merging a zero register is a no-op.
+	z := a
+	z.Merge(LWWRegister{})
+	if !z.Val.Equal(a.Val) || z.TS != a.TS {
+		t.Fatal("merge of zero register changed state")
+	}
+}
+
+func TestORSetAddRemove(t *testing.T) {
+	s := NewORSet()
+	s.Add("x", TS{Counter: 1, Actor: "a"})
+	s.Add("y", TS{Counter: 2, Actor: "a"})
+	if !s.Contains("x") || !s.Contains("y") {
+		t.Fatal("added elements missing")
+	}
+	s.Remove("x")
+	if s.Contains("x") {
+		t.Fatal("removed element still present")
+	}
+	if got := s.Elems(); !reflect.DeepEqual(got, []string{"y"}) {
+		t.Fatalf("Elems = %v, want [y]", got)
+	}
+}
+
+func TestORSetAddWins(t *testing.T) {
+	// Replica A removes "x" while replica B concurrently re-adds it with
+	// a fresh tag. After merge, the add must win.
+	base := NewORSet()
+	base.Add("x", TS{Counter: 1, Actor: "m"})
+
+	a := NewORSet()
+	a.Merge(base)
+	b := NewORSet()
+	b.Merge(base)
+
+	a.Remove("x")
+	b.Add("x", TS{Counter: 2, Actor: "b"}) // fresh tag, unseen by a
+
+	a.Merge(b)
+	b.Merge(a)
+	if !a.Contains("x") || !b.Contains("x") {
+		t.Fatal("concurrent re-add lost to remove (add-wins violated)")
+	}
+	// The original tag stays tombstoned on both.
+	if !a.Tombs[TS{Counter: 1, Actor: "m"}] {
+		t.Fatal("observed tag not tombstoned")
+	}
+}
+
+func TestORSetMergeIdempotent(t *testing.T) {
+	a := NewORSet()
+	a.Add("x", TS{Counter: 1, Actor: "a"})
+	b := NewORSet()
+	b.Add("y", TS{Counter: 1, Actor: "b"})
+	a.Merge(b)
+	snapshot := a.Elems()
+	a.Merge(b)
+	a.Merge(b)
+	if !reflect.DeepEqual(a.Elems(), snapshot) {
+		t.Fatal("repeated merge changed state")
+	}
+}
+
+func TestPNCounter(t *testing.T) {
+	c := NewPNCounter()
+	c.Add("a", 10)
+	c.Add("a", -3)
+	c.Add("b", 5)
+	if got := c.Value(); got != 12 {
+		t.Fatalf("Value = %d, want 12", got)
+	}
+}
+
+func TestPNCounterMergeConverges(t *testing.T) {
+	a := NewPNCounter()
+	b := NewPNCounter()
+	a.Add("a", 7)
+	b.Add("b", -2)
+	b.Add("b", 4)
+	a.Merge(b)
+	b.Merge(a)
+	if a.Value() != b.Value() {
+		t.Fatalf("diverged: %d vs %d", a.Value(), b.Value())
+	}
+	if a.Value() != 9 {
+		t.Fatalf("Value = %d, want 9", a.Value())
+	}
+	// Idempotent.
+	a.Merge(b)
+	if a.Value() != 9 {
+		t.Fatal("repeated merge changed value")
+	}
+}
+
+// Property: OR-set merge is commutative — merging A into B and B into A
+// yields the same element set.
+func TestPropertyORSetMergeCommutative(t *testing.T) {
+	f := func(opsA, opsB []uint8) bool {
+		build := func(ops []uint8, actor ActorID) *ORSet {
+			s := NewORSet()
+			for i, op := range ops {
+				elem := string(rune('a' + op%4))
+				if op%3 == 0 {
+					s.Remove(elem)
+				} else {
+					s.Add(elem, TS{Counter: uint64(i + 1), Actor: actor})
+				}
+			}
+			return s
+		}
+		a1, b1 := build(opsA, "A"), build(opsB, "B")
+		a2, b2 := build(opsA, "A"), build(opsB, "B")
+		a1.Merge(b1)
+		b2.Merge(a2)
+		return reflect.DeepEqual(a1.Elems(), b2.Elems())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PN-counter value after full pairwise merge equals the sum of
+// all deltas applied anywhere.
+func TestPropertyPNCounterSum(t *testing.T) {
+	f := func(deltas []int8) bool {
+		counters := []*PNCounter{NewPNCounter(), NewPNCounter(), NewPNCounter()}
+		rng := rand.New(rand.NewSource(int64(len(deltas))))
+		var want int64
+		for _, d := range deltas {
+			i := rng.Intn(len(counters))
+			counters[i].Add(ActorID(rune('a'+i)), int64(d))
+			want += int64(d)
+		}
+		for range counters {
+			for i := range counters {
+				for j := range counters {
+					if i != j {
+						counters[i].Merge(counters[j])
+					}
+				}
+			}
+		}
+		for _, c := range counters {
+			if c.Value() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkORSetAdd(b *testing.B) {
+	s := NewORSet()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add("elem", TS{Counter: uint64(i), Actor: "a"})
+	}
+}

@@ -1,0 +1,352 @@
+// Package datalog implements a small bottom-up Datalog engine.
+//
+// EdgStr conducts its dependence analysis by means of declarative logic
+// programming: JavaScript statements and their relationships become
+// facts and predicates (RW-LOG, RW-LOG-FUZZED, STMT-DEP, POST-DOM,
+// ACTUAL), and rules such as STMT-UNMAR, STMT-MAR, and the transitive
+// STMT-T-DEP closure are evaluated over them. This engine provides
+// exactly that: ground facts over string constants, definite Horn rules
+// with variables, semi-naive fixpoint evaluation, and pattern queries.
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is a constant or a variable in a rule atom. Variables start with
+// an uppercase letter by convention, but the distinction is explicit via
+// the constructor used.
+type Term struct {
+	value string
+	isVar bool
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{value: name, isVar: true} }
+
+// C returns a constant term.
+func C(value string) Term { return Term{value: value} }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.isVar }
+
+// Value returns the variable name or constant value.
+func (t Term) Value() string { return t.value }
+
+func (t Term) String() string {
+	if t.isVar {
+		return "?" + t.value
+	}
+	return t.value
+}
+
+// Atom is a predicate applied to terms.
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(pred string, args ...Term) Atom { return Atom{Pred: pred, Args: args} }
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Pred + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Rule is a definite Horn clause: Head ⟵ Body₁ ∧ … ∧ Bodyₙ. Every
+// variable in the head must appear in the body (range restriction).
+type Rule struct {
+	Head Atom
+	Body []Atom
+}
+
+// NewRule builds a rule.
+func NewRule(head Atom, body ...Atom) Rule { return Rule{Head: head, Body: body} }
+
+// Validate checks range restriction and arity consistency is left to the
+// database (arity is fixed by first use).
+func (r Rule) Validate() error {
+	if len(r.Body) == 0 {
+		return fmt.Errorf("datalog: rule for %s has empty body (assert facts directly instead)", r.Head.Pred)
+	}
+	bodyVars := map[string]bool{}
+	for _, a := range r.Body {
+		for _, t := range a.Args {
+			if t.isVar {
+				bodyVars[t.value] = true
+			}
+		}
+	}
+	for _, t := range r.Head.Args {
+		if t.isVar && !bodyVars[t.value] {
+			return fmt.Errorf("datalog: head variable %s of %s not bound in body", t.value, r.Head.Pred)
+		}
+	}
+	return nil
+}
+
+// Fact is a ground tuple of a predicate.
+type Fact []string
+
+// key renders a canonical identity for dedup.
+func (f Fact) key() string { return strings.Join(f, "\x1f") }
+
+// DB holds facts and rules.
+type DB struct {
+	facts map[string][]Fact          // pred → tuples
+	index map[string]map[string]bool // pred → tuple key → present
+	arity map[string]int
+	rules []Rule
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{
+		facts: map[string][]Fact{},
+		index: map[string]map[string]bool{},
+		arity: map[string]int{},
+	}
+}
+
+// AddFact asserts a ground fact. It reports whether the fact was new.
+func (db *DB) AddFact(pred string, args ...string) (bool, error) {
+	if err := db.checkArity(pred, len(args)); err != nil {
+		return false, err
+	}
+	f := Fact(args)
+	k := f.key()
+	idx := db.index[pred]
+	if idx == nil {
+		idx = map[string]bool{}
+		db.index[pred] = idx
+	}
+	if idx[k] {
+		return false, nil
+	}
+	idx[k] = true
+	db.facts[pred] = append(db.facts[pred], f)
+	return true, nil
+}
+
+func (db *DB) checkArity(pred string, n int) error {
+	if a, ok := db.arity[pred]; ok {
+		if a != n {
+			return fmt.Errorf("datalog: predicate %s used with arity %d and %d", pred, a, n)
+		}
+		return nil
+	}
+	db.arity[pred] = n
+	return nil
+}
+
+// AddRule installs a rule for the next Run.
+func (db *DB) AddRule(r Rule) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if err := db.checkArity(r.Head.Pred, len(r.Head.Args)); err != nil {
+		return err
+	}
+	for _, a := range r.Body {
+		if err := db.checkArity(a.Pred, len(a.Args)); err != nil {
+			return err
+		}
+	}
+	db.rules = append(db.rules, r)
+	return nil
+}
+
+// Count returns the number of facts for a predicate.
+func (db *DB) Count(pred string) int { return len(db.facts[pred]) }
+
+// Facts returns the tuples of a predicate, sorted lexicographically.
+func (db *DB) Facts(pred string) []Fact {
+	out := make([]Fact, len(db.facts[pred]))
+	copy(out, db.facts[pred])
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// Run evaluates all rules to fixpoint using semi-naive iteration: each
+// round only joins against tuples derived in the previous round (the
+// delta), falling back to full joins for the first round.
+func (db *DB) Run() error {
+	// delta holds the facts derived in the previous round, per predicate.
+	delta := map[string][]Fact{}
+	for pred, fs := range db.facts {
+		delta[pred] = append([]Fact(nil), fs...)
+	}
+	for round := 0; ; round++ {
+		if round > 1_000_000 {
+			return fmt.Errorf("datalog: fixpoint did not converge")
+		}
+		next := map[string][]Fact{}
+		derived := false
+		for _, rule := range db.rules {
+			// Semi-naive: require at least one body atom to match the
+			// delta. We evaluate the rule once per choice of "delta
+			// position".
+			for dpos := range rule.Body {
+				if len(delta[rule.Body[dpos].Pred]) == 0 {
+					continue
+				}
+				bindingsList := db.joinBody(rule.Body, dpos, delta)
+				for _, b := range bindingsList {
+					head, ok := substitute(rule.Head, b)
+					if !ok {
+						continue
+					}
+					fresh, err := db.AddFact(head.Pred, groundArgs(head)...)
+					if err != nil {
+						return err
+					}
+					if fresh {
+						next[head.Pred] = append(next[head.Pred], groundArgs(head))
+						derived = true
+					}
+				}
+			}
+		}
+		if !derived {
+			return nil
+		}
+		delta = next
+	}
+}
+
+// joinBody enumerates variable bindings satisfying the body, with the
+// atom at dpos matched against the delta relation and the others against
+// the full relations.
+func (db *DB) joinBody(body []Atom, dpos int, delta map[string][]Fact) []map[string]string {
+	bindings := []map[string]string{{}}
+	for i, atom := range body {
+		var rel []Fact
+		if i == dpos {
+			rel = delta[atom.Pred]
+		} else {
+			rel = db.facts[atom.Pred]
+		}
+		var next []map[string]string
+		for _, b := range bindings {
+			for _, tuple := range rel {
+				if nb, ok := match(atom, tuple, b); ok {
+					next = append(next, nb)
+				}
+			}
+		}
+		bindings = next
+		if len(bindings) == 0 {
+			return nil
+		}
+	}
+	return bindings
+}
+
+// match attempts to unify an atom against a ground tuple under existing
+// bindings, returning the extended bindings.
+func match(atom Atom, tuple Fact, bound map[string]string) (map[string]string, bool) {
+	if len(atom.Args) != len(tuple) {
+		return nil, false
+	}
+	out := bound
+	copied := false
+	for i, t := range atom.Args {
+		if !t.isVar {
+			if t.value != tuple[i] {
+				return nil, false
+			}
+			continue
+		}
+		if v, ok := out[t.value]; ok {
+			if v != tuple[i] {
+				return nil, false
+			}
+			continue
+		}
+		if !copied {
+			cp := make(map[string]string, len(out)+1)
+			for k, v := range out {
+				cp[k] = v
+			}
+			out = cp
+			copied = true
+		}
+		out[t.value] = tuple[i]
+	}
+	if !copied && len(atom.Args) > 0 {
+		// All args were constants or already-bound vars; reuse bound.
+		return bound, true
+	}
+	return out, true
+}
+
+// substitute grounds an atom under bindings; ok is false if any variable
+// is unbound.
+func substitute(a Atom, b map[string]string) (Atom, bool) {
+	out := Atom{Pred: a.Pred, Args: make([]Term, len(a.Args))}
+	for i, t := range a.Args {
+		if t.isVar {
+			v, ok := b[t.value]
+			if !ok {
+				return Atom{}, false
+			}
+			out.Args[i] = C(v)
+			continue
+		}
+		out.Args[i] = t
+	}
+	return out, true
+}
+
+func groundArgs(a Atom) Fact {
+	f := make(Fact, len(a.Args))
+	for i, t := range a.Args {
+		f[i] = t.value
+	}
+	return f
+}
+
+// Query returns all bindings of the pattern's variables against the
+// current fact set (call Run first to saturate derived predicates).
+// Results are sorted deterministically.
+func (db *DB) Query(pattern Atom) []map[string]string {
+	var out []map[string]string
+	for _, tuple := range db.facts[pattern.Pred] {
+		if b, ok := match(pattern, tuple, map[string]string{}); ok {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return bindingKey(out[i]) < bindingKey(out[j]) })
+	return out
+}
+
+// Holds reports whether a fully ground atom is present.
+func (db *DB) Holds(pred string, args ...string) bool {
+	idx := db.index[pred]
+	if idx == nil {
+		return false
+	}
+	return idx[Fact(args).key()]
+}
+
+func bindingKey(b map[string]string) string {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(b[k])
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}

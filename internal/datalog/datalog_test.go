@@ -1,0 +1,271 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustFact(t *testing.T, db *DB, pred string, args ...string) {
+	t.Helper()
+	if _, err := db.AddFact(pred, args...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustRule(t *testing.T, db *DB, r Rule) {
+	t.Helper()
+	if err := db.AddRule(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactsDedupAndCount(t *testing.T) {
+	db := NewDB()
+	fresh, err := db.AddFact("edge", "a", "b")
+	if err != nil || !fresh {
+		t.Fatalf("first AddFact = %v, %v", fresh, err)
+	}
+	fresh, err = db.AddFact("edge", "a", "b")
+	if err != nil || fresh {
+		t.Fatalf("duplicate AddFact = %v, %v", fresh, err)
+	}
+	if db.Count("edge") != 1 {
+		t.Fatalf("Count = %d", db.Count("edge"))
+	}
+	if !db.Holds("edge", "a", "b") || db.Holds("edge", "b", "a") {
+		t.Fatal("Holds wrong")
+	}
+}
+
+func TestArityEnforced(t *testing.T) {
+	db := NewDB()
+	mustFact(t, db, "p", "a")
+	if _, err := db.AddFact("p", "a", "b"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if err := db.AddRule(NewRule(NewAtom("q", V("X")), NewAtom("p", V("X"), V("Y")))); err == nil {
+		t.Fatal("rule with wrong arity accepted")
+	}
+}
+
+func TestRangeRestriction(t *testing.T) {
+	db := NewDB()
+	err := db.AddRule(NewRule(NewAtom("q", V("Z")), NewAtom("p", V("X"))))
+	if err == nil {
+		t.Fatal("unbound head variable accepted")
+	}
+	if err := db.AddRule(Rule{Head: NewAtom("q", C("a"))}); err == nil {
+		t.Fatal("empty body accepted")
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	// The paper's STMT-T-DEP pattern: T(X,Y) ⟵ D(X,Y);
+	// T(X,Z) ⟵ T(X,Y) ∧ T(Y,Z).
+	db := NewDB()
+	chain := []string{"s1", "s2", "s3", "s4", "s5"}
+	for i := 0; i+1 < len(chain); i++ {
+		mustFact(t, db, "dep", chain[i+1], chain[i])
+	}
+	mustRule(t, db, NewRule(NewAtom("tdep", V("X"), V("Y")), NewAtom("dep", V("X"), V("Y"))))
+	mustRule(t, db, NewRule(
+		NewAtom("tdep", V("X"), V("Z")),
+		NewAtom("tdep", V("X"), V("Y")),
+		NewAtom("tdep", V("Y"), V("Z")),
+	))
+	if err := db.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// s5 transitively depends on all earlier statements.
+	for _, s := range chain[:4] {
+		if !db.Holds("tdep", "s5", s) {
+			t.Fatalf("missing tdep(s5, %s)", s)
+		}
+	}
+	// 4+3+2+1 = 10 pairs total.
+	if db.Count("tdep") != 10 {
+		t.Fatalf("tdep count = %d, want 10", db.Count("tdep"))
+	}
+}
+
+func TestJoinAcrossPredicates(t *testing.T) {
+	// unmar(S,V) ⟵ rwlog(S,V,P) ∧ fuzzed(S,V) — the STMT-UNMAR shape:
+	// the same statement/variable position observed in base and fuzzed
+	// executions.
+	db := NewDB()
+	mustFact(t, db, "rwlog", "s1", "tv1", "p1")
+	mustFact(t, db, "rwlog", "s2", "x", "other")
+	mustFact(t, db, "fuzzed", "s1", "tv1")
+	mustFact(t, db, "fuzzed", "s9", "y")
+	mustRule(t, db, NewRule(
+		NewAtom("unmar", V("S"), V("Var")),
+		NewAtom("rwlog", V("S"), V("Var"), V("P")),
+		NewAtom("fuzzed", V("S"), V("Var")),
+	))
+	if err := db.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := db.Facts("unmar")
+	if len(got) != 1 || got[0][0] != "s1" || got[0][1] != "tv1" {
+		t.Fatalf("unmar = %v", got)
+	}
+}
+
+func TestQueryPatterns(t *testing.T) {
+	db := NewDB()
+	mustFact(t, db, "edge", "a", "b")
+	mustFact(t, db, "edge", "a", "c")
+	mustFact(t, db, "edge", "b", "c")
+	// All successors of a.
+	res := db.Query(NewAtom("edge", C("a"), V("X")))
+	if len(res) != 2 || res[0]["X"] != "b" || res[1]["X"] != "c" {
+		t.Fatalf("Query = %v", res)
+	}
+	// Ground query.
+	if got := db.Query(NewAtom("edge", C("b"), C("c"))); len(got) != 1 {
+		t.Fatalf("ground query = %v", got)
+	}
+	if got := db.Query(NewAtom("edge", C("c"), V("X"))); len(got) != 0 {
+		t.Fatalf("no-match query = %v", got)
+	}
+	// Repeated variable must unify.
+	mustFact(t, db, "edge", "d", "d")
+	if got := db.Query(NewAtom("edge", V("X"), V("X"))); len(got) != 1 || got[0]["X"] != "d" {
+		t.Fatalf("self-edge query = %v", got)
+	}
+}
+
+func TestConstantInRuleBody(t *testing.T) {
+	db := NewDB()
+	mustFact(t, db, "rw", "s1", "read")
+	mustFact(t, db, "rw", "s2", "write")
+	mustRule(t, db, NewRule(
+		NewAtom("writer", V("S")),
+		NewAtom("rw", V("S"), C("write")),
+	))
+	if err := db.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !db.Holds("writer", "s2") || db.Holds("writer", "s1") {
+		t.Fatalf("writer facts = %v", db.Facts("writer"))
+	}
+}
+
+func TestChainedRules(t *testing.T) {
+	// Derived predicates feeding other rules across rounds.
+	db := NewDB()
+	mustFact(t, db, "parent", "a", "b")
+	mustFact(t, db, "parent", "b", "c")
+	mustFact(t, db, "parent", "c", "d")
+	mustRule(t, db, NewRule(NewAtom("anc", V("X"), V("Y")), NewAtom("parent", V("X"), V("Y"))))
+	mustRule(t, db, NewRule(
+		NewAtom("anc", V("X"), V("Z")),
+		NewAtom("parent", V("X"), V("Y")),
+		NewAtom("anc", V("Y"), V("Z")),
+	))
+	mustRule(t, db, NewRule(
+		NewAtom("related", V("X"), V("Y")),
+		NewAtom("anc", V("X"), V("Y")),
+	))
+	if err := db.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("anc") != 6 {
+		t.Fatalf("anc = %v", db.Facts("anc"))
+	}
+	if db.Count("related") != 6 {
+		t.Fatalf("related = %v", db.Facts("related"))
+	}
+}
+
+// Property: transitive closure of a random DAG contains exactly the
+// reachable pairs computed by a reference DFS.
+func TestPropertyClosureMatchesDFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		adj := make([][]bool, n)
+		db := NewDB()
+		db.arity["dep"] = 2 // fix arity even if no edges are added
+		for i := range adj {
+			adj[i] = make([]bool, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					adj[i][j] = true
+					if _, err := db.AddFact("dep", node(i), node(j)); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		if err := db.AddRule(NewRule(NewAtom("t", V("X"), V("Y")), NewAtom("dep", V("X"), V("Y")))); err != nil {
+			return false
+		}
+		if err := db.AddRule(NewRule(
+			NewAtom("t", V("X"), V("Z")),
+			NewAtom("dep", V("X"), V("Y")),
+			NewAtom("t", V("Y"), V("Z")),
+		)); err != nil {
+			return false
+		}
+		if err := db.Run(); err != nil {
+			return false
+		}
+		// Reference reachability.
+		var dfs func(u int, seen []bool)
+		dfs = func(u int, seen []bool) {
+			for v := 0; v < n; v++ {
+				if adj[u][v] && !seen[v] {
+					seen[v] = true
+					dfs(v, seen)
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			seen := make([]bool, n)
+			dfs(i, seen)
+			for j := 0; j < n; j++ {
+				want := seen[j]
+				got := db.Holds("t", node(i), node(j))
+				if want != got {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func node(i int) string { return fmt.Sprintf("n%d", i) }
+
+func BenchmarkClosure(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db := NewDB()
+		for j := 0; j < 50; j++ {
+			if _, err := db.AddFact("dep", node(j+1), node(j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := db.AddRule(NewRule(NewAtom("t", V("X"), V("Y")), NewAtom("dep", V("X"), V("Y")))); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.AddRule(NewRule(
+			NewAtom("t", V("X"), V("Z")),
+			NewAtom("dep", V("X"), V("Y")),
+			NewAtom("t", V("Y"), V("Z")),
+		)); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

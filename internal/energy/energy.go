@@ -1,0 +1,124 @@
+// Package energy models device power draw over virtual time: the
+// digital power meter attached to the edge Raspberry Pis and the Trepn
+// profiler on the Android client in the paper's evaluation (§IV-C3,
+// §IV-D). Energy is the integral of per-state power over the time spent
+// in each state.
+package energy
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// State is a device power state.
+type State int
+
+// Power states. The paper's elasticity controller parks idle edge
+// devices in a low-power mode rather than shutting them down, so they
+// can resume without boot delay.
+const (
+	StateActive State = iota + 1
+	StateLowPower
+	StateOff
+)
+
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateLowPower:
+		return "low-power"
+	case StateOff:
+		return "off"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Profile gives a device's draw in watts per state.
+type Profile struct {
+	ActiveW   float64
+	LowPowerW float64
+	OffW      float64
+}
+
+// Draw returns the wattage for a state.
+func (p Profile) Draw(s State) float64 {
+	switch s {
+	case StateActive:
+		return p.ActiveW
+	case StateLowPower:
+		return p.LowPowerW
+	default:
+		return p.OffW
+	}
+}
+
+// Device power profiles, calibrated to published measurements for the
+// paper's hardware: Raspberry Pi 3B+, Raspberry Pi 4B, and a
+// Snapdragon-class handset. Only relative magnitudes matter for the
+// reproduced figures.
+var (
+	RPi3Profile   = Profile{ActiveW: 3.7, LowPowerW: 1.4, OffW: 0.0}
+	RPi4Profile   = Profile{ActiveW: 6.4, LowPowerW: 2.1, OffW: 0.0}
+	MobileProfile = Profile{ActiveW: 2.8, LowPowerW: 0.9, OffW: 0.0}
+)
+
+// Meter integrates a device's energy use over virtual time.
+type Meter struct {
+	clock   *simclock.Clock
+	profile Profile
+	state   State
+	since   time.Duration
+	joules  float64
+}
+
+// NewMeter returns a meter for a device starting in the given state.
+func NewMeter(clock *simclock.Clock, profile Profile, initial State) *Meter {
+	return &Meter{clock: clock, profile: profile, state: initial, since: clock.Now()}
+}
+
+// State returns the current power state.
+func (m *Meter) State() State { return m.state }
+
+// SetState transitions the device, accruing energy for the elapsed
+// period in the previous state.
+func (m *Meter) SetState(s State) {
+	m.accrue()
+	m.state = s
+}
+
+// accrue folds the time since the last checkpoint into the total.
+func (m *Meter) accrue() {
+	now := m.clock.Now()
+	dt := now - m.since
+	if dt > 0 {
+		m.joules += m.profile.Draw(m.state) * dt.Seconds()
+	}
+	m.since = now
+}
+
+// Joules returns the energy consumed so far, up to the current virtual
+// time.
+func (m *Meter) Joules() float64 {
+	m.accrue()
+	return m.joules
+}
+
+// Reset zeroes the accumulated energy.
+func (m *Meter) Reset() {
+	m.accrue()
+	m.joules = 0
+}
+
+// MobileRequestEnergy models the client-side energy of one remote
+// invocation (§IV-C3): the handset is active while transmitting and
+// processing for activeTime, and drops into its low-power idle state
+// while awaiting the response for waitTime. Longer waits still cost
+// energy, despite the low-power mode — which is why slow cloud links
+// drain batteries.
+func MobileRequestEnergy(p Profile, activeTime, waitTime time.Duration) float64 {
+	return p.ActiveW*activeTime.Seconds() + p.LowPowerW*waitTime.Seconds()
+}

@@ -1,0 +1,101 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeterIntegratesActive(t *testing.T) {
+	clock := simclock.New()
+	m := NewMeter(clock, Profile{ActiveW: 4}, StateActive)
+	clock.Advance(10 * time.Second)
+	if got := m.Joules(); !almost(got, 40) {
+		t.Fatalf("Joules = %v, want 40", got)
+	}
+}
+
+func TestMeterStateTransitions(t *testing.T) {
+	clock := simclock.New()
+	m := NewMeter(clock, Profile{ActiveW: 4, LowPowerW: 1}, StateActive)
+	clock.Advance(5 * time.Second) // 20 J active
+	m.SetState(StateLowPower)
+	clock.Advance(10 * time.Second) // 10 J low power
+	m.SetState(StateOff)
+	clock.Advance(100 * time.Second) // 0 J off
+	if got := m.Joules(); !almost(got, 30) {
+		t.Fatalf("Joules = %v, want 30", got)
+	}
+	if m.State() != StateOff {
+		t.Fatalf("State = %v", m.State())
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	clock := simclock.New()
+	m := NewMeter(clock, Profile{ActiveW: 2}, StateActive)
+	clock.Advance(time.Second)
+	m.Reset()
+	if m.Joules() != 0 {
+		t.Fatal("Reset did not zero energy")
+	}
+	clock.Advance(time.Second)
+	if got := m.Joules(); !almost(got, 2) {
+		t.Fatalf("post-reset Joules = %v, want 2", got)
+	}
+}
+
+func TestJoulesIsIdempotentAtSameInstant(t *testing.T) {
+	clock := simclock.New()
+	m := NewMeter(clock, Profile{ActiveW: 3}, StateActive)
+	clock.Advance(2 * time.Second)
+	a := m.Joules()
+	b := m.Joules()
+	if !almost(a, b) {
+		t.Fatalf("repeated Joules differ: %v vs %v", a, b)
+	}
+}
+
+func TestProfileDraw(t *testing.T) {
+	p := Profile{ActiveW: 5, LowPowerW: 2, OffW: 0.1}
+	if p.Draw(StateActive) != 5 || p.Draw(StateLowPower) != 2 || p.Draw(StateOff) != 0.1 {
+		t.Fatal("Draw mapping wrong")
+	}
+}
+
+func TestDeviceProfilesOrdering(t *testing.T) {
+	// RPi4 draws more than RPi3 in every state; low-power is far below
+	// active for all devices.
+	if RPi4Profile.ActiveW <= RPi3Profile.ActiveW {
+		t.Fatal("RPi4 must draw more than RPi3")
+	}
+	for _, p := range []Profile{RPi3Profile, RPi4Profile, MobileProfile} {
+		if p.LowPowerW >= p.ActiveW {
+			t.Fatal("low-power draw must be below active draw")
+		}
+	}
+}
+
+func TestMobileRequestEnergy(t *testing.T) {
+	p := Profile{ActiveW: 2, LowPowerW: 0.5}
+	// 1s active + 4s waiting = 2 + 2 = 4 J.
+	if got := MobileRequestEnergy(p, time.Second, 4*time.Second); !almost(got, 4) {
+		t.Fatalf("MobileRequestEnergy = %v, want 4", got)
+	}
+	// Longer waits cost more despite low-power mode (§IV-C3).
+	slow := MobileRequestEnergy(p, time.Second, 10*time.Second)
+	fast := MobileRequestEnergy(p, time.Second, time.Second)
+	if slow <= fast {
+		t.Fatal("longer wait must consume more energy")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateActive.String() != "active" || StateLowPower.String() != "low-power" || StateOff.String() != "off" {
+		t.Fatal("State strings wrong")
+	}
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/httpapp"
+	"repro/internal/netem"
+	"repro/internal/simclock"
+)
+
+// AccuracyRow summarizes the dynamic analysis for one subject.
+type AccuracyRow struct {
+	Subject string
+	// Tables/Files/Globals count the identified state units.
+	Tables, Files, Globals int
+	// Extracted counts services that received a genuine Extract Function
+	// refactoring; Replicated counts services served at the edge.
+	Extracted, Replicated, Services int
+	// IsolatedKB is the isolated replicated state; FullKB adds the
+	// process runtime image a whole-state approach would ship.
+	IsolatedKB, FullKB float64
+}
+
+// AnalysisAccuracy reproduces the §IV-E1 effectiveness measurement: how
+// much of the full application state the analysis isolates for
+// synchronization, per subject.
+func AnalysisAccuracy() (*Table, []AccuracyRow, error) {
+	t := &Table{
+		Title: "RQ3: dynamic-analysis effectiveness — isolated state vs whole-state replication",
+		Columns: []string{
+			"subject", "tables", "files", "globals", "extracted/services",
+			"isolated_KB", "whole_KB", "fraction",
+		},
+	}
+	var rows []AccuracyRow
+	for _, name := range SubjectNames() {
+		res, sub, err := TransformSubject(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := AccuracyRow{
+			Subject:    name,
+			Tables:     len(res.Units.Tables),
+			Files:      len(res.Units.Files),
+			Globals:    len(res.Units.Globals),
+			Extracted:  res.ExtractedCount(),
+			Replicated: len(res.ReplicatedServiceNames()),
+			Services:   len(sub.Services),
+			IsolatedKB: float64(res.InitState.SizeBytes()) / 1024,
+			FullKB:     float64(res.InitState.SizeBytes()+RuntimeFootprintBytes) / 1024,
+		}
+		rows = append(rows, row)
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%d", row.Tables),
+			fmt.Sprintf("%d", row.Files),
+			fmt.Sprintf("%d", row.Globals),
+			fmt.Sprintf("%d/%d", row.Extracted, row.Services),
+			cell(row.IsolatedKB), cell(row.FullKB),
+			fmt.Sprintf("%.4f", row.IsolatedKB/row.FullKB),
+		})
+	}
+	for _, r := range rows {
+		if r.Replicated != r.Services {
+			return t, rows, fmt.Errorf("experiments: %s replicated %d of %d services", r.Subject, r.Replicated, r.Services)
+		}
+		if r.IsolatedKB >= r.FullKB/10 {
+			return t, rows, fmt.Errorf("experiments: %s isolated state not an order of magnitude below whole state", r.Subject)
+		}
+		if r.Tables == 0 {
+			return t, rows, fmt.Errorf("experiments: %s: no tables identified", r.Subject)
+		}
+	}
+	return t, rows, nil
+}
+
+// AblationDeltaVsFullSync quantifies the design choice DESIGN.md calls
+// out: CRDT delta synchronization vs shipping the full state snapshot
+// every round.
+func AblationDeltaVsFullSync() (*Table, error) {
+	const n = 20
+	name := "sensor-hub"
+	res, _, err := TransformSubject(name)
+	if err != nil {
+		return nil, err
+	}
+	edge, err := RunEdge(name, netem.LimitedWAN(1000, 200), n, 4, EdgeOptions{Edges: 1, SyncInterval: 500 * time.Millisecond})
+	if err != nil {
+		return nil, err
+	}
+	// Full-state shipping cost: one snapshot per sync round over the
+	// same makespan.
+	rounds := float64(edge.Makespan) / float64(500*time.Millisecond)
+	fullBytes := rounds * float64(res.InitState.SizeBytes()+RuntimeFootprintBytes)
+	deltaBytes := float64(edge.SyncWANBytes)
+
+	t := &Table{
+		Title:   "Ablation: CRDT delta sync vs full-state shipping (sensor-hub, 20 requests)",
+		Columns: []string{"strategy", "WAN_KB"},
+		Rows: [][]string{
+			{"delta (EdgStr)", cellKB(int64(deltaBytes))},
+			{"full-state/round", cellKB(int64(fullBytes))},
+		},
+	}
+	if deltaBytes >= fullBytes {
+		return t, fmt.Errorf("experiments: delta sync %.0f ≥ full-state %.0f bytes", deltaBytes, fullBytes)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("delta saves %.1fx", fullBytes/deltaBytes))
+	return t, nil
+}
+
+// AblationLBPolicy compares least-connections routing (the paper's
+// choice) against round-robin on the heterogeneous Pi cluster under
+// load: least-connections adapts to the speed difference between RPi-3
+// and RPi-4 nodes.
+func AblationLBPolicy() (*Table, error) {
+	run := func(roundRobin bool) (float64, error) {
+		res, err := RunEdgeWithPolicy(fig9Subject, 300, 600, roundRobin)
+		if err != nil {
+			return 0, err
+		}
+		return res.Latency.Mean(), nil
+	}
+	lcMean, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	rrMean, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Ablation: least-connections vs round-robin balancing (mnist-rest, 300 RPS)",
+		Columns: []string{"policy", "mean_latency_ms"},
+		Rows: [][]string{
+			{"least-connections", cell(lcMean)},
+			{"round-robin", cell(rrMean)},
+		},
+	}
+	if lcMean > rrMean*1.1 {
+		return t, fmt.Errorf("experiments: least-connections (%.1f) clearly worse than round-robin (%.1f)", lcMean, rrMean)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("least-connections/round-robin latency ratio: %.2f", lcMean/rrMean))
+	return t, nil
+}
+
+// AblationSyncInterval sweeps the background synchronization period:
+// shorter intervals shrink staleness (time from the last edge write to
+// cloud convergence) but cost more WAN messages; longer intervals
+// batch more changes per message.
+func AblationSyncInterval() (*Table, error) {
+	t := &Table{
+		Title:   "Ablation: synchronization interval vs staleness and WAN cost (sensor-hub)",
+		Columns: []string{"interval", "sync_KB", "messages", "staleness_ms"},
+	}
+	const n = 20
+	intervals := []time.Duration{100 * time.Millisecond, 500 * time.Millisecond, 2 * time.Second}
+	var msgs []float64
+	var stale []float64
+	for _, iv := range intervals {
+		res, lag, m, err := runSyncIntervalScenario(iv, n)
+		if err != nil {
+			return nil, err
+		}
+		msgs = append(msgs, float64(m))
+		stale = append(stale, float64(lag)/float64(time.Millisecond))
+		t.Rows = append(t.Rows, []string{
+			iv.String(), cellKB(res), fmt.Sprintf("%d", m), cellMS(lag),
+		})
+	}
+	// Shape: message count falls as the interval grows; staleness rises.
+	if !(msgs[0] >= msgs[1] && msgs[1] >= msgs[2]) {
+		return t, fmt.Errorf("experiments: message counts not monotone: %v", msgs)
+	}
+	if stale[2] <= stale[0] {
+		return t, fmt.Errorf("experiments: staleness did not grow with interval: %v", stale)
+	}
+	return t, nil
+}
+
+func runSyncIntervalScenario(interval time.Duration, n int) (syncBytes int64, staleness time.Duration, messages int64, err error) {
+	res, sub, err := TransformSubject("sensor-hub")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	clock := simclock.New()
+	cfg := core.DefaultDeployConfig()
+	cfg.WAN = netem.FastWAN
+	cfg.EdgeSpecs = cfg.EdgeSpecs[:1]
+	cfg.SyncInterval = interval
+	dep, err := core.Deploy(clock, res, cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	lan, err := netem.NewDuplex(clock, netem.LAN, 37)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	client := cluster.NewClient(clock, cluster.MobileSpec, lan)
+	var lastDone time.Duration
+	cluster.OpenLoop(clock, 5, n, func(i int) {
+		client.SendVia(sub.SampleRequest(sub.Primary, i, 66), dep.HandleAtEdge, func(*httpapp.Response, error) {
+			lastDone = clock.Now()
+		})
+	})
+	runUntilComplete(clock, func() bool { return client.Completed+client.Failed >= n })
+	// Measure staleness: time from the last completion until convergence.
+	for !dep.Converged() && clock.Now() < scenarioDeadline {
+		clock.RunUntil(clock.Now() + 10*time.Millisecond)
+	}
+	staleness = clock.Now() - lastDone
+	dep.Stop()
+	st := dep.Sync.Stats()
+	return st.TotalBytes(), staleness, st.Messages, nil
+}

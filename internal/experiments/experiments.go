@@ -1,0 +1,131 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV) on the simulated testbed: Table II's per-service
+// traffic/latency profile, the RTT motivation of §II-A, the throughput
+// sweeps and Data Deluge index of Figure 7, the mobile-energy comparison
+// of Figure 8, the edge-cluster scalability and elasticity results of
+// Figure 9, and the synchronization-traffic and proxy-strategy
+// comparisons of Figure 10. Each experiment returns structured rows so
+// the cmd/experiments tool and the benchmark harness can print the same
+// series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/httpapp"
+	"repro/internal/workload"
+)
+
+// Table is a printable result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes summarizes the expected shape vs the paper.
+	Notes []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	b.WriteString("== " + t.Title + " ==\n")
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				for p := len(cell); p < widths[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("note: " + n + "\n")
+	}
+	return b.String()
+}
+
+// cell formats a float compactly.
+func cell(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func cellKB(bytes int64) string { return fmt.Sprintf("%.1f", float64(bytes)/1024) }
+
+func cellMS(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond))
+}
+
+// transformCache memoizes subject transformations: every experiment
+// reuses the same pipeline output, like the paper's one-time
+// transformation per subject.
+var (
+	transformMu    sync.Mutex
+	transformCache = map[string]*core.Result{}
+)
+
+// TransformSubject returns the (cached) transformation of a subject.
+func TransformSubject(name string) (*core.Result, workload.Subject, error) {
+	sub, err := workload.ByName(name)
+	if err != nil {
+		return nil, workload.Subject{}, err
+	}
+	transformMu.Lock()
+	defer transformMu.Unlock()
+	if res, ok := transformCache[name]; ok {
+		return res, sub, nil
+	}
+	res, err := core.TransformSubjectTraffic(sub.Name, sub.Source, sub.Routes(), sub.RegressionVectors())
+	if err != nil {
+		return nil, workload.Subject{}, fmt.Errorf("experiments: transforming %s: %w", name, err)
+	}
+	transformCache[name] = res
+	return res, sub, nil
+}
+
+// primaryRequest builds the i-th sample request for a subject's primary
+// service.
+func primaryRequest(sub workload.Subject, i int) *httpapp.Request {
+	return sub.SampleRequest(sub.Primary, i, 1234)
+}
+
+// SubjectNames lists the evaluated subjects in report order.
+func SubjectNames() []string {
+	var names []string
+	for _, s := range workload.Subjects() {
+		names = append(names, s.Name)
+	}
+	return names
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+)
+
+// Fig6bResult holds the cloud-vs-edge throughput regression of
+// Figure 6-(b).
+type Fig6bResult struct {
+	// CloudTput, RPi3Tput, RPi4Tput are per-subject compute-bound
+	// throughputs (req/s).
+	CloudTput, RPi3Tput, RPi4Tput []float64
+	// SlopeRPi3/SlopeRPi4 regress edge throughput against cloud
+	// throughput; both land far below y = x.
+	SlopeRPi3, SlopeRPi4 metrics.Regression
+	// SpeedRatio is SlopeRPi4/SlopeRPi3 — the paper measures 1.71, the
+	// processor benchmark says 1.8.
+	SpeedRatio float64
+}
+
+// Fig6b reproduces the benchmarking regression of Figure 6-(b): each
+// subject's primary service runs compute-bound on the cloud box, an
+// RPi-3, and an RPi-4; edge throughputs regress against cloud throughput
+// with slopes far below 1, and the RPi-4/RPi-3 slope ratio recovers the
+// devices' relative speed.
+func Fig6b() (*Table, *Fig6bResult, error) {
+	res := &Fig6bResult{}
+	t := &Table{
+		Title:   "Figure 6-(b): compute-bound throughput, cloud vs edge devices",
+		Columns: []string{"subject", "cloud_rps", "rpi3_rps", "rpi4_rps"},
+	}
+	for _, name := range SubjectNames() {
+		_, sub, err := TransformSubject(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		app, err := sub.NewApp()
+		if err != nil {
+			return nil, nil, err
+		}
+		// Measure the primary service's metered ops with one real
+		// invocation.
+		_, ops, err := app.Invoke(primaryRequest(sub, 0))
+		if err != nil {
+			return nil, nil, err
+		}
+		tput := func(spec cluster.DeviceSpec) float64 {
+			return float64(spec.Cores) * spec.OpsPerSec / ops
+		}
+		c, r3, r4 := tput(cluster.CloudSpec), tput(cluster.RPi3Spec), tput(cluster.RPi4Spec)
+		res.CloudTput = append(res.CloudTput, c)
+		res.RPi3Tput = append(res.RPi3Tput, r3)
+		res.RPi4Tput = append(res.RPi4Tput, r4)
+		t.Rows = append(t.Rows, []string{name, cell(c), cell(r3), cell(r4)})
+	}
+	var err error
+	res.SlopeRPi3, err = metrics.LinearRegression(res.CloudTput, res.RPi3Tput)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.SlopeRPi4, err = metrics.LinearRegression(res.CloudTput, res.RPi4Tput)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.SpeedRatio = res.SlopeRPi4.Slope / res.SlopeRPi3.Slope
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("slopes: rpi3=%.3f rpi4=%.3f (both ≪ 1: subjects are optimized for powerful servers)",
+			res.SlopeRPi3.Slope, res.SlopeRPi4.Slope),
+		fmt.Sprintf("rpi4/rpi3 slope ratio = %.2f (paper: 1.71 measured, 1.8 benchmark)", res.SpeedRatio))
+
+	if res.SlopeRPi3.Slope >= 0.5 || res.SlopeRPi4.Slope >= 0.5 {
+		return t, res, fmt.Errorf("experiments: edge slopes should be far below y=x")
+	}
+	if res.SpeedRatio < 1.6 || res.SpeedRatio > 2.0 {
+		return t, res, fmt.Errorf("experiments: rpi4/rpi3 ratio %.2f outside [1.6, 2.0]", res.SpeedRatio)
+	}
+	return t, res, nil
+}

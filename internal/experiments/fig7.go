@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/netem"
+)
+
+// Fig7Point is one sweep sample for one subject.
+type Fig7Point struct {
+	BandwidthMBps float64
+	CloudTput     float64
+	EdgeTput      float64
+	// CloudWANRate/EdgeWANRate are the WAN byte rates (bytes/s) each
+	// variant needs to sustain its throughput — the "network resources"
+	// of the Data Deluge index.
+	CloudWANRate float64
+	EdgeWANRate  float64
+}
+
+// Fig7Result is one subject's sweep with its crossover and deluge
+// indices.
+type Fig7Result struct {
+	Subject string
+	Points  []Fig7Point
+	// CrossoverIdx is the first sweep index (slow→fast) at which the
+	// cloud overtakes the edge; -1 when the edge always wins within the
+	// sweep. Below the crossover, the client-edge-cloud variant wins.
+	CrossoverIdx int
+	// DelugeCloud and DelugeEdge are I_deluge = ΔNet/ΔTput (Fig 7-g).
+	DelugeCloud float64
+	DelugeEdge  float64
+}
+
+// rate converts a byte volume over a makespan into bytes/s.
+func rate(bytes int64, makespan time.Duration) float64 {
+	if makespan <= 0 {
+		return 0
+	}
+	return float64(bytes) / makespan.Seconds()
+}
+
+// fig7Sweep is the paper's 0.1–5 MB/s WAN bandwidth range.
+func fig7Sweep() []netem.Config {
+	return netem.WANSweep(0.1e6, 5e6, 6, 80*time.Millisecond)
+}
+
+// Fig7Subject runs the throughput sweep of Figure 7 for one subject:
+// in a fast WAN client-cloud wins; as the WAN slows the client-edge-
+// cloud variant overtakes it.
+func Fig7Subject(name string) (*Fig7Result, error) {
+	const (
+		n   = 30
+		rps = 120 // offered load high enough to expose capacity
+	)
+	res := &Fig7Result{Subject: name, CrossoverIdx: -1}
+	for _, cfg := range fig7Sweep() {
+		cloud, err := RunCloud(name, cfg, n, rps)
+		if err != nil {
+			return nil, err
+		}
+		edge, err := RunEdge(name, cfg, n, rps, EdgeOptions{})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Fig7Point{
+			BandwidthMBps: cfg.BandwidthBps / 1e6,
+			CloudTput:     cloud.Throughput,
+			EdgeTput:      edge.Throughput,
+			CloudWANRate:  rate(cloud.ClientWANBytes, cloud.Makespan),
+			EdgeWANRate:   rate(edge.SyncWANBytes+edge.ForwardWANBytes, edge.Makespan),
+		})
+	}
+	// Crossover: sweep runs slow→fast; find where cloud overtakes edge.
+	cloudT := make([]float64, len(res.Points))
+	edgeT := make([]float64, len(res.Points))
+	cloudNet := make([]float64, len(res.Points))
+	edgeNet := make([]float64, len(res.Points))
+	for i, p := range res.Points {
+		cloudT[i], edgeT[i] = p.CloudTput, p.EdgeTput
+		cloudNet[i], edgeNet[i] = p.CloudWANRate, p.EdgeWANRate
+	}
+	res.CrossoverIdx = metrics.Crossover(edgeT, cloudT)
+	var err error
+	res.DelugeCloud, err = metrics.DelugeIndex(cloudNet, cloudT)
+	if err != nil {
+		return nil, err
+	}
+	res.DelugeEdge, err = metrics.DelugeIndex(edgeNet, edgeT)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Fig7 sweeps every subject and checks the paper's qualitative claims.
+func Fig7() (*Table, []*Fig7Result, error) {
+	t := &Table{
+		Title: "Figure 7: WAN speed vs throughput (client-cloud vs client-edge-cloud)",
+		Columns: []string{
+			"subject", "bw_MBps", "cloud_rps", "edge_rps", "winner",
+		},
+		Notes: []string{
+			"edge wins on slow WANs; cloud catches up (or wins) as the WAN speeds up",
+			"Fig 7-g: I_deluge grows with transmitted data for cloud, stays flat for EdgStr",
+		},
+	}
+	var results []*Fig7Result
+	for _, name := range SubjectNames() {
+		r, err := Fig7Subject(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, r)
+		for _, p := range r.Points {
+			winner := "edge"
+			if p.CloudTput > p.EdgeTput {
+				winner = "cloud"
+			}
+			t.Rows = append(t.Rows, []string{
+				r.Subject, cell(p.BandwidthMBps), cell(p.CloudTput), cell(p.EdgeTput), winner,
+			})
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"%s: crossover at idx %d, I_deluge cloud=%s edge=%s",
+			r.Subject, r.CrossoverIdx, cell(r.DelugeCloud), cell(r.DelugeEdge)))
+	}
+	// Shape checks: on the slowest WAN, the edge must beat the cloud for
+	// the data-heavy subjects; the cloud deluge index must dominate the
+	// edge index for upload-heavy subjects (Fig 7-g).
+	for _, r := range results {
+		first := r.Points[0]
+		if isDataHeavy(r.Subject) {
+			if first.EdgeTput <= first.CloudTput {
+				return t, results, fmt.Errorf("experiments: %s: edge %.2f ≤ cloud %.2f on slowest WAN",
+					r.Subject, first.EdgeTput, first.CloudTput)
+			}
+			if r.DelugeCloud <= r.DelugeEdge {
+				return t, results, fmt.Errorf("experiments: %s: deluge cloud %.0f ≤ edge %.0f",
+					r.Subject, r.DelugeCloud, r.DelugeEdge)
+			}
+		}
+	}
+	return t, results, nil
+}
+
+// isDataHeavy marks the subjects with heavy upload traffic, where the
+// paper says edge execution helps most prominently.
+func isDataHeavy(name string) bool {
+	switch name {
+	case "fobojet", "mnist-rest", "textify":
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/netem"
+)
+
+// Fig8Row is one subject's mobile-energy comparison.
+type Fig8Row struct {
+	Subject string
+	// CloudJ and EdgeJ are the client's energy over the run (Joules).
+	CloudJ, EdgeJ float64
+	// SavedJ is the absolute saving.
+	SavedJ float64
+}
+
+// Fig8 reproduces the consumed-energy comparison of Figure 8: each
+// subject executes 200 times over the limited cloud network; the
+// client-edge-cloud variant consistently consumes less client energy,
+// because the handset idles (in low-power mode, but still drawing
+// power) far longer while waiting on the slow WAN.
+func Fig8() (*Table, []Fig8Row, error) {
+	t := &Table{
+		Title:   "Figure 8: mobile-client energy, 200 executions, poor network",
+		Columns: []string{"subject", "cloud_J", "edge_J", "saved_J"},
+		Notes: []string{
+			"paper reports savings of 6.65–7.98 J per subject on its hardware",
+		},
+	}
+	const n = 200
+	wan := netem.LimitedWAN(800, 400)
+	var rows []Fig8Row
+	for _, name := range SubjectNames() {
+		cloud, err := RunCloud(name, wan, n, 2)
+		if err != nil {
+			return nil, nil, err
+		}
+		edge, err := RunEdge(name, wan, n, 2, EdgeOptions{})
+		if err != nil {
+			return nil, nil, err
+		}
+		row := Fig8Row{
+			Subject: name,
+			CloudJ:  cloud.ClientEnergyJ,
+			EdgeJ:   edge.ClientEnergyJ,
+			SavedJ:  cloud.ClientEnergyJ - edge.ClientEnergyJ,
+		}
+		rows = append(rows, row)
+		t.Rows = append(t.Rows, []string{name, cell(row.CloudJ), cell(row.EdgeJ), cell(row.SavedJ)})
+	}
+	for _, r := range rows {
+		if r.SavedJ <= 0 {
+			return t, rows, fmt.Errorf("experiments: %s: edge variant did not save energy (%.2f J)", r.Subject, r.SavedJ)
+		}
+	}
+	return t, rows, nil
+}

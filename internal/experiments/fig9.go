@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/netem"
+	"repro/internal/simclock"
+)
+
+// fig9Subject is the service used for the cluster experiments; its
+// moderate compute cost lets a single Pi saturate within the paper's
+// 10–300 RPS range.
+const fig9Subject = "mnist-rest"
+
+// Fig9Point is mean latency for one (RPS, replica-count) cell.
+type Fig9Point struct {
+	RPS     int
+	Actives int
+	MeanMS  float64
+}
+
+// Fig9Left reproduces the scalability half of Figure 9: observed latency
+// per RPS (10→300 step 50) for 1–4 active edge replicas. More replicas
+// help only once the request volume saturates a single replica.
+func Fig9Left() (*Table, []Fig9Point, error) {
+	t := &Table{
+		Title:   "Figure 9 (left): latency vs RPS for 1-4 active edge replicas",
+		Columns: []string{"rps", "k=1_ms", "k=2_ms", "k=3_ms", "k=4_ms"},
+		Notes: []string{
+			"at low RPS the replica count has no visible bearing; at high RPS more replicas cut latency",
+		},
+	}
+	var points []Fig9Point
+	rpsGrid := []int{10, 60, 110, 160, 210, 260, 300}
+	for _, rps := range rpsGrid {
+		row := []string{fmt.Sprintf("%d", rps)}
+		for k := 1; k <= 4; k++ {
+			n := rps * 3 // three seconds of offered load
+			if n > 600 {
+				n = 600
+			}
+			res, err := RunEdge(fig9Subject, netem.FastWAN, n, float64(rps), EdgeOptions{
+				Edges: 4, ActiveEdges: k,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			mean := res.Latency.Mean()
+			points = append(points, Fig9Point{RPS: rps, Actives: k, MeanMS: mean})
+			row = append(row, cell(mean))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	// Shape checks: at the lowest RPS, k barely matters; at the highest,
+	// k=4 beats k=1 clearly.
+	lowK1, lowK4 := findPoint(points, rpsGrid[0], 1), findPoint(points, rpsGrid[0], 4)
+	highK1, highK4 := findPoint(points, 300, 1), findPoint(points, 300, 4)
+	if lowK4 < lowK1*0.7 {
+		return t, points, fmt.Errorf("experiments: replicas helped at low RPS (%.1f vs %.1f) — unexpected", lowK4, lowK1)
+	}
+	if highK4 >= highK1 {
+		return t, points, fmt.Errorf("experiments: replicas did not help at 300 RPS (k4=%.1f k1=%.1f)", highK4, highK1)
+	}
+	return t, points, nil
+}
+
+func findPoint(points []Fig9Point, rps, k int) float64 {
+	for _, p := range points {
+		if p.RPS == rps && p.Actives == k {
+			return p.MeanMS
+		}
+	}
+	return 0
+}
+
+// Fig9RightResult compares the elastic controller against an always-on
+// cluster over a rise-and-fall load profile.
+type Fig9RightResult struct {
+	FixedEnergyJ, ElasticEnergyJ float64
+	FixedMeanMS, ElasticMeanMS   float64
+	// SavingPct is the edge-energy reduction; the paper reports 12.96%.
+	SavingPct float64
+	// Transitions counts the controller's scale adjustments.
+	Transitions int
+}
+
+// Fig9Right reproduces the elasticity half of Figure 9: as client
+// request volume falls, the controller powers replicas down from 4 to
+// 1, cutting edge energy with only a slight latency increase.
+func Fig9Right() (*Table, *Fig9RightResult, error) {
+	fixedE, fixedLat, _, err := runElasticityScenario(false)
+	if err != nil {
+		return nil, nil, err
+	}
+	elasticE, elasticLat, transitions, err := runElasticityScenario(true)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Fig9RightResult{
+		FixedEnergyJ:   fixedE,
+		ElasticEnergyJ: elasticE,
+		FixedMeanMS:    fixedLat,
+		ElasticMeanMS:  elasticLat,
+		SavingPct:      (fixedE - elasticE) / fixedE * 100,
+		Transitions:    transitions,
+	}
+	t := &Table{
+		Title:   "Figure 9 (right): elastic power-down vs always-active replicas",
+		Columns: []string{"mode", "edge_energy_J", "mean_latency_ms"},
+		Rows: [][]string{
+			{"always-4", cell(res.FixedEnergyJ), cell(res.FixedMeanMS)},
+			{"elastic", cell(res.ElasticEnergyJ), cell(res.ElasticMeanMS)},
+		},
+		Notes: []string{
+			fmt.Sprintf("energy saving %.1f%% (paper: 12.96%%), scale transitions: %d",
+				res.SavingPct, res.Transitions),
+		},
+	}
+	if res.SavingPct <= 0 {
+		return t, res, fmt.Errorf("experiments: elasticity saved no energy (%.1f%%)", res.SavingPct)
+	}
+	if res.ElasticMeanMS < res.FixedMeanMS*0.5 {
+		return t, res, fmt.Errorf("experiments: elastic latency unexpectedly better")
+	}
+	return t, res, nil
+}
+
+// runElasticityScenario drives a two-phase load (busy then quiet) and
+// returns edge energy, mean latency, and scale transitions.
+func runElasticityScenario(autoscale bool) (energyJ, meanMS float64, transitions int, err error) {
+	res, sub, err := TransformSubject(fig9Subject)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	clock := simclock.New()
+	cfg := core.DefaultDeployConfig()
+	cfg.WAN = netem.FastWAN
+	dep, err := core.Deploy(clock, res, cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var scaler *cluster.Autoscaler
+	if autoscale {
+		scaler, err = cluster.NewAutoscaler(clock, dep.Balancer, 4, 500*time.Millisecond)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		scaler.Start()
+	}
+	lan, err := netem.NewDuplex(clock, netem.LAN, 17)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	client := cluster.NewClient(clock, cluster.MobileSpec, lan)
+
+	send := func(i int) {
+		client.SendVia(sub.SampleRequest(sub.Primary, i, 55), dep.HandleAtEdge, nil)
+	}
+	// Phase 1: 10 s at 150 RPS. Phase 2: 50 s at 5 RPS.
+	total := 0
+	cluster.OpenLoop(clock, 150, 1500, func(i int) { send(i); total++ })
+	for i := 0; i < 250; i++ {
+		i := i
+		clock.At(10*time.Second+time.Duration(i)*200*time.Millisecond, func() { send(1500 + i); total++ })
+	}
+	clock.RunUntil(62 * time.Second)
+	if scaler != nil {
+		scaler.Stop()
+		transitions = scaler.Transitions()
+	}
+	dep.Stop()
+
+	for _, e := range dep.Edges {
+		energyJ += e.Server.Node.Energy.Joules()
+	}
+	return energyJ, client.Latency.Mean(), transitions, nil
+}

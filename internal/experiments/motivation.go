@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/netem"
+)
+
+// MotivationRTT reproduces the §II-A observation: hosting the cloud
+// service on a neighboring continent inflates RTT by an order of
+// magnitude, and invocation latency follows.
+func MotivationRTT() (*Table, error) {
+	t := &Table{
+		Title:   "§II-A motivation: cloud placement vs invocation latency (fobojet /predict)",
+		Columns: []string{"placement", "rtt_ms", "mean_latency_ms", "p95_latency_ms"},
+	}
+	type placement struct {
+		name string
+		cfg  netem.Config
+	}
+	var rtts, lats []float64
+	for _, p := range []placement{
+		{"same-continent", netem.SameContinent},
+		{"cross-continent", netem.CrossContinent},
+	} {
+		res, err := RunCloud("fobojet", p.cfg, 10, 1)
+		if err != nil {
+			return nil, err
+		}
+		rtt := float64(p.cfg.RTT().Milliseconds())
+		mean := res.Latency.Mean()
+		rtts = append(rtts, rtt)
+		lats = append(lats, mean)
+		t.Rows = append(t.Rows, []string{p.name, cell(rtt), cell(mean), cell(res.Latency.Percentile(95))})
+	}
+	rttRatio := rtts[1] / rtts[0]
+	latRatio := lats[1] / lats[0]
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("RTT ratio %.1fx (paper: order of magnitude), latency ratio %.1fx", rttRatio, latRatio))
+	if rttRatio < 8 {
+		return t, fmt.Errorf("experiments: RTT ratio %.1f below the paper's order-of-magnitude gap", rttRatio)
+	}
+	if latRatio < 2 {
+		return t, fmt.Errorf("experiments: latency ratio %.1f too small — placement should dominate", latRatio)
+	}
+	return t, nil
+}

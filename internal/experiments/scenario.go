@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/httpapp"
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// ScenarioResult aggregates one load run.
+type ScenarioResult struct {
+	// Latency holds end-to-end client latencies in milliseconds.
+	Latency metrics.Series
+	// Completed and Failed count requests.
+	Completed int
+	Failed    int
+	// Makespan is the virtual time from start to last completion.
+	Makespan time.Duration
+	// Throughput is completed requests per second of makespan.
+	Throughput float64
+	// ClientWANBytes is client↔server traffic carried over the WAN
+	// (zero in edge scenarios, where clients ride the LAN).
+	ClientWANBytes int64
+	// SyncWANBytes is background CRDT synchronization traffic.
+	SyncWANBytes int64
+	// ForwardWANBytes is failure/non-replicated forwarding traffic.
+	ForwardWANBytes int64
+	// ClientEnergyJ is the mobile client's energy.
+	ClientEnergyJ float64
+	// EdgeEnergyJ sums the edge devices' energy (edge scenarios).
+	EdgeEnergyJ float64
+}
+
+// WANBytesPerRequest returns total WAN traffic per completed request.
+func (r *ScenarioResult) WANBytesPerRequest() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return float64(r.ClientWANBytes+r.SyncWANBytes+r.ForwardWANBytes) / float64(r.Completed)
+}
+
+// scenarioDeadline bounds a run in virtual time.
+const scenarioDeadline = 30 * time.Minute
+
+// RunCloud executes the original two-tier deployment: the client invokes
+// the cloud service's primary endpoint over the WAN.
+func RunCloud(subName string, wan netem.Config, n int, rps float64) (*ScenarioResult, error) {
+	return RunCloudService(subName, -1, wan, n, rps)
+}
+
+// RunCloudService is RunCloud for a specific service index (-1 =
+// primary).
+func RunCloudService(subName string, svcIdx int, wan netem.Config, n int, rps float64) (*ScenarioResult, error) {
+	sub, err := workload.ByName(subName)
+	if err != nil {
+		return nil, err
+	}
+	if svcIdx < 0 || svcIdx >= len(sub.Services) {
+		svcIdx = sub.Primary
+	}
+	app, err := sub.NewApp()
+	if err != nil {
+		return nil, err
+	}
+	clock := simclock.New()
+	link, err := netem.NewDuplex(clock, wan, 11)
+	if err != nil {
+		return nil, err
+	}
+	client := cluster.NewClient(clock, cluster.MobileSpec, link)
+	server := cluster.NewServer("cloud", cluster.NewNode(clock, cluster.CloudSpec), app)
+	route := func() (*cluster.Server, error) { return server, nil }
+
+	var lastDone time.Duration
+	cluster.OpenLoop(clock, rps, n, func(i int) {
+		client.Send(sub.SampleRequest(svcIdx, i, 1234), route, func(*httpapp.Response, error) {
+			lastDone = clock.Now()
+		})
+	})
+	runUntilComplete(clock, func() bool { return client.Completed+client.Failed >= n })
+
+	res := &ScenarioResult{
+		Latency:        client.Latency,
+		Completed:      client.Completed,
+		Failed:         client.Failed,
+		Makespan:       lastDone,
+		ClientWANBytes: link.TotalBytes(),
+		ClientEnergyJ:  client.EnergyJoules,
+	}
+	res.Throughput = metrics.Throughput(res.Completed, res.Makespan)
+	return res, nil
+}
+
+// EdgeOptions tunes the three-tier scenario.
+type EdgeOptions struct {
+	// Edges is the number of edge replicas (device specs alternate
+	// RPi-3 / RPi-4 as in the paper's cluster).
+	Edges int
+	// ActiveEdges limits powered-up replicas (0 = all).
+	ActiveEdges int
+	// Autoscale enables the elasticity controller.
+	Autoscale bool
+	// SyncInterval overrides the default background sync period.
+	SyncInterval time.Duration
+	// Service selects which service's requests to generate (-1 or 0
+	// value semantics: <0 means the subject's primary service).
+	Service int
+	// RoundRobin switches the balancer from least-connections to
+	// round-robin (ablation).
+	RoundRobin bool
+}
+
+// RunEdgeWithPolicy is a convenience wrapper for the load-balancing
+// ablation.
+func RunEdgeWithPolicy(subName string, rps float64, n int, roundRobin bool) (*ScenarioResult, error) {
+	return RunEdge(subName, netem.FastWAN, n, rps, EdgeOptions{RoundRobin: roundRobin})
+}
+
+// RunEdge executes the transformed three-tier deployment: the client
+// reaches an edge replica over the LAN; replicas synchronize with the
+// cloud master over the WAN in the background.
+func RunEdge(subName string, wan netem.Config, n int, rps float64, opts EdgeOptions) (*ScenarioResult, error) {
+	res, sub, err := TransformSubject(subName)
+	if err != nil {
+		return nil, err
+	}
+	clock := simclock.New()
+	cfg := core.DefaultDeployConfig()
+	cfg.WAN = wan
+	if opts.Edges > 0 {
+		cfg.EdgeSpecs = nil
+		for i := 0; i < opts.Edges; i++ {
+			if i%2 == 0 {
+				cfg.EdgeSpecs = append(cfg.EdgeSpecs, cluster.RPi4Spec)
+			} else {
+				cfg.EdgeSpecs = append(cfg.EdgeSpecs, cluster.RPi3Spec)
+			}
+		}
+	}
+	if opts.SyncInterval > 0 {
+		cfg.SyncInterval = opts.SyncInterval
+	}
+	if opts.RoundRobin {
+		cfg.Policy = cluster.RoundRobin
+	}
+	dep, err := core.Deploy(clock, res, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if opts.ActiveEdges > 0 {
+		dep.Balancer.SetActiveCount(opts.ActiveEdges)
+	}
+	var scaler *cluster.Autoscaler
+	if opts.Autoscale {
+		scaler, err = cluster.NewAutoscaler(clock, dep.Balancer, 4, time.Second)
+		if err != nil {
+			return nil, err
+		}
+		scaler.Start()
+	}
+
+	lan, err := netem.NewDuplex(clock, netem.LAN, 13)
+	if err != nil {
+		return nil, err
+	}
+	client := cluster.NewClient(clock, cluster.MobileSpec, lan)
+
+	svcIdx := opts.Service
+	if svcIdx < 0 || svcIdx >= len(sub.Services) {
+		svcIdx = sub.Primary
+	}
+	var lastDone time.Duration
+	cluster.OpenLoop(clock, rps, n, func(i int) {
+		client.SendVia(sub.SampleRequest(svcIdx, i, 1234), dep.HandleAtEdge, func(*httpapp.Response, error) {
+			lastDone = clock.Now()
+		})
+	})
+	runUntilComplete(clock, func() bool { return client.Completed+client.Failed >= n })
+	if scaler != nil {
+		scaler.Stop()
+	}
+	dep.Stop()
+
+	out := &ScenarioResult{
+		Latency:       client.Latency,
+		Completed:     client.Completed,
+		Failed:        client.Failed,
+		Makespan:      lastDone,
+		ClientEnergyJ: client.EnergyJoules,
+		SyncWANBytes:  dep.Sync.Stats().TotalBytes(),
+	}
+	for _, e := range dep.Edges {
+		out.EdgeEnergyJ += e.Server.Node.Energy.Joules()
+		out.ForwardWANBytes += e.WAN.TotalBytes()
+	}
+	// Edge WAN links carry both sync and forwarding; subtract sync to
+	// isolate forwarding.
+	out.ForwardWANBytes -= out.SyncWANBytes
+	if out.ForwardWANBytes < 0 {
+		out.ForwardWANBytes = 0
+	}
+	out.Throughput = metrics.Throughput(out.Completed, out.Makespan)
+	return out, nil
+}
+
+// runUntilComplete advances the clock until done() or the deadline.
+func runUntilComplete(clock *simclock.Clock, done func() bool) {
+	for clock.Now() < scenarioDeadline {
+		if done() {
+			return
+		}
+		clock.RunUntil(clock.Now() + 250*time.Millisecond)
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import "testing"
+
+func TestTable2Smoke(t *testing.T) {
+	tab, rows, err := Table2()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tab.Render())
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	t.Log("\n" + tab.Render())
+}
+
+func TestFig6bSmoke(t *testing.T) {
+	tab, res, err := Fig6b()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tab.Render())
+	}
+	t.Logf("ratio=%.2f\n%s", res.SpeedRatio, tab.Render())
+}
+
+func TestFig7Smoke(t *testing.T) {
+	r, err := Fig7Subject("fobojet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range r.Points {
+		t.Logf("bw=%.2f cloud=%.2f edge=%.2f", p.BandwidthMBps, p.CloudTput, p.EdgeTput)
+	}
+	t.Logf("crossover=%d delugeCloud=%.0f delugeEdge=%.0f", r.CrossoverIdx, r.DelugeCloud, r.DelugeEdge)
+}
+
+func TestFig8Smoke(t *testing.T) {
+	tab, rows, err := Fig8()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tab.Render())
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	t.Log("\n" + tab.Render())
+}
+
+func TestFig9Smoke(t *testing.T) {
+	tab, _, err := Fig9Left()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tab.Render())
+	}
+	t.Log("\n" + tab.Render())
+	tab2, res, err := Fig9Right()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tab2.Render())
+	}
+	t.Logf("saving=%.1f%%\n%s", res.SavingPct, tab2.Render())
+}
+
+func TestFig10Smoke(t *testing.T) {
+	tab, rows, err := Fig10a()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tab.Render())
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	t.Log("\n" + tab.Render())
+	tab2, res, err := Fig10b()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tab2.Render())
+	}
+	t.Logf("cacheable=%d\n%s", res.CacheableSubjects, tab2.Render())
+}
+
+func TestAccuracyAndAblationsSmoke(t *testing.T) {
+	tab, rows, err := AnalysisAccuracy()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tab.Render())
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	t.Log("\n" + tab.Render())
+
+	tab2, err := AblationDeltaVsFullSync()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tab2.Render())
+	}
+	t.Log("\n" + tab2.Render())
+
+	tab3, err := AblationLBPolicy()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tab3.Render())
+	}
+	t.Log("\n" + tab3.Render())
+}
+
+func TestMotivationSmoke(t *testing.T) {
+	tab, err := MotivationRTT()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tab.Render())
+	}
+	t.Log("\n" + tab.Render())
+}
+
+func TestTable2FullSmoke(t *testing.T) {
+	tab, err := Table2Full()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tab.Render())
+	}
+	if len(tab.Rows) != 42 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	t.Log("\n" + tab.Render())
+}
+
+func TestAblationSyncIntervalSmoke(t *testing.T) {
+	tab, err := AblationSyncInterval()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tab.Render())
+	}
+	t.Log("\n" + tab.Render())
+}

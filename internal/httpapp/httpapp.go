@@ -1,0 +1,430 @@
+// Package httpapp is a small Express-like framework for services written
+// in the script dialect. A service App binds HTTP routes (verb + path
+// pattern) to script handler functions and provides the native objects
+// the paper's Node.js services rely on: req/res for unmarshaling and
+// marshaling, db for SQL state, and fs for file state.
+//
+// Apps can be driven two ways: in-process via Invoke (used by the
+// simulator and by the EdgStr analysis pipeline) and over real HTTP via
+// ServeHTTP (used by the live traffic-capture step).
+package httpapp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/script"
+	"repro/internal/sqldb"
+	"repro/internal/vfs"
+)
+
+// ErrNoRoute is returned when no route matches a request.
+var ErrNoRoute = errors.New("httpapp: no matching route")
+
+// Route binds an HTTP method and path pattern to a script function.
+// Path patterns support ":name" parameter segments ("/books/:id").
+type Route struct {
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	// Handler names the script function invoked as handler(req, res).
+	Handler string `json:"handler"`
+}
+
+// String renders "GET /path".
+func (r Route) String() string { return r.Method + " " + r.Path }
+
+// Request is an in-process HTTP request.
+type Request struct {
+	Method string
+	Path   string
+	// Query holds query/form parameters.
+	Query map[string]string
+	// Body is the raw request payload.
+	Body []byte
+}
+
+// Size returns the request's approximate wire size in bytes.
+func (r *Request) Size() int {
+	n := len(r.Method) + len(r.Path) + len(r.Body)
+	for k, v := range r.Query {
+		n += len(k) + len(v) + 2
+	}
+	return n
+}
+
+// Clone returns an independent copy of the request.
+func (r *Request) Clone() *Request {
+	cp := &Request{Method: r.Method, Path: r.Path, Query: make(map[string]string, len(r.Query))}
+	for k, v := range r.Query {
+		cp.Query[k] = v
+	}
+	cp.Body = append([]byte(nil), r.Body...)
+	return cp
+}
+
+// Response is an in-process HTTP response.
+type Response struct {
+	Status int
+	// Body is the marshaled payload (JSON encoding of Value, or raw
+	// bytes for SendBytes).
+	Body []byte
+	// Value is the script value passed to res.send, before marshaling.
+	Value any
+}
+
+// Size returns the response's approximate wire size in bytes.
+func (r *Response) Size() int { return len(r.Body) }
+
+// App is one service instance: a script program with its routes and
+// native state (database, filesystem). Handler invocations are
+// serialized, mirroring the single-threaded Node.js event loop.
+type App struct {
+	name   string
+	source string
+	routes []Route
+
+	mu     sync.Mutex
+	prog   *script.Program
+	interp *script.Interp
+	db     *sqldb.DB
+	fs     *vfs.FS
+}
+
+// Option configures an App.
+type Option func(*App)
+
+// WithDB installs an existing database instead of a fresh one.
+func WithDB(db *sqldb.DB) Option { return func(a *App) { a.db = db } }
+
+// WithFS installs an existing filesystem instead of a fresh one.
+func WithFS(fs *vfs.FS) Option { return func(a *App) { a.fs = fs } }
+
+// New parses source, installs the native objects, and evaluates the
+// app's init step (global declarations, then the optional init()
+// function, which typically creates tables and seeds files).
+func New(name, source string, routes []Route, opts ...Option) (*App, error) {
+	prog, err := script.Parse(source)
+	if err != nil {
+		return nil, fmt.Errorf("httpapp %q: %w", name, err)
+	}
+	for _, rt := range routes {
+		if _, ok := prog.Funcs[rt.Handler]; !ok {
+			return nil, fmt.Errorf("httpapp %q: route %s names unknown handler %q", name, rt, rt.Handler)
+		}
+	}
+	a := &App{name: name, source: source, routes: append([]Route(nil), routes...), prog: prog}
+	for _, opt := range opts {
+		opt(a)
+	}
+	if a.db == nil {
+		a.db = sqldb.Open()
+	}
+	if a.fs == nil {
+		a.fs = vfs.New()
+	}
+	a.interp = script.New(prog)
+	a.interp.Register("db", DBObject(a.db))
+	a.interp.Register("fs", FSObject(a.fs))
+	if err := a.interp.RunInit(); err != nil {
+		return nil, fmt.Errorf("httpapp %q: init: %w", name, err)
+	}
+	if _, ok := prog.Funcs["init"]; ok {
+		if _, err := a.interp.Call("init"); err != nil {
+			return nil, fmt.Errorf("httpapp %q: init(): %w", name, err)
+		}
+	}
+	return a, nil
+}
+
+// Name returns the app's name.
+func (a *App) Name() string { return a.name }
+
+// Source returns the script source.
+func (a *App) Source() string { return a.source }
+
+// Routes returns the app's routes.
+func (a *App) Routes() []Route { return append([]Route(nil), a.routes...) }
+
+// Program returns the parsed program.
+func (a *App) Program() *script.Program { return a.prog }
+
+// Interp exposes the interpreter (for analysis hooks and state capture).
+// Callers must not invoke it concurrently with Invoke.
+func (a *App) Interp() *script.Interp { return a.interp }
+
+// DB returns the app's database.
+func (a *App) DB() *sqldb.DB { return a.db }
+
+// FS returns the app's filesystem.
+func (a *App) FS() *vfs.FS { return a.fs }
+
+// Clone builds a fresh instance of the same app (own interpreter, own
+// database, own filesystem), re-running initialization — the starting
+// point for an edge replica before state is loaded into it.
+func (a *App) Clone() (*App, error) {
+	return New(a.name, a.source, a.routes)
+}
+
+// Lookup finds the route matching method and path and returns it with
+// any extracted path parameters.
+func (a *App) Lookup(method, path string) (Route, map[string]string, error) {
+	for _, rt := range a.routes {
+		if !strings.EqualFold(rt.Method, method) {
+			continue
+		}
+		if params, ok := matchPath(rt.Path, path); ok {
+			return rt, params, nil
+		}
+	}
+	return Route{}, nil, fmt.Errorf("%w: %s %s", ErrNoRoute, method, path)
+}
+
+// matchPath matches a ":param" pattern against a concrete path.
+func matchPath(pattern, path string) (map[string]string, bool) {
+	ps := strings.Split(strings.Trim(pattern, "/"), "/")
+	xs := strings.Split(strings.Trim(path, "/"), "/")
+	if len(ps) != len(xs) {
+		return nil, false
+	}
+	params := map[string]string{}
+	for i := range ps {
+		if strings.HasPrefix(ps[i], ":") {
+			params[ps[i][1:]] = xs[i]
+			continue
+		}
+		if ps[i] != xs[i] {
+			return nil, false
+		}
+	}
+	return params, true
+}
+
+// Invoke dispatches an in-process request to the matching handler and
+// returns the response along with the metered compute cost of the
+// execution (in abstract ops). Handler script errors surface as the
+// returned error with a 500 response, which is what lets edge replicas
+// detect failures and forward them to the cloud master.
+func (a *App) Invoke(req *Request) (*Response, float64, error) {
+	rt, params, err := a.Lookup(req.Method, req.Path)
+	if err != nil {
+		return &Response{Status: http.StatusNotFound}, 0, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	resp := &Response{Status: http.StatusOK}
+	reqObj := requestObject(req, params)
+	resObj := responseObject(resp)
+
+	before := a.interp.Meter().Ops()
+	_, err = a.interp.Call(rt.Handler, reqObj, resObj)
+	cost := a.interp.Meter().Ops() - before
+	if err != nil {
+		return &Response{Status: http.StatusInternalServerError}, cost, fmt.Errorf("httpapp %q: %s: %w", a.name, rt, err)
+	}
+	if resp.Body == nil && resp.Value != nil {
+		if err := marshalValue(resp); err != nil {
+			return &Response{Status: http.StatusInternalServerError}, cost, err
+		}
+	}
+	return resp, cost, nil
+}
+
+func marshalValue(resp *Response) error {
+	b, err := json.Marshal(script.ToJSONValue(resp.Value))
+	if err != nil {
+		return fmt.Errorf("httpapp: marshaling response: %w", err)
+	}
+	resp.Body = b
+	return nil
+}
+
+// requestObject builds the script-visible req object. Its methods are
+// the unmarshaling points the analysis identifies as service entry
+// points.
+func requestObject(req *Request, params map[string]string) *script.Object {
+	return script.NewObject("req", map[string]script.Builtin{
+		"method": func(c *script.Call) (any, error) { return req.Method, nil },
+		"path":   func(c *script.Call) (any, error) { return req.Path, nil },
+		"param": func(c *script.Call) (any, error) {
+			name := c.StringArg(0)
+			if v, ok := params[name]; ok {
+				return v, nil
+			}
+			if v, ok := req.Query[name]; ok {
+				return v, nil
+			}
+			return nil, nil
+		},
+		"query": func(c *script.Call) (any, error) {
+			m := make(map[string]any, len(req.Query))
+			for k, v := range req.Query {
+				m[k] = v
+			}
+			return m, nil
+		},
+		"body": func(c *script.Call) (any, error) {
+			return append([]byte(nil), req.Body...), nil
+		},
+		"text": func(c *script.Call) (any, error) { return string(req.Body), nil },
+		"json": func(c *script.Call) (any, error) {
+			var v any
+			if err := json.Unmarshal(req.Body, &v); err != nil {
+				return nil, fmt.Errorf("req.json: %w", err)
+			}
+			return script.FromJSONValue(v), nil
+		},
+	})
+}
+
+// responseObject builds the script-visible res object. Its send methods
+// are the marshaling points the analysis identifies as service exit
+// points.
+func responseObject(resp *Response) *script.Object {
+	return script.NewObject("res", map[string]script.Builtin{
+		"status": func(c *script.Call) (any, error) {
+			resp.Status = int(c.NumArg(0))
+			return nil, nil
+		},
+		"send": func(c *script.Call) (any, error) {
+			resp.Value = c.Arg(0)
+			return nil, marshalValue(resp)
+		},
+		"sendBytes": func(c *script.Call) (any, error) {
+			b, ok := c.Arg(0).([]byte)
+			if !ok {
+				return nil, fmt.Errorf("res.sendBytes: argument must be bytes, got %T", c.Arg(0))
+			}
+			resp.Value = b
+			resp.Body = append([]byte(nil), b...)
+			return nil, nil
+		},
+	})
+}
+
+// DBObject wraps a database as the script-visible db object.
+func DBObject(db *sqldb.DB) *script.Object {
+	return script.NewObject("db", map[string]script.Builtin{
+		// exec runs any SQL statement; SELECT returns a list of row maps.
+		"exec": func(c *script.Call) (any, error) {
+			return dbExec(db, c)
+		},
+		"query": func(c *script.Call) (any, error) {
+			return dbExec(db, c)
+		},
+	})
+}
+
+func dbExec(db *sqldb.DB, c *script.Call) (any, error) {
+	q := c.StringArg(0)
+	args := make([]any, 0, len(c.Args)-1)
+	for _, a := range c.Args[1:] {
+		args = append(args, a)
+	}
+	res, err := db.Exec(q, args...)
+	if err != nil {
+		return nil, err
+	}
+	if res.Cols == nil {
+		// Non-SELECT statements return their affected-row count.
+		return float64(res.Affected), nil
+	}
+	lst := script.NewList()
+	for _, row := range res.Rows {
+		m := make(map[string]any, len(row))
+		for k, v := range row {
+			m[k] = dbToScript(v)
+		}
+		lst.Elems = append(lst.Elems, m)
+	}
+	return lst, nil
+}
+
+func dbToScript(v any) any {
+	switch x := v.(type) {
+	case int64:
+		return float64(x)
+	default:
+		return x
+	}
+}
+
+// FSObject wraps a filesystem as the script-visible fs object.
+func FSObject(fs *vfs.FS) *script.Object {
+	return script.NewObject("fs", map[string]script.Builtin{
+		"read": func(c *script.Call) (any, error) {
+			return fs.Read(c.StringArg(0))
+		},
+		"write": func(c *script.Call) (any, error) {
+			content, ok := c.Arg(1).([]byte)
+			if !ok {
+				content = []byte(c.StringArg(1))
+			}
+			return nil, fs.Write(c.StringArg(0), content)
+		},
+		"exists": func(c *script.Call) (any, error) {
+			return fs.Exists(c.StringArg(0)), nil
+		},
+		"remove": func(c *script.Call) (any, error) {
+			return nil, fs.Remove(c.StringArg(0))
+		},
+		"list": func(c *script.Call) (any, error) {
+			paths := fs.List(c.StringArg(0))
+			lst := script.NewList()
+			for _, p := range paths {
+				lst.Elems = append(lst.Elems, p)
+			}
+			return lst, nil
+		},
+	})
+}
+
+// ServeHTTP adapts the app to net/http so live traffic can be captured
+// by a recording proxy.
+func (a *App) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req := &Request{
+		Method: r.Method,
+		Path:   r.URL.Path,
+		Query:  flattenQuery(r.URL.Query()),
+		Body:   body,
+	}
+	resp, _, err := a.Invoke(req)
+	if err != nil {
+		if errors.Is(err, ErrNoRoute) {
+			http.NotFound(w, r)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.Status)
+	_, _ = w.Write(resp.Body)
+}
+
+func flattenQuery(q url.Values) map[string]string {
+	m := make(map[string]string, len(q))
+	keys := make([]string, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if vs := q[k]; len(vs) > 0 {
+			m[k] = vs[0]
+		}
+	}
+	return m
+}

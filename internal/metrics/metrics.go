@@ -1,0 +1,228 @@
+// Package metrics provides the statistics the evaluation reports:
+// percentiles and box statistics (Figure 10-b), linear regression
+// (Figure 6-b), normalized throughput, and the paper's Data Deluge index
+// I_deluge = ΔNet/ΔTput (Figure 7-g).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Series accumulates float64 observations.
+type Series struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (s *Series) Add(v float64) {
+	s.xs = append(s.xs, v)
+	s.sorted = false
+}
+
+// AddDuration appends a duration observation in milliseconds.
+func (s *Series) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// N returns the observation count.
+func (s *Series) N() int { return len(s.xs) }
+
+// Values returns a copy of the observations.
+func (s *Series) Values() []float64 { return append([]float64(nil), s.xs...) }
+
+// Mean returns the arithmetic mean (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// StdDev returns the population standard deviation.
+func (s *Series) StdDev() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var sum float64
+	for _, x := range s.xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(s.xs)))
+}
+
+// Min returns the smallest observation.
+func (s *Series) Min() float64 { return s.Percentile(0) }
+
+// Max returns the largest observation.
+func (s *Series) Max() float64 { return s.Percentile(100) }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by linear
+// interpolation. It returns 0 for an empty series.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	// a + f*(b-a) rather than a*(1-f) + b*f: the latter is inexact even
+	// for a == b, which would break percentile monotonicity.
+	return s.xs[lo] + frac*(s.xs[hi]-s.xs[lo])
+}
+
+func (s *Series) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Box is the five-number summary reported in Figure 10-(b).
+type Box struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// Box returns the series' five-number summary.
+func (s *Series) Box() Box {
+	return Box{
+		Min:    s.Percentile(0),
+		Q1:     s.Percentile(25),
+		Median: s.Percentile(50),
+		Q3:     s.Percentile(75),
+		Max:    s.Percentile(100),
+	}
+}
+
+// String renders the box compactly.
+func (b Box) String() string {
+	return fmt.Sprintf("min=%.2f q1=%.2f med=%.2f q3=%.2f max=%.2f", b.Min, b.Q1, b.Median, b.Q3, b.Max)
+}
+
+// Regression is an ordinary-least-squares line fit.
+type Regression struct {
+	Slope, Intercept, R2 float64
+}
+
+// LinearRegression fits y = Slope·x + Intercept. It returns an error for
+// fewer than two points or zero x-variance.
+func LinearRegression(x, y []float64) (Regression, error) {
+	if len(x) != len(y) {
+		return Regression{}, fmt.Errorf("metrics: regression inputs differ in length (%d vs %d)", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return Regression{}, fmt.Errorf("metrics: regression needs at least 2 points, got %d", len(x))
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return Regression{}, fmt.Errorf("metrics: regression x-values have zero variance")
+	}
+	slope := (n*sxy - sx*sy) / denom
+	intercept := (sy - slope*sx) / n
+	// R² via correlation coefficient.
+	var r2 float64
+	dy := n*syy - sy*sy
+	if dy != 0 {
+		r := (n*sxy - sx*sy) / math.Sqrt(denom*dy)
+		r2 = r * r
+	}
+	return Regression{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// Normalize scales values into [0,1] by min-max; constant input maps to
+// all zeros.
+func Normalize(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	out := make([]float64, len(xs))
+	if hi == lo {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - lo) / (hi - lo)
+	}
+	return out
+}
+
+// DelugeIndex computes the paper's Data Deluge index for a network-speed
+// sweep: the network resource spent per unit of (normalized) throughput
+// gained, I_deluge = ΔNet/ΔTput. net[i] is the bytes transferred and
+// tput[i] the throughput at sweep point i.
+func DelugeIndex(net, tput []float64) (float64, error) {
+	if len(net) != len(tput) || len(net) < 2 {
+		return 0, fmt.Errorf("metrics: deluge index needs matched sweeps of ≥ 2 points")
+	}
+	norm := Normalize(tput)
+	var dNet, dTput float64
+	for i := 1; i < len(net); i++ {
+		dNet += math.Abs(net[i] - net[i-1])
+		dTput += math.Abs(norm[i] - norm[i-1])
+	}
+	if dTput == 0 {
+		// Throughput never moved: the index is the total network spend
+		// (maximally deluged — nothing gained).
+		return dNet, nil
+	}
+	return dNet / dTput, nil
+}
+
+// Throughput converts a request count over a virtual-time window to
+// requests per second.
+func Throughput(requests int, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(requests) / window.Seconds()
+}
+
+// Crossover finds the first index at which series b overtakes series a
+// (b[i] > a[i]); it returns -1 if it never does. The evaluation uses it
+// to locate the WAN-speed threshold where client-edge-cloud beats
+// client-cloud (Figure 7).
+func Crossover(a, b []float64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if b[i] > a[i] {
+			return i
+		}
+	}
+	return -1
+}

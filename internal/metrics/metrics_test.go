@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !almostEqual(s.Mean(), 3) {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if !almostEqual(s.Min(), 1) || !almostEqual(s.Max(), 5) {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if !almostEqual(s.Percentile(50), 3) {
+		t.Fatalf("median = %v", s.Percentile(50))
+	}
+	if !almostEqual(s.StdDev(), math.Sqrt(2)) {
+		t.Fatalf("StdDev = %v", s.StdDev())
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Percentile(50) != 0 || s.StdDev() != 0 {
+		t.Fatal("empty series must report zeros")
+	}
+	if b := s.Box(); b.Min != 0 || b.Max != 0 {
+		t.Fatal("empty box must be zero")
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Series
+	s.AddDuration(1500 * time.Millisecond)
+	if !almostEqual(s.Mean(), 1500) {
+		t.Fatalf("duration in ms = %v", s.Mean())
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var s Series
+	for _, v := range []float64{10, 20, 30, 40} {
+		s.Add(v)
+	}
+	if !almostEqual(s.Percentile(25), 17.5) {
+		t.Fatalf("P25 = %v", s.Percentile(25))
+	}
+	if !almostEqual(s.Percentile(100), 40) || !almostEqual(s.Percentile(0), 10) {
+		t.Fatal("extremes wrong")
+	}
+}
+
+func TestBox(t *testing.T) {
+	var s Series
+	for i := 1; i <= 5; i++ {
+		s.Add(float64(i))
+	}
+	b := s.Box()
+	if b.Min != 1 || b.Median != 3 || b.Max != 5 || b.Q1 != 2 || b.Q3 != 4 {
+		t.Fatalf("box = %v", b)
+	}
+	if b.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestLinearRegression(t *testing.T) {
+	// y = 2x + 1 exactly.
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9}
+	r, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r.Slope, 2) || !almostEqual(r.Intercept, 1) || !almostEqual(r.R2, 1) {
+		t.Fatalf("regression = %+v", r)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, err := LinearRegression([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := LinearRegression([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := LinearRegression([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Fatal("zero x-variance accepted")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{10, 20, 30})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if !almostEqual(out[i], want[i]) {
+			t.Fatalf("Normalize = %v", out)
+		}
+	}
+	if out := Normalize([]float64{5, 5}); out[0] != 0 || out[1] != 0 {
+		t.Fatal("constant input must map to zeros")
+	}
+	if Normalize(nil) != nil {
+		t.Fatal("nil input must return nil")
+	}
+}
+
+func TestDelugeIndex(t *testing.T) {
+	// Heavy network growth for little throughput gain → large index.
+	heavy, err := DelugeIndex([]float64{0, 1000, 2000}, []float64{1.0, 1.05, 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Light network per throughput → small index.
+	light, err := DelugeIndex([]float64{0, 10, 20}, []float64{1, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy <= light {
+		t.Fatalf("heavy=%v should exceed light=%v", heavy, light)
+	}
+	// Flat throughput: index equals total net spend.
+	flat, err := DelugeIndex([]float64{0, 100}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(flat, 100) {
+		t.Fatalf("flat = %v", flat)
+	}
+	if _, err := DelugeIndex([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("short sweep accepted")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(100, 10*time.Second); !almostEqual(got, 10) {
+		t.Fatalf("Throughput = %v", got)
+	}
+	if Throughput(5, 0) != 0 {
+		t.Fatal("zero window must give 0")
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	cloud := []float64{10, 8, 5, 2, 1}
+	edge := []float64{4, 4, 4, 4, 4}
+	if got := Crossover(cloud, edge); got != 3 {
+		t.Fatalf("Crossover = %d, want 3", got)
+	}
+	if got := Crossover(edge, []float64{1, 1}); got != -1 {
+		t.Fatalf("no-crossover = %d", got)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Series
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := s.Percentile(p)
+			if v < prev || v < s.Min() || v > s.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: regression on an exact line recovers it.
+func TestPropertyRegressionExact(t *testing.T) {
+	f := func(m, c int8) bool {
+		slope, intercept := float64(m), float64(c)
+		x := []float64{0, 1, 2, 3, 4}
+		y := make([]float64, len(x))
+		for i := range x {
+			y[i] = slope*x[i] + intercept
+		}
+		r, err := LinearRegression(x, y)
+		if err != nil {
+			return false
+		}
+		return math.Abs(r.Slope-slope) < 1e-6 && math.Abs(r.Intercept-intercept) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,251 @@
+// Package netem emulates network links with configurable bandwidth,
+// latency, jitter, and loss, in the spirit of the Comcast network
+// emulator the paper uses to shape its "limited cloud network".
+//
+// Links run on a virtual clock (internal/simclock): a send occupies the
+// link's serialization capacity for size/bandwidth, then propagates for
+// one latency period. Sends queue FIFO behind one another, so a link
+// naturally saturates — this is what produces the throughput crossovers
+// of Figure 7.
+package netem
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Config describes one direction of a network link.
+type Config struct {
+	// BandwidthBps is the serialization rate in bytes per second.
+	BandwidthBps float64
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Jitter, if nonzero, adds a uniform random delay in [0, Jitter) to
+	// each delivery.
+	Jitter time.Duration
+	// LossProb is the probability in [0,1) that a message is dropped.
+	LossProb float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.BandwidthBps <= 0 {
+		return fmt.Errorf("netem: bandwidth must be positive, got %v", c.BandwidthBps)
+	}
+	if c.Latency < 0 || c.Jitter < 0 {
+		return fmt.Errorf("netem: negative delay (latency %v, jitter %v)", c.Latency, c.Jitter)
+	}
+	if c.LossProb < 0 || c.LossProb >= 1 {
+		return fmt.Errorf("netem: loss probability %v outside [0,1)", c.LossProb)
+	}
+	return nil
+}
+
+// TransferTime returns the unloaded one-way time to move size bytes over
+// a link with this configuration: serialization plus propagation.
+func (c Config) TransferTime(size int) time.Duration {
+	if size < 0 {
+		size = 0
+	}
+	ser := time.Duration(float64(size) / c.BandwidthBps * float64(time.Second))
+	return ser + c.Latency
+}
+
+// RTT returns the round-trip propagation time (no payload).
+func (c Config) RTT() time.Duration { return 2 * c.Latency }
+
+// Preset link configurations used throughout the evaluation. Bandwidths
+// follow the paper: the edge LAN has strong signal (-55 dBm or better);
+// the limited WAN sweeps bandwidth over [100, 1000] Kbps and latency over
+// [100, 1000] ms; the throughput sweep of Figure 7 covers 0.1–5 MB/s.
+var (
+	// LAN models the single-hop edge network.
+	LAN = Config{BandwidthBps: 12e6, Latency: 2 * time.Millisecond}
+	// FastWAN models a well-provisioned cloud uplink (the "favorable
+	// network conditions" baseline).
+	FastWAN = Config{BandwidthBps: 5e6, Latency: 20 * time.Millisecond}
+	// SameContinent models a cloud region on the client's continent.
+	SameContinent = Config{BandwidthBps: 4e6, Latency: 25 * time.Millisecond}
+	// CrossContinent models the nearest neighboring continent; its RTT is
+	// an order of magnitude above SameContinent, as in §II-A.
+	CrossContinent = Config{BandwidthBps: 2e6, Latency: 280 * time.Millisecond}
+)
+
+// LimitedWAN returns a point in the paper's limited-cloud-network space:
+// bandwidth in Kbps within [100, 1000] and latency in ms within
+// [100, 1000].
+func LimitedWAN(bandwidthKbps, latencyMs int) Config {
+	return Config{
+		BandwidthBps: float64(bandwidthKbps) * 1000 / 8,
+		Latency:      time.Duration(latencyMs) * time.Millisecond,
+	}
+}
+
+// WANSweep returns the Figure 7 bandwidth sweep: n points from lo to hi
+// bytes/s (geometrically spaced), all at the given latency.
+func WANSweep(lo, hi float64, n int, latency time.Duration) []Config {
+	if n < 2 || lo <= 0 || hi <= lo {
+		return []Config{{BandwidthBps: lo, Latency: latency}}
+	}
+	cfgs := make([]Config, n)
+	ratio := hi / lo
+	for i := range cfgs {
+		f := float64(i) / float64(n-1)
+		bw := lo * math.Pow(ratio, f)
+		cfgs[i] = Config{BandwidthBps: bw, Latency: latency}
+	}
+	return cfgs
+}
+
+// Link is one direction of a network connection bound to a virtual clock.
+// It tracks the byte volume it has carried, which the evaluation uses to
+// measure WAN traffic (Table II, Figure 10-a).
+type Link struct {
+	cfg       Config
+	clock     *simclock.Clock
+	rng       *rand.Rand
+	busyUntil time.Duration
+	down      bool
+
+	bytesSent int64
+	msgsSent  int64
+	msgsLost  int64
+}
+
+// NewLink returns a link with the given configuration driven by clock.
+// The seed makes jitter and loss deterministic per link.
+func NewLink(clock *simclock.Clock, cfg Config, seed int64) (*Link, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("netem: nil clock")
+	}
+	return &Link{cfg: cfg, clock: clock, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Config returns the link's configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// SetConfig replaces the link's shaping parameters. In-flight messages
+// keep their original delivery schedule, matching how live traffic
+// shaping behaves.
+func (l *Link) SetConfig(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	l.cfg = cfg
+	return nil
+}
+
+// BytesSent returns the cumulative payload bytes accepted for transfer
+// (lost messages still consume serialization capacity, as on real links).
+func (l *Link) BytesSent() int64 { return l.bytesSent }
+
+// MessagesSent returns the number of messages accepted for transfer.
+func (l *Link) MessagesSent() int64 { return l.msgsSent }
+
+// MessagesLost returns the number of messages dropped by loss emulation.
+func (l *Link) MessagesLost() int64 { return l.msgsLost }
+
+// ResetCounters zeroes the traffic counters.
+func (l *Link) ResetCounters() {
+	l.bytesSent, l.msgsSent, l.msgsLost = 0, 0, 0
+}
+
+// SetDown partitions or heals the link. While down, every message is
+// dropped (counted as lost) without consuming serialization capacity —
+// the emulation of the unstable WAN connectivity the paper's weak-
+// consistency design tolerates.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the link is partitioned.
+func (l *Link) Down() bool { return l.down }
+
+// Send schedules delivery of a message of the given size. deliver runs on
+// the clock when the message arrives; it is not called for lost messages.
+// Send returns the scheduled delivery time (or the drop decision time for
+// lost messages).
+func (l *Link) Send(size int, deliver func()) time.Duration {
+	if size < 0 {
+		size = 0
+	}
+	if l.down {
+		l.msgsSent++
+		l.msgsLost++
+		return l.clock.Now()
+	}
+	now := l.clock.Now()
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	ser := time.Duration(float64(size) / l.cfg.BandwidthBps * float64(time.Second))
+	l.busyUntil = start + ser
+	l.bytesSent += int64(size)
+	l.msgsSent++
+
+	if l.cfg.LossProb > 0 && l.rng.Float64() < l.cfg.LossProb {
+		l.msgsLost++
+		return l.busyUntil
+	}
+
+	delay := l.cfg.Latency
+	if l.cfg.Jitter > 0 {
+		delay += time.Duration(l.rng.Int63n(int64(l.cfg.Jitter)))
+	}
+	at := l.busyUntil + delay
+	if deliver != nil {
+		l.clock.At(at, deliver)
+	}
+	return at
+}
+
+// QueueDelay returns how long a message sent now would wait before its
+// serialization begins — the link's current congestion.
+func (l *Link) QueueDelay() time.Duration {
+	if d := l.busyUntil - l.clock.Now(); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Duplex is a bidirectional connection built from two independent links.
+type Duplex struct {
+	// Up carries client→server (or edge→cloud) traffic.
+	Up *Link
+	// Down carries server→client (or cloud→edge) traffic.
+	Down *Link
+}
+
+// NewDuplex returns a duplex connection with symmetric configuration.
+func NewDuplex(clock *simclock.Clock, cfg Config, seed int64) (*Duplex, error) {
+	up, err := NewLink(clock, cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	down, err := NewLink(clock, cfg, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	return &Duplex{Up: up, Down: down}, nil
+}
+
+// TotalBytes returns the byte volume carried in both directions.
+func (d *Duplex) TotalBytes() int64 { return d.Up.BytesSent() + d.Down.BytesSent() }
+
+// ResetCounters zeroes counters in both directions.
+func (d *Duplex) ResetCounters() {
+	d.Up.ResetCounters()
+	d.Down.ResetCounters()
+}
+
+// SetDown partitions or heals both directions.
+func (d *Duplex) SetDown(down bool) {
+	d.Up.SetDown(down)
+	d.Down.SetDown(down)
+}

@@ -1,0 +1,289 @@
+package netem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"valid", Config{BandwidthBps: 1e6, Latency: time.Millisecond}, false},
+		{"zero bandwidth", Config{Latency: time.Millisecond}, true},
+		{"negative bandwidth", Config{BandwidthBps: -1}, true},
+		{"negative latency", Config{BandwidthBps: 1, Latency: -1}, true},
+		{"negative jitter", Config{BandwidthBps: 1, Jitter: -1}, true},
+		{"loss one", Config{BandwidthBps: 1, LossProb: 1}, true},
+		{"loss valid", Config{BandwidthBps: 1, LossProb: 0.5}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cfg.Validate(); (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	cfg := Config{BandwidthBps: 1000, Latency: 100 * time.Millisecond}
+	// 500 bytes at 1000 B/s = 500ms serialization + 100ms propagation.
+	if got, want := cfg.TransferTime(500), 600*time.Millisecond; got != want {
+		t.Fatalf("TransferTime(500) = %v, want %v", got, want)
+	}
+	if got := cfg.TransferTime(-5); got != cfg.Latency {
+		t.Fatalf("TransferTime(negative) = %v, want latency only", got)
+	}
+}
+
+func TestCrossContinentRTTOrderOfMagnitude(t *testing.T) {
+	// §II-A: cross-continent RTT is an order of magnitude above
+	// same-continent.
+	ratio := float64(CrossContinent.RTT()) / float64(SameContinent.RTT())
+	if ratio < 8 {
+		t.Fatalf("cross/same continent RTT ratio = %.1f, want ≥ 8", ratio)
+	}
+}
+
+func TestLinkDeliveryTiming(t *testing.T) {
+	clock := simclock.New()
+	link, err := NewLink(clock, Config{BandwidthBps: 1000, Latency: 50 * time.Millisecond}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deliveredAt time.Duration
+	link.Send(100, func() { deliveredAt = clock.Now() })
+	clock.Run()
+	// 100 B / 1000 B/s = 100ms + 50ms latency.
+	if want := 150 * time.Millisecond; deliveredAt != want {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+}
+
+func TestLinkSaturationQueuesFIFO(t *testing.T) {
+	clock := simclock.New()
+	link, err := NewLink(clock, Config{BandwidthBps: 1000, Latency: 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var times []time.Duration
+	for i := 0; i < 3; i++ {
+		link.Send(1000, func() { times = append(times, clock.Now()) }) // 1s each
+	}
+	clock.Run()
+	want := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("delivery %d at %v, want %v (serialization must queue)", i, times[i], want[i])
+		}
+	}
+}
+
+func TestQueueDelay(t *testing.T) {
+	clock := simclock.New()
+	link, err := NewLink(clock, Config{BandwidthBps: 1000, Latency: 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if link.QueueDelay() != 0 {
+		t.Fatal("idle link reports nonzero queue delay")
+	}
+	link.Send(2000, nil) // 2s of serialization
+	if got := link.QueueDelay(); got != 2*time.Second {
+		t.Fatalf("QueueDelay() = %v, want 2s", got)
+	}
+}
+
+func TestLossDropsDeliveries(t *testing.T) {
+	clock := simclock.New()
+	link, err := NewLink(clock, Config{BandwidthBps: 1e9, LossProb: 0.5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		link.Send(10, func() { delivered++ })
+	}
+	clock.Run()
+	lost := int(link.MessagesLost())
+	if delivered+lost != n {
+		t.Fatalf("delivered %d + lost %d != %d", delivered, lost, n)
+	}
+	if lost < n/3 || lost > 2*n/3 {
+		t.Fatalf("lost %d of %d at p=0.5, outside plausible range", lost, n)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	clock := simclock.New()
+	d, err := NewDuplex(clock, LAN, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Up.Send(100, nil)
+	d.Down.Send(250, nil)
+	clock.Run()
+	if got := d.TotalBytes(); got != 350 {
+		t.Fatalf("TotalBytes() = %d, want 350", got)
+	}
+	d.ResetCounters()
+	if d.TotalBytes() != 0 || d.Up.MessagesSent() != 0 {
+		t.Fatal("ResetCounters did not zero counters")
+	}
+}
+
+func TestWANSweepEndpointsAndMonotonicity(t *testing.T) {
+	sweep := WANSweep(0.1e6, 5e6, 8, 100*time.Millisecond)
+	if len(sweep) != 8 {
+		t.Fatalf("len(sweep) = %d, want 8", len(sweep))
+	}
+	if math.Abs(sweep[0].BandwidthBps-0.1e6) > 1 {
+		t.Fatalf("first point %v, want 0.1e6", sweep[0].BandwidthBps)
+	}
+	if math.Abs(sweep[7].BandwidthBps-5e6) > 1 {
+		t.Fatalf("last point %v, want 5e6", sweep[7].BandwidthBps)
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].BandwidthBps <= sweep[i-1].BandwidthBps {
+			t.Fatal("sweep not strictly increasing")
+		}
+	}
+}
+
+func TestLimitedWANRange(t *testing.T) {
+	cfg := LimitedWAN(100, 1000)
+	if cfg.BandwidthBps != 100*1000/8 {
+		t.Fatalf("bandwidth = %v, want 12500 B/s", cfg.BandwidthBps)
+	}
+	if cfg.Latency != time.Second {
+		t.Fatalf("latency = %v, want 1s", cfg.Latency)
+	}
+}
+
+func TestSetConfigValidates(t *testing.T) {
+	clock := simclock.New()
+	link, err := NewLink(clock, LAN, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := link.SetConfig(Config{}); err == nil {
+		t.Fatal("SetConfig accepted invalid config")
+	}
+	if err := link.SetConfig(FastWAN); err != nil {
+		t.Fatalf("SetConfig(FastWAN) = %v", err)
+	}
+	if link.Config() != FastWAN {
+		t.Fatal("SetConfig did not apply")
+	}
+}
+
+// Property: transfer time is monotone in payload size and never below the
+// propagation latency.
+func TestPropertyTransferTimeMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		cfg := Config{BandwidthBps: 5000, Latency: 30 * time.Millisecond}
+		sa, sb := int(a), int(b)
+		ta, tb := cfg.TransferTime(sa), cfg.TransferTime(sb)
+		if ta < cfg.Latency || tb < cfg.Latency {
+			return false
+		}
+		if sa <= sb {
+			return ta <= tb
+		}
+		return tb <= ta
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total delivered + lost equals sent, and bytes accounting
+// matches, for arbitrary message batches.
+func TestPropertyConservation(t *testing.T) {
+	f := func(sizes []uint8, seed int64) bool {
+		clock := simclock.New()
+		link, err := NewLink(clock, Config{BandwidthBps: 1e6, Latency: time.Millisecond, LossProb: 0.3}, seed)
+		if err != nil {
+			return false
+		}
+		delivered := 0
+		var wantBytes int64
+		for _, s := range sizes {
+			wantBytes += int64(s)
+			link.Send(int(s), func() { delivered++ })
+		}
+		clock.Run()
+		return int64(delivered)+link.MessagesLost() == link.MessagesSent() &&
+			link.BytesSent() == wantBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLinkSend(b *testing.B) {
+	clock := simclock.New()
+	link, err := NewLink(clock, LAN, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		link.Send(1500, func() {})
+		if i%1024 == 1023 {
+			clock.Run()
+		}
+	}
+	clock.Run()
+}
+
+func TestSetDownDropsAndHeals(t *testing.T) {
+	clock := simclock.New()
+	link, err := NewLink(clock, LAN, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	link.SetDown(true)
+	if !link.Down() {
+		t.Fatal("Down() = false")
+	}
+	link.Send(100, func() { delivered++ })
+	clock.Run()
+	if delivered != 0 || link.MessagesLost() != 1 {
+		t.Fatalf("partitioned link delivered %d, lost %d", delivered, link.MessagesLost())
+	}
+	if link.BytesSent() != 0 {
+		t.Fatal("partitioned send consumed serialization budget")
+	}
+	link.SetDown(false)
+	link.Send(100, func() { delivered++ })
+	clock.Run()
+	if delivered != 1 {
+		t.Fatalf("healed link delivered %d", delivered)
+	}
+}
+
+func TestDuplexSetDown(t *testing.T) {
+	clock := simclock.New()
+	d, err := NewDuplex(clock, LAN, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetDown(true)
+	got := 0
+	d.Up.Send(10, func() { got++ })
+	d.Down.Send(10, func() { got++ })
+	clock.Run()
+	if got != 0 {
+		t.Fatal("duplex partition leaked messages")
+	}
+}

@@ -1,0 +1,237 @@
+// Package proxycmp implements the distributed-proxying baselines the
+// evaluation compares EdgStr against (§IV-E2): a caching proxy, a
+// batching proxy (Data Transfer Object / Remote Façade aggregation), and
+// the cross-ISA offloading strategy that synchronizes the entire program
+// state per offload (§IV-E1).
+package proxycmp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/httpapp"
+	"repro/internal/netem"
+	"repro/internal/simclock"
+)
+
+// CachingProxy serves repeated requests from an edge-local cache and
+// forwards misses to the cloud over the WAN. Whether a service is
+// cacheable at all is workload-dependent: services taking unique inputs
+// (camera images, hand-written digits) never hit.
+type CachingProxy struct {
+	clock *simclock.Clock
+	cloud *cluster.Server
+	wan   *netem.Duplex
+	// TTL bounds entry lifetime; zero means no expiry.
+	TTL time.Duration
+	// LocalDelay models the edge cache lookup/serve time.
+	LocalDelay time.Duration
+
+	cache  map[string]cacheEntry
+	Hits   int
+	Misses int
+}
+
+type cacheEntry struct {
+	resp     *httpapp.Response
+	storedAt time.Duration
+}
+
+// NewCachingProxy returns a proxy in front of the cloud server.
+func NewCachingProxy(clock *simclock.Clock, cloud *cluster.Server, wan *netem.Duplex, ttl time.Duration) *CachingProxy {
+	return &CachingProxy{
+		clock:      clock,
+		cloud:      cloud,
+		wan:        wan,
+		TTL:        ttl,
+		LocalDelay: 2 * time.Millisecond,
+		cache:      map[string]cacheEntry{},
+	}
+}
+
+// CacheKey identifies a request by its full content: method, path,
+// query, and body. Unique bodies therefore never hit.
+func CacheKey(req *httpapp.Request) string {
+	h := sha256.New()
+	h.Write([]byte(req.Method))
+	h.Write([]byte{0})
+	h.Write([]byte(req.Path))
+	h.Write([]byte{0})
+	keys := make([]string, 0, len(req.Query))
+	for k := range req.Query {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h.Write([]byte(k + "=" + req.Query[k]))
+		h.Write([]byte{0})
+	}
+	h.Write(req.Body)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Handle serves a request, from cache when possible.
+func (p *CachingProxy) Handle(req *httpapp.Request, done func(*httpapp.Response, error)) {
+	key := CacheKey(req)
+	if e, ok := p.cache[key]; ok {
+		if p.TTL == 0 || p.clock.Now()-e.storedAt <= p.TTL {
+			p.Hits++
+			p.clock.After(p.LocalDelay, func() { done(e.resp, nil) })
+			return
+		}
+		delete(p.cache, key)
+	}
+	p.Misses++
+	p.wan.Up.Send(req.Size(), func() {
+		p.cloud.Handle(req, func(resp *httpapp.Response, _ time.Duration, err error) {
+			size := 0
+			if resp != nil {
+				size = resp.Size()
+			}
+			p.wan.Down.Send(size, func() {
+				if err == nil && resp != nil {
+					p.cache[key] = cacheEntry{resp: resp, storedAt: p.clock.Now()}
+				}
+				done(resp, err)
+			})
+		})
+	})
+}
+
+// Invalidate drops every cached entry (e.g. after an observed write).
+func (p *CachingProxy) Invalidate() { p.cache = map[string]cacheEntry{} }
+
+// BatchingProxy aggregates client requests and forwards them to the
+// cloud as a single bulk message (DTO/Remote Façade), returning results
+// in bulk. It reduces the number of WAN transmissions, but each request
+// waits for its batch to fill (or the timer), and the aggregated
+// transfer can saturate a narrow link.
+type BatchingProxy struct {
+	clock *simclock.Clock
+	cloud *cluster.Server
+	wan   *netem.Duplex
+	// BatchSize flushes when this many requests are pending.
+	BatchSize int
+	// MaxWait flushes a partial batch after this delay.
+	MaxWait time.Duration
+	// HeaderOverhead is the per-batch framing cost in bytes.
+	HeaderOverhead int
+
+	pending []pendingReq
+	timer   *simclock.Timer
+	Flushes int
+}
+
+type pendingReq struct {
+	req  *httpapp.Request
+	done func(*httpapp.Response, error)
+}
+
+// NewBatchingProxy returns a batching proxy with the given parameters.
+func NewBatchingProxy(clock *simclock.Clock, cloud *cluster.Server, wan *netem.Duplex, batchSize int, maxWait time.Duration) (*BatchingProxy, error) {
+	if batchSize < 1 {
+		return nil, fmt.Errorf("proxycmp: batch size must be ≥ 1, got %d", batchSize)
+	}
+	if maxWait <= 0 {
+		return nil, fmt.Errorf("proxycmp: max wait must be positive, got %v", maxWait)
+	}
+	return &BatchingProxy{
+		clock:          clock,
+		cloud:          cloud,
+		wan:            wan,
+		BatchSize:      batchSize,
+		MaxWait:        maxWait,
+		HeaderOverhead: 64,
+	}, nil
+}
+
+// Handle enqueues a request into the current batch.
+func (p *BatchingProxy) Handle(req *httpapp.Request, done func(*httpapp.Response, error)) {
+	p.pending = append(p.pending, pendingReq{req: req, done: done})
+	if len(p.pending) >= p.BatchSize {
+		p.flush()
+		return
+	}
+	if p.timer == nil {
+		p.timer = p.clock.After(p.MaxWait, func() {
+			p.timer = nil
+			p.flush()
+		})
+	}
+}
+
+// flush ships the pending batch as one aggregated message.
+func (p *BatchingProxy) flush() {
+	if len(p.pending) == 0 {
+		return
+	}
+	if p.timer != nil {
+		p.timer.Stop()
+		p.timer = nil
+	}
+	batch := p.pending
+	p.pending = nil
+	p.Flushes++
+
+	upSize := p.HeaderOverhead
+	for _, pr := range batch {
+		upSize += pr.req.Size()
+	}
+	p.wan.Up.Send(upSize, func() {
+		// The cloud executes the batch; responses return in bulk once
+		// all members complete.
+		responses := make([]*httpapp.Response, len(batch))
+		errs := make([]error, len(batch))
+		remaining := len(batch)
+		for i, pr := range batch {
+			i, pr := i, pr
+			p.cloud.Handle(pr.req, func(resp *httpapp.Response, _ time.Duration, err error) {
+				responses[i], errs[i] = resp, err
+				remaining--
+				if remaining > 0 {
+					return
+				}
+				downSize := p.HeaderOverhead
+				for _, r := range responses {
+					if r != nil {
+						downSize += r.Size()
+					}
+				}
+				p.wan.Down.Send(downSize, func() {
+					for j, b := range batch {
+						b.done(responses[j], errs[j])
+					}
+				})
+			})
+		}
+	})
+}
+
+// CrossISA models the cross-ISA offloading frameworks of §IV-E1, which
+// synchronize the entire working-memory state S_app with every offload,
+// rather than the modifiable subset EdgStr isolates.
+type CrossISA struct {
+	wan *netem.Link
+	// StateBytes is the full application state size shipped per offload.
+	StateBytes int64
+	Offloads   int64
+}
+
+// NewCrossISA returns a synchronizer shipping stateBytes per offload
+// over the given WAN direction.
+func NewCrossISA(wan *netem.Link, stateBytes int64) *CrossISA {
+	return &CrossISA{wan: wan, StateBytes: stateBytes}
+}
+
+// Offload ships one full-state synchronization and reports completion.
+func (c *CrossISA) Offload(done func()) {
+	c.Offloads++
+	c.wan.Send(int(c.StateBytes), done)
+}
+
+// BytesShipped returns the cumulative synchronization volume.
+func (c *CrossISA) BytesShipped() int64 { return c.Offloads * c.StateBytes }

@@ -1,0 +1,226 @@
+package proxycmp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/httpapp"
+	"repro/internal/netem"
+	"repro/internal/simclock"
+)
+
+const svcSrc = `
+func lookup(req any, res any) any {
+	cpu(500)
+	res.send("result for " + req.param("q"))
+	return nil
+}`
+
+func newCloud(t testing.TB, clock *simclock.Clock) *cluster.Server {
+	t.Helper()
+	app, err := httpapp.New("svc", svcSrc, []httpapp.Route{{Method: "GET", Path: "/lookup", Handler: "lookup"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster.NewServer("cloud", cluster.NewNode(clock, cluster.CloudSpec), app)
+}
+
+func lookupReq(q string) *httpapp.Request {
+	return &httpapp.Request{Method: "GET", Path: "/lookup", Query: map[string]string{"q": q}}
+}
+
+func newWAN(t testing.TB, clock *simclock.Clock) *netem.Duplex {
+	t.Helper()
+	wan, err := netem.NewDuplex(clock, netem.LimitedWAN(500, 200), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wan
+}
+
+func TestCacheKeyDistinguishesRequests(t *testing.T) {
+	a := CacheKey(lookupReq("x"))
+	b := CacheKey(lookupReq("y"))
+	if a == b {
+		t.Fatal("different queries share a key")
+	}
+	c := CacheKey(&httpapp.Request{Method: "POST", Path: "/lookup", Query: map[string]string{"q": "x"}})
+	if a == c {
+		t.Fatal("different methods share a key")
+	}
+	if CacheKey(lookupReq("x")) != a {
+		t.Fatal("key not deterministic")
+	}
+	bodyA := &httpapp.Request{Method: "POST", Path: "/p", Body: []byte("img1")}
+	bodyB := &httpapp.Request{Method: "POST", Path: "/p", Body: []byte("img2")}
+	if CacheKey(bodyA) == CacheKey(bodyB) {
+		t.Fatal("unique bodies share a key (images would falsely hit)")
+	}
+}
+
+func TestCachingProxyHitIsFaster(t *testing.T) {
+	clock := simclock.New()
+	p := NewCachingProxy(clock, newCloud(t, clock), newWAN(t, clock), 0)
+
+	var missLat, hitLat time.Duration
+	start := clock.Now()
+	p.Handle(lookupReq("q1"), func(resp *httpapp.Response, err error) {
+		if err != nil {
+			t.Errorf("miss err: %v", err)
+		}
+		missLat = clock.Now() - start
+		// Same request again: must hit.
+		s2 := clock.Now()
+		p.Handle(lookupReq("q1"), func(resp *httpapp.Response, err error) {
+			if err != nil {
+				t.Errorf("hit err: %v", err)
+			}
+			hitLat = clock.Now() - s2
+		})
+	})
+	clock.Run()
+	if p.Hits != 1 || p.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", p.Hits, p.Misses)
+	}
+	if hitLat >= missLat/10 {
+		t.Fatalf("hit %v not dramatically faster than miss %v", hitLat, missLat)
+	}
+}
+
+func TestCachingProxyUniqueInputsNeverHit(t *testing.T) {
+	clock := simclock.New()
+	p := NewCachingProxy(clock, newCloud(t, clock), newWAN(t, clock), 0)
+	for i := 0; i < 5; i++ {
+		p.Handle(lookupReq(string(rune('a'+i))), func(*httpapp.Response, error) {})
+	}
+	clock.Run()
+	if p.Hits != 0 || p.Misses != 5 {
+		t.Fatalf("hits=%d misses=%d; unique inputs must all miss", p.Hits, p.Misses)
+	}
+}
+
+func TestCachingProxyTTLExpiry(t *testing.T) {
+	clock := simclock.New()
+	p := NewCachingProxy(clock, newCloud(t, clock), newWAN(t, clock), 2*time.Second)
+	p.Handle(lookupReq("q"), func(*httpapp.Response, error) {})
+	clock.Run()
+	clock.Advance(5 * time.Second) // past TTL
+	p.Handle(lookupReq("q"), func(*httpapp.Response, error) {})
+	clock.Run()
+	if p.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (TTL must expire)", p.Misses)
+	}
+}
+
+func TestCachingProxyInvalidate(t *testing.T) {
+	clock := simclock.New()
+	p := NewCachingProxy(clock, newCloud(t, clock), newWAN(t, clock), 0)
+	p.Handle(lookupReq("q"), func(*httpapp.Response, error) {})
+	clock.Run()
+	p.Invalidate()
+	p.Handle(lookupReq("q"), func(*httpapp.Response, error) {})
+	clock.Run()
+	if p.Hits != 0 || p.Misses != 2 {
+		t.Fatalf("hits=%d misses=%d after invalidate", p.Hits, p.Misses)
+	}
+}
+
+func TestBatchingProxyFlushesAtSize(t *testing.T) {
+	clock := simclock.New()
+	wan := newWAN(t, clock)
+	p, err := NewBatchingProxy(clock, newCloud(t, clock), wan, 3, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for i := 0; i < 3; i++ {
+		p.Handle(lookupReq(string(rune('a'+i))), func(resp *httpapp.Response, err error) {
+			if err != nil {
+				t.Errorf("err: %v", err)
+			}
+			got++
+		})
+	}
+	clock.Run()
+	if got != 3 {
+		t.Fatalf("responses = %d", got)
+	}
+	if p.Flushes != 1 {
+		t.Fatalf("flushes = %d, want 1 (single aggregated transfer)", p.Flushes)
+	}
+	// One up + one down message for three requests.
+	if wan.Up.MessagesSent() != 1 || wan.Down.MessagesSent() != 1 {
+		t.Fatalf("messages up=%d down=%d", wan.Up.MessagesSent(), wan.Down.MessagesSent())
+	}
+}
+
+func TestBatchingProxyTimerFlushesPartial(t *testing.T) {
+	clock := simclock.New()
+	p, err := NewBatchingProxy(clock, newCloud(t, clock), newWAN(t, clock), 10, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	p.Handle(lookupReq("solo"), func(resp *httpapp.Response, err error) { done = true })
+	clock.Run()
+	if !done {
+		t.Fatal("partial batch never flushed")
+	}
+	if p.Flushes != 1 {
+		t.Fatalf("flushes = %d", p.Flushes)
+	}
+}
+
+func TestBatchingAddsWaitLatency(t *testing.T) {
+	// A lone request through a batch-of-5 proxy waits out the timer; the
+	// same request through batch-of-1 doesn't.
+	run := func(batch int) time.Duration {
+		clock := simclock.New()
+		p, err := NewBatchingProxy(clock, newCloud(t, clock), newWAN(t, clock), batch, 500*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lat time.Duration
+		start := clock.Now()
+		p.Handle(lookupReq("q"), func(*httpapp.Response, error) { lat = clock.Now() - start })
+		clock.Run()
+		return lat
+	}
+	if run(5) <= run(1) {
+		t.Fatal("batch wait did not add latency for lone requests")
+	}
+}
+
+func TestBatchingValidation(t *testing.T) {
+	clock := simclock.New()
+	if _, err := NewBatchingProxy(clock, newCloud(t, clock), newWAN(t, clock), 0, time.Second); err == nil {
+		t.Fatal("zero batch size accepted")
+	}
+	if _, err := NewBatchingProxy(clock, newCloud(t, clock), newWAN(t, clock), 2, 0); err == nil {
+		t.Fatal("zero max wait accepted")
+	}
+}
+
+func TestCrossISAShipsFullState(t *testing.T) {
+	clock := simclock.New()
+	link, err := netem.NewLink(clock, netem.LimitedWAN(1000, 100), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCrossISA(link, 1<<20) // 1 MiB of working memory
+	completions := 0
+	for i := 0; i < 3; i++ {
+		c.Offload(func() { completions++ })
+	}
+	clock.Run()
+	if completions != 3 {
+		t.Fatalf("completions = %d", completions)
+	}
+	if c.BytesShipped() != 3<<20 {
+		t.Fatalf("BytesShipped = %d", c.BytesShipped())
+	}
+	if link.BytesSent() != 3<<20 {
+		t.Fatalf("link bytes = %d", link.BytesSent())
+	}
+}

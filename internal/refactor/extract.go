@@ -1,0 +1,344 @@
+package refactor
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+	"text/template"
+
+	"repro/internal/analysis"
+	"repro/internal/script"
+)
+
+// Extraction is the product of the Extract Function refactoring for one
+// service: a standalone function holding the service's application
+// logic, plus the slim handler that unmarshals, delegates, and marshals.
+type Extraction struct {
+	// Handler is the original handler function name.
+	Handler string
+	// FuncName is the generated function's name (ftn_<handler>).
+	FuncName string
+	// ParamVar is the unmarshaled parameter variable (v_unmar).
+	ParamVar string
+	// ReturnVar is the marshaled result variable (v_mar).
+	ReturnVar string
+	// BodySrc holds the extracted statements, in source order.
+	BodySrc string
+	// EntrySrc and ExitSrc are the unmarshal/marshal statements kept in
+	// the handler.
+	EntrySrc string
+	ExitSrc  string
+	// HasParam is false for parameterless services (the entry statement
+	// lives inside the body and the handler passes nil).
+	HasParam bool
+	// NeedsReq is true when the body references req, which is then
+	// threaded through as an extra parameter.
+	NeedsReq bool
+}
+
+// ErrNotExtractable is returned when a handler's application logic
+// cannot be placed behind a single entry/exit boundary (e.g. it
+// marshals responses on multiple paths). The pipeline then falls back to
+// replicating the handler whole, which preserves behaviour at the cost
+// of replicating more code.
+var ErrNotExtractable = fmt.Errorf("refactor: handler is not extractable")
+
+// Extract applies the Extract Function refactoring to one analyzed
+// service: the dependence closure between the entry and exit points is
+// copied into a standalone function ftn_s_i taking v_unmar and returning
+// v_mar (paper §III-E, Figure 4).
+func Extract(prog *script.Program, sa *analysis.ServiceAnalysis) (*Extraction, error) {
+	if sa.Exit == script.NoStmt {
+		return nil, fmt.Errorf("refactor: service %s has no exit point", sa.Service.Name())
+	}
+	if sa.ExitVar == "" {
+		return nil, fmt.Errorf("refactor: service %s has no marshal variable — normalize the source first: %w",
+			sa.Service.Name(), ErrNotExtractable)
+	}
+	ex := &Extraction{
+		Handler:   sa.Handler,
+		FuncName:  "ftn_" + sa.Handler,
+		ParamVar:  sa.EntryVar,
+		ReturnVar: sa.ExitVar,
+		EntrySrc:  prog.StmtText(sa.Entry),
+		ExitSrc:   prog.StmtText(sa.Exit),
+		HasParam:  sa.EntryVar != "",
+	}
+	if ex.ParamVar == "" {
+		// Parameterless service: the synthetic entry statement moves
+		// into the extracted body and the function takes a dummy
+		// parameter.
+		ex.ParamVar = "_p"
+	}
+
+	// Body: extracted statements minus the entry/exit boundary, in
+	// source order, restricted to top-level handler statements (nested
+	// statements ride along with their enclosing control statement).
+	handlerTop := topLevelStmts(prog, sa.Handler)
+	inExtracted := map[script.StmtID]bool{}
+	for _, id := range sa.Extracted {
+		inExtracted[id] = true
+	}
+	var body []script.StmtID
+	inBody := map[script.StmtID]bool{}
+	for _, id := range handlerTop {
+		if (ex.HasParam && id == sa.Entry) || id == sa.Exit {
+			continue
+		}
+		if inExtracted[id] || coversExtracted(prog, id, inExtracted) {
+			body = append(body, id)
+			inBody[id] = true
+		}
+	}
+
+	// Close the body under free-variable definitions: a body statement
+	// may read a variable whose defining statement the dynamic slice
+	// dropped (e.g. a declaration superseded by later writes, or a bound
+	// consumed only inside an included loop). Pull in the top-level
+	// statements that define those names until the body is closed.
+	for changed := true; changed; {
+		changed = false
+		free, err := freeIdentsOf(prog, body)
+		if err != nil {
+			return nil, fmt.Errorf("refactor: free-variable scan for %s: %w", sa.Handler, err)
+		}
+		defined := bodyDefinedNames(prog, body)
+		defined[ex.ParamVar] = true
+		for _, id := range handlerTop {
+			if inBody[id] || (ex.HasParam && id == sa.Entry) || id == sa.Exit {
+				continue
+			}
+			for _, name := range definedNames(prog.Stmt(id)) {
+				if free[name] && !defined[name] {
+					body = append(body, id)
+					inBody[id] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	sort.Slice(body, func(i, j int) bool { return body[i] < body[j] })
+	var lines []string
+	for _, id := range body {
+		lines = append(lines, prog.StmtText(id))
+	}
+	ex.BodySrc = strings.Join(lines, "\n")
+
+	// Free req/res references decide extractability: res in the body
+	// means the handler marshals on multiple paths; req in the body is
+	// threaded through as an extra parameter.
+	free, err := freeIdents(ex.BodySrc)
+	if err != nil {
+		return nil, fmt.Errorf("refactor: extracted body for %s does not parse: %w", sa.Handler, err)
+	}
+	if free["res"] {
+		return nil, fmt.Errorf("refactor: %s marshals on multiple paths: %w", sa.Handler, ErrNotExtractable)
+	}
+	ex.NeedsReq = free["req"]
+	if err := ex.validate(); err != nil {
+		return nil, err
+	}
+	return ex, nil
+}
+
+// freeIdentsOf returns the identifiers referenced by the given body
+// statements.
+func freeIdentsOf(prog *script.Program, body []script.StmtID) (map[string]bool, error) {
+	out := map[string]bool{}
+	for _, id := range body {
+		st := prog.Stmt(id)
+		if st == nil {
+			continue
+		}
+		ast.Inspect(st, func(n ast.Node) bool {
+			if ident, ok := n.(*ast.Ident); ok {
+				out[ident.Name] = true
+			}
+			return true
+		})
+	}
+	return out, nil
+}
+
+// bodyDefinedNames returns the names defined (via := or var) anywhere in
+// the body statements.
+func bodyDefinedNames(prog *script.Program, body []script.StmtID) map[string]bool {
+	out := map[string]bool{}
+	for _, id := range body {
+		st := prog.Stmt(id)
+		if st == nil {
+			continue
+		}
+		ast.Inspect(st, func(n ast.Node) bool {
+			for _, name := range definedNames(n) {
+				out[name] = true
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// definedNames returns the names a node defines (:= targets and var
+// declarations).
+func definedNames(n ast.Node) []string {
+	var out []string
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		if x.Tok == token.DEFINE {
+			for _, lhs := range x.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					out = append(out, id.Name)
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, id := range vs.Names {
+						if id.Name != "_" {
+							out = append(out, id.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// freeIdents returns the identifiers referenced by a statement sequence.
+func freeIdents(src string) (map[string]bool, error) {
+	if strings.TrimSpace(src) == "" {
+		return map[string]bool{}, nil
+	}
+	stmts, err := parseStmts(src)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bool{}
+	for _, st := range stmts {
+		ast.Inspect(st, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				out[id.Name] = true
+			}
+			return true
+		})
+	}
+	return out, nil
+}
+
+// topLevelStmts returns the IDs of the handler's direct body statements.
+func topLevelStmts(prog *script.Program, fn string) []script.StmtID {
+	decl, ok := prog.Funcs[fn]
+	if !ok {
+		return nil
+	}
+	var out []script.StmtID
+	for _, st := range decl.Body.List {
+		if id := prog.IDOf(st); id != script.NoStmt {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// coversExtracted reports whether a top-level statement contains any
+// extracted statement (e.g. an if whose body holds a SQL write).
+func coversExtracted(prog *script.Program, top script.StmtID, extracted map[script.StmtID]bool) bool {
+	node := prog.Stmt(top)
+	if node == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if st, ok := n.(ast.Stmt); ok {
+			if extracted[prog.IDOf(st)] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// validate checks that the extraction assembles into parseable source.
+func (ex *Extraction) validate() error {
+	if _, err := script.Parse(ex.Render()); err != nil {
+		return fmt.Errorf("refactor: extraction for %s does not parse: %w", ex.Handler, err)
+	}
+	return nil
+}
+
+// extractionTmpl renders one extracted function plus its slim handler —
+// the shape of the paper's Figure 4 (right).
+var extractionTmpl = template.Must(template.New("extraction").Parse(
+	`func {{.FuncName}}({{.ParamList}}) any {
+{{.IndentedBody}}
+	return {{.ReturnVar}}
+}
+
+func {{.Handler}}(req any, res any) any {
+{{- if .HasParam}}
+	{{.EntrySrc}}
+{{- end}}
+	{{.ReturnVar}} := {{.FuncName}}({{.CallArgs}})
+	{{.ExitLine}}
+	return nil
+}
+`))
+
+// ParamList renders the extracted function's parameters.
+func (ex *Extraction) ParamList() string {
+	if ex.NeedsReq {
+		return ex.ParamVar + " any, req any"
+	}
+	return ex.ParamVar + " any"
+}
+
+// CallArgs renders the handler's delegation arguments.
+func (ex *Extraction) CallArgs() string {
+	arg := ex.ParamVar
+	if !ex.HasParam {
+		arg = "nil"
+	}
+	if ex.NeedsReq {
+		return arg + ", req"
+	}
+	return arg
+}
+
+// IndentedBody returns the body indented one tab.
+func (ex *Extraction) IndentedBody() string {
+	if ex.BodySrc == "" {
+		return "\t// no dependent statements"
+	}
+	lines := strings.Split(ex.BodySrc, "\n")
+	for i := range lines {
+		lines[i] = "\t" + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// ExitLine returns the marshal statement, which already references
+// ReturnVar (e.g. "res.send(tv2)").
+func (ex *Extraction) ExitLine() string { return strings.TrimSpace(ex.ExitSrc) }
+
+// Render emits the extracted function and rewritten handler.
+func (ex *Extraction) Render() string {
+	var b strings.Builder
+	if err := extractionTmpl.Execute(&b, ex); err != nil {
+		// The template is static and the fields are strings; failure
+		// here is a programming error.
+		panic(err)
+	}
+	return b.String()
+}

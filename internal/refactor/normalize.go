@@ -1,0 +1,241 @@
+// Package refactor implements EdgStr's program transformations over the
+// service-script AST: normalization (introducing temporary variables so
+// unmarshal/marshal values occupy dedicated statements, as in the
+// paper's Figure 4), the Extract Function refactoring that places a
+// service's dependence closure into a standalone, independently
+// invocable function, and template-based generation of edge-replica
+// source (the handlebars analog).
+package refactor
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"repro/internal/script"
+)
+
+// Normalize rewrites service source so that every nested call expression
+// flows through a fresh temporary variable (tv1, tv2, …). After
+// normalization, statements like
+//
+//	res.send(detect(req.body()))
+//
+// become
+//
+//	tv1 := req.body()
+//	tv2 := detect(tv1)
+//	res.send(tv2)
+//
+// which is what lets the dynamic analysis pin unmarshal and marshal
+// points to dedicated statements. The returned source parses to an
+// equivalent program.
+func Normalize(src string) (string, error) {
+	prog, err := script.Parse(src)
+	if err != nil {
+		return nil2String(err)
+	}
+	n := &normalizer{used: collectIdents(prog.File)}
+	for _, name := range prog.FuncNames() {
+		n.normalizeBlock(prog.Funcs[name].Body)
+	}
+	out := renderFile(prog)
+	// Re-parse to guarantee the transformation produced valid source.
+	if _, err := script.Parse(out); err != nil {
+		return "", fmt.Errorf("refactor: normalization produced invalid source: %w", err)
+	}
+	return out, nil
+}
+
+func nil2String(err error) (string, error) {
+	return "", fmt.Errorf("refactor: %w", err)
+}
+
+// collectIdents gathers every identifier in the file, to avoid
+// temporary-name collisions.
+func collectIdents(f *ast.File) map[string]bool {
+	used := map[string]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			used[id.Name] = true
+		}
+		return true
+	})
+	return used
+}
+
+type normalizer struct {
+	used map[string]bool
+	next int
+}
+
+func (n *normalizer) fresh() string {
+	for {
+		n.next++
+		name := "tv" + strconv.Itoa(n.next)
+		if !n.used[name] {
+			n.used[name] = true
+			return name
+		}
+	}
+}
+
+// normalizeBlock rewrites the statements of a block in place.
+func (n *normalizer) normalizeBlock(b *ast.BlockStmt) {
+	var out []ast.Stmt
+	for _, st := range b.List {
+		prelude := n.normalizeStmt(st)
+		out = append(out, prelude...)
+		out = append(out, st)
+	}
+	b.List = out
+}
+
+// normalizeStmt hoists nested calls out of one statement, returning the
+// prelude assignments, and recurses into nested blocks.
+func (n *normalizer) normalizeStmt(st ast.Stmt) []ast.Stmt {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			return n.hoistArgs(call)
+		}
+		var pre []ast.Stmt
+		s.X = n.hoistExpr(s.X, &pre)
+		return pre
+	case *ast.AssignStmt:
+		var pre []ast.Stmt
+		for i, rhs := range s.Rhs {
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				pre = append(pre, n.hoistArgs(call)...)
+				continue
+			}
+			s.Rhs[i] = n.hoistExpr(rhs, &pre)
+		}
+		return pre
+	case *ast.ReturnStmt:
+		var pre []ast.Stmt
+		for i, r := range s.Results {
+			if call, ok := r.(*ast.CallExpr); ok {
+				pre = append(pre, n.hoistArgs(call)...)
+				continue
+			}
+			s.Results[i] = n.hoistExpr(r, &pre)
+		}
+		return pre
+	case *ast.IfStmt:
+		var pre []ast.Stmt
+		s.Cond = n.hoistExpr(s.Cond, &pre)
+		n.normalizeBlock(s.Body)
+		if els, ok := s.Else.(*ast.BlockStmt); ok {
+			n.normalizeBlock(els)
+		} else if elif, ok := s.Else.(*ast.IfStmt); ok {
+			// Chained else-if: wrap so its condition hoists legally.
+			inner := n.normalizeStmt(elif)
+			if len(inner) > 0 {
+				s.Else = &ast.BlockStmt{List: append(inner, elif)}
+			}
+		}
+		return pre
+	case *ast.ForStmt:
+		// Loop conditions re-evaluate each iteration; hoisting would
+		// change semantics, so only the body is normalized.
+		n.normalizeBlock(s.Body)
+		return nil
+	case *ast.RangeStmt:
+		n.normalizeBlock(s.Body)
+		return nil
+	case *ast.SwitchStmt:
+		for _, raw := range s.Body.List {
+			if clause, ok := raw.(*ast.CaseClause); ok {
+				var out []ast.Stmt
+				for _, cs := range clause.Body {
+					out = append(out, n.normalizeStmt(cs)...)
+					out = append(out, cs)
+				}
+				clause.Body = out
+			}
+		}
+		return nil
+	case *ast.BlockStmt:
+		n.normalizeBlock(s)
+		return nil
+	default:
+		return nil
+	}
+}
+
+// hoistArgs hoists nested calls out of a call's arguments (the call
+// itself stays in place).
+func (n *normalizer) hoistArgs(call *ast.CallExpr) []ast.Stmt {
+	var pre []ast.Stmt
+	for i, arg := range call.Args {
+		call.Args[i] = n.hoistExpr(arg, &pre)
+	}
+	return pre
+}
+
+// hoistExpr replaces every call expression inside e with a temporary,
+// appending the temporary's definition to pre, and returns the rewritten
+// expression.
+func (n *normalizer) hoistExpr(e ast.Expr, pre *[]ast.Stmt) ast.Expr {
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		*pre = append(*pre, n.hoistArgs(x)...)
+		name := n.fresh()
+		*pre = append(*pre, &ast.AssignStmt{
+			Lhs: []ast.Expr{ast.NewIdent(name)},
+			Tok: token.DEFINE,
+			Rhs: []ast.Expr{x},
+		})
+		return ast.NewIdent(name)
+	case *ast.BinaryExpr:
+		x.X = n.hoistExpr(x.X, pre)
+		x.Y = n.hoistExpr(x.Y, pre)
+		return x
+	case *ast.UnaryExpr:
+		x.X = n.hoistExpr(x.X, pre)
+		return x
+	case *ast.ParenExpr:
+		x.X = n.hoistExpr(x.X, pre)
+		return x
+	case *ast.IndexExpr:
+		x.X = n.hoistExpr(x.X, pre)
+		x.Index = n.hoistExpr(x.Index, pre)
+		return x
+	default:
+		return e
+	}
+}
+
+// renderFile prints the program's declarations back to script source
+// (without the synthetic package clause).
+func renderFile(prog *script.Program) string {
+	var b strings.Builder
+	for i, decl := range prog.File.Decls {
+		if i > 0 {
+			b.WriteString("\n\n")
+		}
+		b.WriteString(script.FormatNode(prog.Fset, decl))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// parseStmts parses a sequence of statements (used by tests and codegen
+// validation).
+func parseStmts(src string) ([]ast.Stmt, error) {
+	wrapped := "package p\nfunc w() {\n" + src + "\n}"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "stmts.src", wrapped, 0)
+	if err != nil {
+		return nil, err
+	}
+	fn, ok := f.Decls[0].(*ast.FuncDecl)
+	if !ok {
+		return nil, fmt.Errorf("refactor: internal: no wrapper function")
+	}
+	return fn.Body.List, nil
+}

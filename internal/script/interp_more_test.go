@@ -1,0 +1,225 @@
+package script
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNestedSelectorAssignment(t *testing.T) {
+	src := `
+func f() any {
+	m := map[string]any{"a": map[string]any{"b": 1}}
+	m.a.b = 2
+	m["a"]["c"] = 3
+	return m.a.b + m.a.c
+}`
+	if got := run(t, src, "f"); got != 5.0 {
+		t.Fatalf("f = %v, want 5", got)
+	}
+}
+
+func TestNestedIndexAssignment(t *testing.T) {
+	src := `
+func f() any {
+	grid := []any{[]any{0, 0}, []any{0, 0}}
+	grid[1][0] = 7
+	return grid[1][0]
+}`
+	if got := run(t, src, "f"); got != 7.0 {
+		t.Fatalf("f = %v", got)
+	}
+}
+
+func TestArgumentEvaluationOrder(t *testing.T) {
+	src := `
+var order = []any{}
+
+func mark(tag any, v any) any {
+	push(order, tag)
+	return v
+}
+
+func f() any {
+	_ = combine(mark("first", 1), mark("second", 2))
+	return strings.join(order, ",")
+}
+
+func combine(a any, b any) any {
+	return a + b
+}`
+	if got := run(t, src, "f"); got != "first,second" {
+		t.Fatalf("evaluation order = %v", got)
+	}
+}
+
+func TestElseIfChains(t *testing.T) {
+	src := `
+func f(v any) any {
+	if v > 100 {
+		return "big"
+	} else if v > 10 {
+		return "mid"
+	} else if v > 1 {
+		return "small"
+	}
+	return "tiny"
+}`
+	cases := map[float64]string{200: "big", 50: "mid", 5: "small", 0: "tiny"}
+	for in, want := range cases {
+		if got := run(t, src, "f", in); got != want {
+			t.Fatalf("f(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestStringComparison(t *testing.T) {
+	src := `func f(a any, b any) any { return a < b }`
+	if got := run(t, src, "f", "apple", "banana"); got != true {
+		t.Fatalf("string < = %v", got)
+	}
+	if got := run(t, src, "f", "b", "a"); got != false {
+		t.Fatalf("string < = %v", got)
+	}
+}
+
+func TestMixedTypeComparisonErrors(t *testing.T) {
+	src := `func f() any { return "a" < 5 }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(prog)
+	if _, err := in.Call("f"); err == nil {
+		t.Fatal("cross-type ordering accepted")
+	}
+}
+
+func TestByteBufferMutation(t *testing.T) {
+	src := `
+func f() any {
+	b := bytes.alloc(3)
+	b[0] = 65
+	b[1] = 66
+	b[2] = 300
+	return bytes.toString(b[0:2]) + str(b[2])
+}`
+	// 300 & 0xFF = 44.
+	if got := run(t, src, "f"); got != "AB44" {
+		t.Fatalf("f = %v", got)
+	}
+}
+
+func TestFunctionAsValueRejected(t *testing.T) {
+	src := `
+func g() any { return 1 }
+func f() any { x := g; return x }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(prog)
+	if _, err := in.Call("f"); err == nil || !strings.Contains(err.Error(), "used as value") {
+		t.Fatalf("function-as-value err = %v", err)
+	}
+}
+
+func TestMeterCountsStatements(t *testing.T) {
+	src := `func f(n any) any { s := 0; for i := 0; i < n; i++ { s = s + 1 }; return s }`
+	in := mustInterp(t, src)
+	in.Meter().Reset()
+	if _, err := in.Call("f", 10.0); err != nil {
+		t.Fatal(err)
+	}
+	small := in.Meter().Ops()
+	in.Meter().Reset()
+	if _, err := in.Call("f", 100.0); err != nil {
+		t.Fatal(err)
+	}
+	big := in.Meter().Ops()
+	if big <= small*5 {
+		t.Fatalf("meter not proportional to work: %v vs %v", small, big)
+	}
+}
+
+func TestGlobalInitErrorsSurface(t *testing.T) {
+	src := `
+var broken = nope()
+
+func f() any { return 1 }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(prog)
+	if err := in.RunInit(); err == nil {
+		t.Fatal("broken global initializer accepted")
+	}
+}
+
+func TestEmptyStringIndexError(t *testing.T) {
+	src := `func f() any { s := ""; return s[0] }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(prog)
+	if _, err := in.Call("f"); err == nil {
+		t.Fatal("empty-string index accepted")
+	}
+}
+
+func TestNegativeSliceBoundsError(t *testing.T) {
+	src := `func f() any { s := "abc"; return s[2:1] }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(prog)
+	if _, err := in.Call("f"); err == nil {
+		t.Fatal("inverted slice bounds accepted")
+	}
+}
+
+func TestMapMissingKeyIsNil(t *testing.T) {
+	src := `
+func f() any {
+	m := map[string]any{}
+	if m["ghost"] == nil {
+		return "nil"
+	}
+	return "present"
+}`
+	if got := run(t, src, "f"); got != "nil" {
+		t.Fatalf("f = %v", got)
+	}
+}
+
+func TestWriteHookBaseNameForNestedTargets(t *testing.T) {
+	src := `
+var state = map[string]any{"inner": map[string]any{}}
+
+func f() any {
+	state["inner"]["k"] = 1
+	state.inner.j = 2
+	return 0
+}`
+	in := mustInterp(t, src)
+	var writes []string
+	in.SetHooks(Hooks{Write: func(id StmtID, name string, val any) {
+		writes = append(writes, name)
+	}})
+	if _, err := in.Call("f"); err != nil {
+		t.Fatal(err)
+	}
+	// Both nested writes must attribute to the base variable "state" so
+	// the analysis can identify the mutated global.
+	count := 0
+	for _, w := range writes {
+		if w == "state" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("writes = %v, want 2 attributed to state", writes)
+	}
+}

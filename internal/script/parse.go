@@ -1,0 +1,214 @@
+package script
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// StmtID identifies one syntactic statement of a program. IDs are dense,
+// assigned in source order by a numbering walk, and are the currency of
+// the dynamic dependence analysis: RW-LOG facts, dominance relations, and
+// the extract-function refactoring all speak in statement IDs.
+type StmtID int
+
+// NoStmt is the zero StmtID, used when execution is outside any
+// numbered statement (e.g. global initialization).
+const NoStmt StmtID = 0
+
+// Program is a parsed service script: top-level var declarations
+// (globals) plus function declarations.
+type Program struct {
+	// Fset positions all AST nodes.
+	Fset *token.FileSet
+	// File is the parsed source (wrapped in a synthetic package clause).
+	File *ast.File
+	// Funcs maps function name to its declaration.
+	Funcs map[string]*ast.FuncDecl
+	// Globals holds top-level var specs in declaration order.
+	Globals []*ast.ValueSpec
+
+	// stmts maps StmtID → statement node (index 0 unused).
+	stmts []ast.Stmt
+	// ids maps statement node → StmtID.
+	ids map[ast.Stmt]StmtID
+	// funcOf maps StmtID → enclosing function name.
+	funcOf []string
+}
+
+const header = "package service\n\n"
+
+// Parse parses service-script source. The source contains top-level var
+// declarations and function declarations in Go syntax (no package clause
+// or imports).
+func Parse(src string) (*Program, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "service.src", header+src, 0)
+	if err != nil {
+		return nil, fmt.Errorf("script: parse: %w", err)
+	}
+	p := &Program{
+		Fset:  fset,
+		File:  file,
+		Funcs: map[string]*ast.FuncDecl{},
+		ids:   map[ast.Stmt]StmtID{},
+		stmts: []ast.Stmt{nil}, // index 0 = NoStmt
+	}
+	p.funcOf = []string{""}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Recv != nil {
+				return nil, fmt.Errorf("script: methods are not supported (func %s)", d.Name.Name)
+			}
+			if _, dup := p.Funcs[d.Name.Name]; dup {
+				return nil, fmt.Errorf("script: duplicate function %q", d.Name.Name)
+			}
+			p.Funcs[d.Name.Name] = d
+		case *ast.GenDecl:
+			if d.Tok != token.VAR {
+				return nil, fmt.Errorf("script: only var declarations allowed at top level, found %v", d.Tok)
+			}
+			for _, spec := range d.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if len(vs.Values) != len(vs.Names) {
+					return nil, fmt.Errorf("script: global var %v must have an initializer per name", vs.Names)
+				}
+				p.Globals = append(p.Globals, vs)
+			}
+		default:
+			return nil, fmt.Errorf("script: unsupported top-level declaration %T", decl)
+		}
+	}
+	p.number()
+	return p, nil
+}
+
+// number assigns dense statement IDs in source order, function by
+// function.
+func (p *Program) number() {
+	names := make([]string, 0, len(p.Funcs))
+	for name := range p.Funcs {
+		names = append(names, name)
+	}
+	// Deterministic order: by source position.
+	sortFuncsByPos(p, names)
+	for _, name := range names {
+		fn := p.Funcs[name]
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			// Blocks are containers, not statements of interest: RW-LOG
+			// facts attach to the leaf/control statements inside them.
+			if _, isBlock := n.(*ast.BlockStmt); isBlock {
+				return true
+			}
+			if st, ok := n.(ast.Stmt); ok {
+				if _, seen := p.ids[st]; !seen {
+					id := StmtID(len(p.stmts))
+					p.stmts = append(p.stmts, st)
+					p.funcOf = append(p.funcOf, name)
+					p.ids[st] = id
+				}
+			}
+			return true
+		})
+	}
+}
+
+func sortFuncsByPos(p *Program, names []string) {
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && p.Funcs[names[j]].Pos() < p.Funcs[names[j-1]].Pos(); j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+}
+
+// NumStmts returns the number of numbered statements.
+func (p *Program) NumStmts() int { return len(p.stmts) - 1 }
+
+// Stmt returns the statement node for an ID, or nil.
+func (p *Program) Stmt(id StmtID) ast.Stmt {
+	if id <= 0 || int(id) >= len(p.stmts) {
+		return nil
+	}
+	return p.stmts[id]
+}
+
+// IDOf returns the StmtID of a statement node (NoStmt if unnumbered).
+func (p *Program) IDOf(st ast.Stmt) StmtID { return p.ids[st] }
+
+// FuncOf returns the name of the function containing a statement.
+func (p *Program) FuncOf(id StmtID) string {
+	if id <= 0 || int(id) >= len(p.funcOf) {
+		return ""
+	}
+	return p.funcOf[id]
+}
+
+// StmtIDsIn returns the IDs of all statements inside function name, in
+// source order.
+func (p *Program) StmtIDsIn(name string) []StmtID {
+	var out []StmtID
+	for id := 1; id < len(p.stmts); id++ {
+		if p.funcOf[id] == name {
+			out = append(out, StmtID(id))
+		}
+	}
+	return out
+}
+
+// Line returns the source line of a statement (1-based, within the
+// original unwrapped source).
+func (p *Program) Line(id StmtID) int {
+	st := p.Stmt(id)
+	if st == nil {
+		return 0
+	}
+	// Subtract the synthetic header lines.
+	return p.Fset.Position(st.Pos()).Line - strings.Count(header, "\n")
+}
+
+// StmtText renders the source text of a statement.
+func (p *Program) StmtText(id StmtID) string {
+	st := p.Stmt(id)
+	if st == nil {
+		return ""
+	}
+	return FormatNode(p.Fset, st)
+}
+
+// FuncNames returns the declared function names in source order.
+func (p *Program) FuncNames() []string {
+	names := make([]string, 0, len(p.Funcs))
+	for name := range p.Funcs {
+		names = append(names, name)
+	}
+	sortFuncsByPos(p, names)
+	return names
+}
+
+// GlobalNames returns the declared global names in order.
+func (p *Program) GlobalNames() []string {
+	var out []string
+	for _, vs := range p.Globals {
+		for _, n := range vs.Names {
+			out = append(out, n.Name)
+		}
+	}
+	return out
+}
+
+// FormatNode renders any AST node back to source text.
+func FormatNode(fset *token.FileSet, node any) string {
+	var b strings.Builder
+	cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 4}
+	if err := cfg.Fprint(&b, fset, node); err != nil {
+		return fmt.Sprintf("<unprintable: %v>", err)
+	}
+	return b.String()
+}

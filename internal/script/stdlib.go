@@ -1,0 +1,305 @@
+package script
+
+import (
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// installStdlib binds the standard builtins into the interpreter's base
+// scope: generic helpers plus the strings, json, and bytes namespaces.
+func installStdlib(in *Interp) {
+	base := in.base
+
+	base.define("len", Builtin(func(c *Call) (any, error) {
+		switch x := c.Arg(0).(type) {
+		case string:
+			return float64(len(x)), nil
+		case []byte:
+			return float64(len(x)), nil
+		case *List:
+			return float64(len(x.Elems)), nil
+		case map[string]any:
+			return float64(len(x)), nil
+		case nil:
+			return float64(0), nil
+		default:
+			return nil, fmt.Errorf("len: unsupported type %T", x)
+		}
+	}))
+
+	base.define("push", Builtin(func(c *Call) (any, error) {
+		lst, ok := c.Arg(0).(*List)
+		if !ok {
+			return nil, fmt.Errorf("push: first argument must be a list, got %T", c.Arg(0))
+		}
+		lst.Elems = append(lst.Elems, c.Args[1:]...)
+		return float64(len(lst.Elems)), nil
+	}))
+
+	base.define("pop", Builtin(func(c *Call) (any, error) {
+		lst, ok := c.Arg(0).(*List)
+		if !ok {
+			return nil, fmt.Errorf("pop: first argument must be a list, got %T", c.Arg(0))
+		}
+		if len(lst.Elems) == 0 {
+			return nil, nil
+		}
+		v := lst.Elems[len(lst.Elems)-1]
+		lst.Elems = lst.Elems[:len(lst.Elems)-1]
+		return v, nil
+	}))
+
+	base.define("keys", Builtin(func(c *Call) (any, error) {
+		m, ok := c.Arg(0).(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("keys: argument must be a map, got %T", c.Arg(0))
+		}
+		ks := make([]string, 0, len(m))
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		lst := &List{Elems: make([]any, len(ks))}
+		for i, k := range ks {
+			lst.Elems[i] = k
+		}
+		return lst, nil
+	}))
+
+	base.define("has", Builtin(func(c *Call) (any, error) {
+		m, ok := c.Arg(0).(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("has: first argument must be a map, got %T", c.Arg(0))
+		}
+		_, present := m[c.StringArg(1)]
+		return present, nil
+	}))
+
+	base.define("del", Builtin(func(c *Call) (any, error) {
+		m, ok := c.Arg(0).(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("del: first argument must be a map, got %T", c.Arg(0))
+		}
+		delete(m, c.StringArg(1))
+		return nil, nil
+	}))
+
+	base.define("str", Builtin(func(c *Call) (any, error) {
+		return ToString(c.Arg(0)), nil
+	}))
+
+	base.define("num", Builtin(func(c *Call) (any, error) {
+		n, ok := ToNumber(c.Arg(0))
+		if !ok {
+			return nil, fmt.Errorf("num: cannot convert %T", c.Arg(0))
+		}
+		return n, nil
+	}))
+
+	base.define("abs", numFn(math.Abs))
+	base.define("floor", numFn(math.Floor))
+	base.define("ceil", numFn(math.Ceil))
+	base.define("round", numFn(math.Round))
+	base.define("sqrt", numFn(math.Sqrt))
+
+	base.define("min", Builtin(func(c *Call) (any, error) {
+		if len(c.Args) == 0 {
+			return nil, fmt.Errorf("min: needs arguments")
+		}
+		best := c.NumArg(0)
+		for i := 1; i < len(c.Args); i++ {
+			best = math.Min(best, c.NumArg(i))
+		}
+		return best, nil
+	}))
+
+	base.define("max", Builtin(func(c *Call) (any, error) {
+		if len(c.Args) == 0 {
+			return nil, fmt.Errorf("max: needs arguments")
+		}
+		best := c.NumArg(0)
+		for i := 1; i < len(c.Args); i++ {
+			best = math.Max(best, c.NumArg(i))
+		}
+		return best, nil
+	}))
+
+	base.define("pow", Builtin(func(c *Call) (any, error) {
+		return math.Pow(c.NumArg(0), c.NumArg(1)), nil
+	}))
+
+	base.define("fail", Builtin(func(c *Call) (any, error) {
+		return nil, fmt.Errorf("script failure: %s", c.StringArg(0))
+	}))
+
+	// cpu adds abstract compute cost to the meter; subject services call
+	// it to model CPU-bound work (image inference, chem-rule matching).
+	base.define("cpu", Builtin(func(c *Call) (any, error) {
+		c.Interp.Meter().Add(c.NumArg(0))
+		return nil, nil
+	}))
+
+	base.define("strings", NewObject("strings", map[string]Builtin{
+		"upper": func(c *Call) (any, error) { return strings.ToUpper(c.StringArg(0)), nil },
+		"lower": func(c *Call) (any, error) { return strings.ToLower(c.StringArg(0)), nil },
+		"trim":  func(c *Call) (any, error) { return strings.TrimSpace(c.StringArg(0)), nil },
+		"contains": func(c *Call) (any, error) {
+			return strings.Contains(c.StringArg(0), c.StringArg(1)), nil
+		},
+		"indexOf": func(c *Call) (any, error) {
+			return float64(strings.Index(c.StringArg(0), c.StringArg(1))), nil
+		},
+		"replace": func(c *Call) (any, error) {
+			return strings.ReplaceAll(c.StringArg(0), c.StringArg(1), c.StringArg(2)), nil
+		},
+		"repeat": func(c *Call) (any, error) {
+			n := int(c.NumArg(1))
+			if n < 0 || n > 1<<20 {
+				return nil, fmt.Errorf("repeat: count %d out of range", n)
+			}
+			return strings.Repeat(c.StringArg(0), n), nil
+		},
+		"split": func(c *Call) (any, error) {
+			parts := strings.Split(c.StringArg(0), c.StringArg(1))
+			lst := &List{Elems: make([]any, len(parts))}
+			for i, p := range parts {
+				lst.Elems[i] = p
+			}
+			return lst, nil
+		},
+		"join": func(c *Call) (any, error) {
+			lst, ok := c.Arg(0).(*List)
+			if !ok {
+				return nil, fmt.Errorf("join: first argument must be a list")
+			}
+			parts := make([]string, len(lst.Elems))
+			for i, e := range lst.Elems {
+				parts[i] = ToString(e)
+			}
+			return strings.Join(parts, c.StringArg(1)), nil
+		},
+	}))
+
+	base.define("json", NewObject("json", map[string]Builtin{
+		"encode": func(c *Call) (any, error) {
+			b, err := json.Marshal(toJSON(c.Arg(0)))
+			if err != nil {
+				return nil, fmt.Errorf("json.encode: %w", err)
+			}
+			return string(b), nil
+		},
+		"decode": func(c *Call) (any, error) {
+			var v any
+			if err := json.Unmarshal([]byte(c.StringArg(0)), &v); err != nil {
+				return nil, fmt.Errorf("json.decode: %w", err)
+			}
+			return fromJSON(v), nil
+		},
+	}))
+
+	base.define("bytes", NewObject("bytes", map[string]Builtin{
+		"alloc": func(c *Call) (any, error) {
+			n := int(c.NumArg(0))
+			if n < 0 || n > 1<<28 {
+				return nil, fmt.Errorf("bytes.alloc: size %d out of range", n)
+			}
+			return make([]byte, n), nil
+		},
+		"fromString": func(c *Call) (any, error) {
+			return []byte(c.StringArg(0)), nil
+		},
+		"toString": func(c *Call) (any, error) {
+			b, ok := c.Arg(0).([]byte)
+			if !ok {
+				return nil, fmt.Errorf("bytes.toString: argument must be bytes")
+			}
+			return string(b), nil
+		},
+		"sum": func(c *Call) (any, error) {
+			b, ok := c.Arg(0).([]byte)
+			if !ok {
+				return nil, fmt.Errorf("bytes.sum: argument must be bytes")
+			}
+			var s float64
+			for _, x := range b {
+				s += float64(x)
+			}
+			return s, nil
+		},
+		// hash returns a deterministic numeric digest; services use it to
+		// model feature extraction over buffers.
+		"hash": func(c *Call) (any, error) {
+			b, ok := c.Arg(0).([]byte)
+			if !ok {
+				b = []byte(c.StringArg(0))
+			}
+			sum := sha256.Sum256(b)
+			return float64(binary.BigEndian.Uint32(sum[:4])), nil
+		},
+	}))
+}
+
+func numFn(f func(float64) float64) Builtin {
+	return func(c *Call) (any, error) { return f(c.NumArg(0)), nil }
+}
+
+// toJSON converts script values to encoding/json-friendly values.
+func toJSON(v any) any {
+	switch x := v.(type) {
+	case *List:
+		out := make([]any, len(x.Elems))
+		for i, e := range x.Elems {
+			out[i] = toJSON(e)
+		}
+		return out
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, e := range x {
+			out[k] = toJSON(e)
+		}
+		return out
+	case []byte:
+		return map[string]any{"$bytes": base64.StdEncoding.EncodeToString(x)}
+	default:
+		return x
+	}
+}
+
+// fromJSON converts decoded JSON values to script values, reversing
+// toJSON's bytes envelope.
+func fromJSON(v any) any {
+	switch x := v.(type) {
+	case []any:
+		lst := &List{Elems: make([]any, len(x))}
+		for i, e := range x {
+			lst.Elems[i] = fromJSON(e)
+		}
+		return lst
+	case map[string]any:
+		if enc, ok := x["$bytes"].(string); ok && len(x) == 1 {
+			if b, err := base64.StdEncoding.DecodeString(enc); err == nil {
+				return b
+			}
+		}
+		out := make(map[string]any, len(x))
+		for k, e := range x {
+			out[k] = fromJSON(e)
+		}
+		return out
+	default:
+		return x
+	}
+}
+
+// ToJSONValue exposes the script→JSON conversion for host packages that
+// need to marshal script values (e.g. HTTP response encoding).
+func ToJSONValue(v any) any { return toJSON(v) }
+
+// FromJSONValue exposes the JSON→script conversion for host packages.
+func FromJSONValue(v any) any { return fromJSON(v) }

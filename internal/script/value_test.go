@@ -1,0 +1,298 @@
+package script
+
+import (
+	"testing"
+)
+
+func TestTruthyTable(t *testing.T) {
+	truthy := []any{true, 1.0, -0.5, "x", []byte{0}, NewList(), map[string]any{}, NewObject("o", nil)}
+	for _, v := range truthy {
+		if !Truthy(v) {
+			t.Fatalf("Truthy(%#v) = false", v)
+		}
+	}
+	falsy := []any{nil, false, 0.0, "", []byte{}}
+	for _, v := range falsy {
+		if Truthy(v) {
+			t.Fatalf("Truthy(%#v) = true", v)
+		}
+	}
+}
+
+func TestToNumberTable(t *testing.T) {
+	cases := []struct {
+		in   any
+		want float64
+		ok   bool
+	}{
+		{3.5, 3.5, true},
+		{true, 1, true},
+		{false, 0, true},
+		{" 42 ", 42, true},
+		{"1e3", 1000, true},
+		{nil, 0, true},
+		{"abc", 0, false},
+		{NewList(), 0, false},
+		{map[string]any{}, 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := ToNumber(tc.in)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Fatalf("ToNumber(%#v) = %v, %v; want %v, %v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestEqualTable(t *testing.T) {
+	eq := [][2]any{
+		{nil, nil},
+		{true, true},
+		{2.0, 2.0},
+		{"s", "s"},
+		{map[string]any{"a": NewList(1.0)}, map[string]any{"a": NewList(1.0)}},
+	}
+	for _, p := range eq {
+		if !Equal(p[0], p[1]) {
+			t.Fatalf("Equal(%#v, %#v) = false", p[0], p[1])
+		}
+	}
+	ne := [][2]any{
+		{nil, 0.0},
+		{true, 1.0},
+		{"1", 1.0},
+		{NewList(1.0), NewList(1.0, 2.0)},
+		{NewList(1.0), "not a list"},
+		{map[string]any{"a": 1.0}, map[string]any{"b": 1.0}},
+		{map[string]any{"a": 1.0}, map[string]any{"a": 2.0}},
+		{NewObject("o", nil), NewObject("o", nil)},
+	}
+	for _, p := range ne {
+		if Equal(p[0], p[1]) {
+			t.Fatalf("Equal(%#v, %#v) = true", p[0], p[1])
+		}
+	}
+}
+
+func TestToStringAndSizeOfMisc(t *testing.T) {
+	if got := ToString([]byte{1, 2, 3}); got != "bytes[3]" {
+		t.Fatalf("bytes ToString = %q", got)
+	}
+	if got := ToString(NewObject("db", nil)); got != "<object db>" {
+		t.Fatalf("object ToString = %q", got)
+	}
+	if got := ToString(true); got != "true" {
+		t.Fatalf("bool ToString = %q", got)
+	}
+	if got := ToString(nil); got != "nil" {
+		t.Fatalf("nil ToString = %q", got)
+	}
+	if SizeOf(nil) != 1 || SizeOf(true) != 1 || SizeOf(3.0) != 8 {
+		t.Fatal("scalar SizeOf wrong")
+	}
+	if SizeOf(map[string]any{"ab": "cd"}) < 4 {
+		t.Fatal("map SizeOf too small")
+	}
+	if SizeOf(NewObject("x", nil)) != 16 {
+		t.Fatal("object SizeOf wrong")
+	}
+}
+
+func TestInterpGlobalsAccessors(t *testing.T) {
+	in := mustInterp(t, `
+var a = 1
+var b = "two"
+
+func f() any { return a }`)
+	gs := in.Globals()
+	if gs["a"] != 1.0 || gs["b"] != "two" {
+		t.Fatalf("Globals = %v", gs)
+	}
+	in.SetGlobal("a", 42.0)
+	v, ok := in.GetGlobal("a")
+	if !ok || v != 42.0 {
+		t.Fatalf("GetGlobal after SetGlobal = %v, %v", v, ok)
+	}
+	out, err := in.Call("f")
+	if err != nil || out != 42.0 {
+		t.Fatalf("f() = %v, %v", out, err)
+	}
+	if _, ok := in.GetGlobal("ghost"); ok {
+		t.Fatal("GetGlobal(ghost) = ok")
+	}
+}
+
+func TestProgramFuncNames(t *testing.T) {
+	prog, err := Parse(`
+func zig() any { return 1 }
+func alpha() any { return 2 }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := prog.FuncNames()
+	if len(names) != 2 || names[0] != "zig" || names[1] != "alpha" {
+		t.Fatalf("FuncNames = %v, want source order", names)
+	}
+}
+
+func TestCharLiteral(t *testing.T) {
+	if got := run(t, `func f() any { return 'a' }`, "f"); got != "a" {
+		t.Fatalf("char literal = %v", got)
+	}
+}
+
+func TestSelectorErrors(t *testing.T) {
+	for _, src := range []string{
+		`func f() any { x := 5; return x.field }`,
+		`func f() any { return strings.nope }`,
+		`func f() any { x := 5; x.field = 1; return x }`,
+	} {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := New(prog).Call("f"); err == nil {
+			t.Fatalf("selector misuse accepted: %s", src)
+		}
+	}
+	// Reading a method off an object without calling it yields the
+	// builtin, which is not directly comparable but is truthy.
+	if got := run(t, `func f() any { if strings.upper { return "got" }; return "none" }`, "f"); got != "got" {
+		t.Fatalf("method value = %v", got)
+	}
+}
+
+func TestJSONValueConversions(t *testing.T) {
+	v := ToJSONValue(map[string]any{"l": NewList(1.0, []byte("b"))})
+	m, ok := v.(map[string]any)
+	if !ok {
+		t.Fatalf("ToJSONValue = %T", v)
+	}
+	arr, ok := m["l"].([]any)
+	if !ok || len(arr) != 2 {
+		t.Fatalf("list conversion = %#v", m["l"])
+	}
+	back := FromJSONValue(v)
+	bm, ok := back.(map[string]any)
+	if !ok {
+		t.Fatalf("FromJSONValue = %T", back)
+	}
+	lst, ok := bm["l"].(*List)
+	if !ok || len(lst.Elems) != 2 {
+		t.Fatalf("round trip list = %#v", bm["l"])
+	}
+	if b, ok := lst.Elems[1].([]byte); !ok || string(b) != "b" {
+		t.Fatalf("bytes round trip = %#v", lst.Elems[1])
+	}
+}
+
+func TestStdlibMisc(t *testing.T) {
+	src := `
+func f() any {
+	m := map[string]any{"a": 1, "b": 2}
+	ks := keys(m)
+	del(m, "a")
+	xs := []any{1, 2, 3}
+	last := pop(xs)
+	empty := []any{}
+	nothing := pop(empty)
+	return map[string]any{
+		"keys":    strings.join(ks, ""),
+		"hasA":    has(m, "a"),
+		"hasB":    has(m, "b"),
+		"last":    last,
+		"nothing": nothing,
+		"lenXs":   len(xs),
+		"idx":     strings.indexOf("hello", "ll"),
+		"trim":    strings.trim("  x  "),
+		"rep":     strings.repeat("ab", 2),
+		"lower":   strings.lower("ABC"),
+	}
+}`
+	got, ok := run(t, src, "f").(map[string]any)
+	if !ok {
+		t.Fatal("f did not return a map")
+	}
+	want := map[string]any{
+		"keys": "ab", "hasA": false, "hasB": true,
+		"last": 3.0, "nothing": nil, "lenXs": 2.0,
+		"idx": 2.0, "trim": "x", "rep": "abab", "lower": "abc",
+	}
+	for k, w := range want {
+		if !Equal(got[k], w) {
+			t.Fatalf("%s = %#v, want %#v", k, got[k], w)
+		}
+	}
+}
+
+func TestStdlibErrorPaths(t *testing.T) {
+	cases := []string{
+		`func f() any { return len(strings) }`,
+		`func f() any { return push(5, 1) }`,
+		`func f() any { return pop("s") }`,
+		`func f() any { return keys(5) }`,
+		`func f() any { return has(5, "k") }`,
+		`func f() any { return del(5, "k") }`,
+		`func f() any { return num(strings) }`,
+		`func f() any { return min() }`,
+		`func f() any { return max() }`,
+		`func f() any { return strings.repeat("x", -1) }`,
+		`func f() any { return strings.join("not a list", ",") }`,
+		`func f() any { return json.decode("{bad") }`,
+		`func f() any { return bytes.alloc(-1) }`,
+		`func f() any { return bytes.toString(5) }`,
+		`func f() any { return bytes.sum("not bytes") }`,
+	}
+	for _, src := range cases {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := New(prog).Call("f"); err == nil {
+			t.Fatalf("no error for: %s", src)
+		}
+	}
+}
+
+func TestSwitchWithoutTag(t *testing.T) {
+	src := `
+func f(v any) any {
+	switch {
+	case v > 10:
+		return "big"
+	case v > 1:
+		return "small"
+	}
+	return "tiny"
+}`
+	if got := run(t, src, "f", 20.0); got != "big" {
+		t.Fatalf("f(20) = %v", got)
+	}
+	if got := run(t, src, "f", 5.0); got != "small" {
+		t.Fatalf("f(5) = %v", got)
+	}
+	if got := run(t, src, "f", 0.0); got != "tiny" {
+		t.Fatalf("f(0) = %v", got)
+	}
+}
+
+func TestBytesHashOfString(t *testing.T) {
+	src := `func f() any { return bytes.hash("stringy") }`
+	v := run(t, src, "f")
+	if _, ok := v.(float64); !ok {
+		t.Fatalf("hash = %T", v)
+	}
+}
+
+func TestCallArityTolerance(t *testing.T) {
+	// Missing arguments bind to nil, like loosely typed handlers expect.
+	src := `
+func f(a any, b any) any {
+	if b == nil {
+		return "b-missing"
+	}
+	return "full"
+}`
+	if got := run(t, src, "f", 1.0); got != "b-missing" {
+		t.Fatalf("partial call = %v", got)
+	}
+}

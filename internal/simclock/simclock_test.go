@@ -1,0 +1,225 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", c.Now())
+	}
+	fired := false
+	c.After(time.Second, func() { fired = true })
+	c.Run()
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if c.Now() != time.Second {
+		t.Fatalf("Now() = %v, want 1s", c.Now())
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.After(time.Millisecond, func() { order = append(order, i) })
+	}
+	c.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (ties must fire FIFO)", i, v, i)
+		}
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	c := New()
+	var got []time.Duration
+	delays := []time.Duration{5, 1, 3, 2, 4}
+	for _, d := range delays {
+		d := d * time.Millisecond
+		c.After(d, func() { got = append(got, c.Now()) })
+	}
+	c.Run()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != len(delays) {
+		t.Fatalf("fired %d events, want %d", len(got), len(delays))
+	}
+}
+
+func TestStopCancels(t *testing.T) {
+	c := New()
+	fired := false
+	tm := c.After(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false, want true for pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true, want false")
+	}
+	c.Run()
+	if fired {
+		t.Fatal("stopped event fired")
+	}
+}
+
+func TestRunUntilAdvancesExactly(t *testing.T) {
+	c := New()
+	var at []time.Duration
+	c.After(10*time.Millisecond, func() { at = append(at, c.Now()) })
+	c.After(30*time.Millisecond, func() { at = append(at, c.Now()) })
+	c.RunUntil(20 * time.Millisecond)
+	if len(at) != 1 || at[0] != 10*time.Millisecond {
+		t.Fatalf("fired %v, want exactly the 10ms event", at)
+	}
+	if c.Now() != 20*time.Millisecond {
+		t.Fatalf("Now() = %v, want 20ms", c.Now())
+	}
+	c.Run()
+	if len(at) != 2 {
+		t.Fatalf("fired %d events after Run, want 2", len(at))
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	c := New()
+	var seen []time.Duration
+	c.After(time.Millisecond, func() {
+		seen = append(seen, c.Now())
+		c.After(time.Millisecond, func() {
+			seen = append(seen, c.Now())
+		})
+	})
+	c.Run()
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	if len(seen) != 2 || seen[0] != want[0] || seen[1] != want[1] {
+		t.Fatalf("seen = %v, want %v", seen, want)
+	}
+}
+
+func TestRunUntilIncludesNestedWithinWindow(t *testing.T) {
+	c := New()
+	count := 0
+	c.After(time.Millisecond, func() {
+		count++
+		c.After(time.Millisecond, func() { count++ })    // at 2ms, inside window
+		c.After(10*time.Millisecond, func() { count++ }) // at 11ms, outside
+	})
+	c.RunUntil(5 * time.Millisecond)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 (nested in-window event must fire)", count)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	c := New()
+	c.After(time.Second, func() {})
+	c.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(past) did not panic")
+		}
+	}()
+	c.At(time.Millisecond, func() {})
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	c := New()
+	c.Advance(time.Second)
+	fired := time.Duration(-1)
+	c.After(-time.Minute, func() { fired = c.Now() })
+	c.Run()
+	if fired != time.Second {
+		t.Fatalf("fired at %v, want 1s (now)", fired)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	c := New()
+	t1 := c.After(time.Second, func() {})
+	c.After(2*time.Second, func() {})
+	if got := c.Pending(); got != 2 {
+		t.Fatalf("Pending() = %d, want 2", got)
+	}
+	t1.Stop()
+	if got := c.Pending(); got != 1 {
+		t.Fatalf("Pending() after Stop = %d, want 1", got)
+	}
+}
+
+// Property: for any batch of delays, events fire in nondecreasing time
+// order and the clock ends at the max delay.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		c := New()
+		var fireTimes []time.Duration
+		var max time.Duration
+		for _, r := range raw {
+			d := time.Duration(r) * time.Microsecond
+			if d > max {
+				max = d
+			}
+			c.After(d, func() { fireTimes = append(fireTimes, c.Now()) })
+		}
+		c.Run()
+		if len(fireTimes) != len(raw) {
+			return false
+		}
+		if !sort.SliceIsSorted(fireTimes, func(i, j int) bool { return fireTimes[i] < fireTimes[j] }) {
+			return false
+		}
+		return c.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving Stop calls never loses or duplicates the
+// remaining events.
+func TestPropertyStopExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		c := New()
+		n := 1 + rng.Intn(40)
+		fired := 0
+		timers := make([]*Timer, n)
+		for i := range timers {
+			timers[i] = c.After(time.Duration(rng.Intn(1000))*time.Microsecond, func() { fired++ })
+		}
+		stopped := 0
+		for _, tm := range timers {
+			if rng.Intn(2) == 0 && tm.Stop() {
+				stopped++
+			}
+		}
+		c.Run()
+		if fired != n-stopped {
+			t.Fatalf("trial %d: fired %d, want %d", trial, fired, n-stopped)
+		}
+	}
+}
+
+func BenchmarkSchedule(b *testing.B) {
+	c := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%1024 == 1023 {
+			c.Run()
+		}
+	}
+	c.Run()
+}

@@ -1,0 +1,454 @@
+package sqldb
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustExec(t *testing.T, db *DB, q string, args ...any) *Result {
+	t.Helper()
+	res, err := db.Exec(q, args...)
+	if err != nil {
+		t.Fatalf("Exec(%q) failed: %v", q, err)
+	}
+	return res
+}
+
+func newBooksDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	mustExec(t, db, "CREATE TABLE books (id INT PRIMARY KEY, title TEXT, stock INT, price REAL)")
+	mustExec(t, db, "INSERT INTO books (id, title, stock, price) VALUES (1, 'SICP', 3, 45.5), (2, 'TAPL', 1, 60.0), (3, 'Go', 7, 30.0)")
+	return db
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := newBooksDB(t)
+	res := mustExec(t, db, "SELECT * FROM books WHERE stock > 1 ORDER BY id")
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	if res.Rows[0]["title"] != "SICP" || res.Rows[1]["title"] != "Go" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestCreateDuplicateAndIfNotExists(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (id INT PRIMARY KEY)")
+	if _, err := db.Exec("CREATE TABLE t (id INT PRIMARY KEY)"); err == nil {
+		t.Fatal("duplicate CREATE accepted")
+	}
+	mustExec(t, db, "CREATE TABLE IF NOT EXISTS t (id INT PRIMARY KEY)")
+}
+
+func TestPlaceholders(t *testing.T) {
+	db := newBooksDB(t)
+	res := mustExec(t, db, "SELECT title FROM books WHERE id = ?", 2)
+	if len(res.Rows) != 1 || res.Rows[0]["title"] != "TAPL" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if _, err := db.Exec("SELECT * FROM books WHERE id = ?"); err == nil {
+		t.Fatal("missing args accepted")
+	}
+	if _, err := db.Exec("SELECT * FROM books WHERE id = ?", 1, 2); err == nil {
+		t.Fatal("extra args accepted")
+	}
+	if _, err := db.Exec("SELECT * FROM books WHERE id = ?", struct{}{}); err == nil {
+		t.Fatal("unsupported arg type accepted")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := newBooksDB(t)
+	res := mustExec(t, db, "UPDATE books SET stock = stock - 1 WHERE id = 1")
+	if res.Affected != 1 {
+		t.Fatalf("Affected = %d, want 1", res.Affected)
+	}
+	got := mustExec(t, db, "SELECT stock FROM books WHERE id = 1")
+	if got.Rows[0]["stock"] != int64(2) {
+		t.Fatalf("stock = %v (%T), want 2", got.Rows[0]["stock"], got.Rows[0]["stock"])
+	}
+}
+
+func TestUpdateSwapSemantics(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE p (id INT PRIMARY KEY, a INT, b INT)")
+	mustExec(t, db, "INSERT INTO p (id, a, b) VALUES (1, 10, 20)")
+	mustExec(t, db, "UPDATE p SET a = b, b = a WHERE id = 1")
+	res := mustExec(t, db, "SELECT a, b FROM p")
+	if res.Rows[0]["a"] != int64(20) || res.Rows[0]["b"] != int64(10) {
+		t.Fatalf("swap failed: %v (SET must read pre-update values)", res.Rows[0])
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := newBooksDB(t)
+	res := mustExec(t, db, "DELETE FROM books WHERE price >= 45.5")
+	if res.Affected != 2 {
+		t.Fatalf("Affected = %d, want 2", res.Affected)
+	}
+	n, err := db.RowCount("books")
+	if err != nil || n != 1 {
+		t.Fatalf("RowCount = %d, %v; want 1", n, err)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := newBooksDB(t)
+	res := mustExec(t, db, "SELECT count(*), sum(stock), avg(price), min(price), max(title) FROM books")
+	row := res.Rows[0]
+	if row["count(*)"] != int64(3) {
+		t.Fatalf("count = %v", row["count(*)"])
+	}
+	if row["sum(stock)"] != 11.0 {
+		t.Fatalf("sum = %v", row["sum(stock)"])
+	}
+	if row["avg(price)"] != (45.5+60.0+30.0)/3 {
+		t.Fatalf("avg = %v", row["avg(price)"])
+	}
+	if row["min(price)"] != 30.0 {
+		t.Fatalf("min = %v", row["min(price)"])
+	}
+	if row["max(title)"] != "TAPL" {
+		t.Fatalf("max = %v", row["max(title)"])
+	}
+}
+
+func TestAggregateOverEmptySet(t *testing.T) {
+	db := newBooksDB(t)
+	res := mustExec(t, db, "SELECT count(*), sum(stock), avg(price) FROM books WHERE id > 99")
+	row := res.Rows[0]
+	if row["count(*)"] != int64(0) || row["sum(stock)"] != 0.0 || row["avg(price)"] != nil {
+		t.Fatalf("empty aggregate = %v", row)
+	}
+}
+
+func TestOrderByDescAndLimit(t *testing.T) {
+	db := newBooksDB(t)
+	res := mustExec(t, db, "SELECT id FROM books ORDER BY price DESC LIMIT 2")
+	if len(res.Rows) != 2 || res.Rows[0]["id"] != int64(2) || res.Rows[1]["id"] != int64(1) {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestLike(t *testing.T) {
+	db := newBooksDB(t)
+	res := mustExec(t, db, "SELECT title FROM books WHERE title LIKE '%I%'")
+	if len(res.Rows) != 1 || res.Rows[0]["title"] != "SICP" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = mustExec(t, db, "SELECT title FROM books WHERE title LIKE '_o'")
+	if len(res.Rows) != 1 || res.Rows[0]["title"] != "Go" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestExpressions(t *testing.T) {
+	db := newBooksDB(t)
+	res := mustExec(t, db, "SELECT title FROM books WHERE stock * 2 + 1 >= 7 AND NOT (price = 60.0)")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = mustExec(t, db, "SELECT price / 2 AS half FROM books WHERE id = 1")
+	if res.Rows[0]["half"] != 45.5/2 {
+		t.Fatalf("half = %v", res.Rows[0]["half"])
+	}
+	if _, err := db.Exec("SELECT 1/0 FROM books"); err == nil {
+		t.Fatal("division by zero accepted")
+	}
+}
+
+func TestStringConcat(t *testing.T) {
+	db := newBooksDB(t)
+	res := mustExec(t, db, "SELECT title + '!' AS bang FROM books WHERE id = 3")
+	if res.Rows[0]["bang"] != "Go!" {
+		t.Fatalf("bang = %v", res.Rows[0]["bang"])
+	}
+}
+
+func TestDuplicatePrimaryKey(t *testing.T) {
+	db := newBooksDB(t)
+	_, err := db.Exec("INSERT INTO books (id, title, stock, price) VALUES (1, 'dup', 0, 0)")
+	if !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("err = %v, want ErrDuplicateKey", err)
+	}
+}
+
+func TestNoTable(t *testing.T) {
+	db := Open()
+	_, err := db.Exec("SELECT * FROM ghosts")
+	if !errors.Is(err, ErrNoTable) {
+		t.Fatalf("err = %v, want ErrNoTable", err)
+	}
+}
+
+func TestTransactionCommit(t *testing.T) {
+	db := newBooksDB(t)
+	mustExec(t, db, "START TRANSACTION")
+	if !db.InTransaction() {
+		t.Fatal("not in transaction")
+	}
+	mustExec(t, db, "UPDATE books SET stock = 0 WHERE id = 1")
+	mustExec(t, db, "COMMIT")
+	res := mustExec(t, db, "SELECT stock FROM books WHERE id = 1")
+	if res.Rows[0]["stock"] != int64(0) {
+		t.Fatal("committed update lost")
+	}
+}
+
+func TestTransactionRollback(t *testing.T) {
+	db := newBooksDB(t)
+	before := db.Dump()
+	mustExec(t, db, "BEGIN")
+	mustExec(t, db, "UPDATE books SET stock = 0")
+	mustExec(t, db, "DELETE FROM books WHERE id = 2")
+	mustExec(t, db, "INSERT INTO books (id, title, stock, price) VALUES (9, 'tmp', 1, 1.0)")
+	mustExec(t, db, "ROLLBACK")
+	if !reflect.DeepEqual(db.Dump(), before) {
+		t.Fatal("ROLLBACK did not restore state")
+	}
+	if db.InTransaction() {
+		t.Fatal("still in transaction after rollback")
+	}
+}
+
+func TestTransactionErrors(t *testing.T) {
+	db := newBooksDB(t)
+	if _, err := db.Exec("COMMIT"); !errors.Is(err, ErrNoTransaction) {
+		t.Fatalf("COMMIT outside tx: %v", err)
+	}
+	if _, err := db.Exec("ROLLBACK"); !errors.Is(err, ErrNoTransaction) {
+		t.Fatalf("ROLLBACK outside tx: %v", err)
+	}
+	mustExec(t, db, "BEGIN")
+	if _, err := db.Exec("BEGIN"); !errors.Is(err, ErrInTransaction) {
+		t.Fatalf("nested BEGIN: %v", err)
+	}
+	mustExec(t, db, "ROLLBACK")
+}
+
+func TestMutationHooks(t *testing.T) {
+	db := newBooksDB(t)
+	var muts []Mutation
+	db.OnMutation(func(m Mutation) { muts = append(muts, m) })
+	mustExec(t, db, "INSERT INTO books (id, title, stock, price) VALUES (4, 'New', 1, 9.9)")
+	mustExec(t, db, "UPDATE books SET stock = 2 WHERE id = 4")
+	mustExec(t, db, "DELETE FROM books WHERE id = 4")
+	if len(muts) != 3 {
+		t.Fatalf("got %d mutations, want 3", len(muts))
+	}
+	if muts[0].Kind != MutInsert || muts[0].Key != "4" || muts[0].Cols["title"] != "New" {
+		t.Fatalf("insert mutation = %+v", muts[0])
+	}
+	if muts[1].Kind != MutUpdate || muts[1].Cols["stock"] != int64(2) {
+		t.Fatalf("update mutation = %+v", muts[1])
+	}
+	if muts[2].Kind != MutDelete || muts[2].Cols != nil {
+		t.Fatalf("delete mutation = %+v", muts[2])
+	}
+}
+
+func TestMutationHooksSuppressedOnRollback(t *testing.T) {
+	db := newBooksDB(t)
+	var muts []Mutation
+	db.OnMutation(func(m Mutation) { muts = append(muts, m) })
+	mustExec(t, db, "BEGIN")
+	mustExec(t, db, "UPDATE books SET stock = 0")
+	mustExec(t, db, "ROLLBACK")
+	if len(muts) != 0 {
+		t.Fatalf("rolled-back mutations leaked to hooks: %v", muts)
+	}
+	mustExec(t, db, "BEGIN")
+	mustExec(t, db, "UPDATE books SET stock = 0 WHERE id = 1")
+	mustExec(t, db, "COMMIT")
+	if len(muts) != 1 {
+		t.Fatalf("committed mutation count = %d, want 1", len(muts))
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	db := newBooksDB(t)
+	snap := db.Snapshot()
+	before := db.Dump()
+	mustExec(t, db, "DELETE FROM books")
+	mustExec(t, db, "INSERT INTO books (id, title, stock, price) VALUES (99, 'x', 0, 0)")
+	db.Restore(snap)
+	if !reflect.DeepEqual(db.Dump(), before) {
+		t.Fatal("Restore did not reproduce snapshot state")
+	}
+	// Snapshot must be isolated from later mutations.
+	mustExec(t, db, "UPDATE books SET title = 'mutated' WHERE id = 1")
+	db.Restore(snap)
+	res := mustExec(t, db, "SELECT title FROM books WHERE id = 1")
+	if res.Rows[0]["title"] != "SICP" {
+		t.Fatal("snapshot shares state with live DB")
+	}
+}
+
+func TestRowIDTables(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE logs (msg TEXT)")
+	r1 := mustExec(t, db, "INSERT INTO logs (msg) VALUES ('a')")
+	r2 := mustExec(t, db, "INSERT INTO logs (msg) VALUES ('b')")
+	if r1.LastKey == "" || r1.LastKey == r2.LastKey {
+		t.Fatalf("row IDs not unique: %q %q", r1.LastKey, r2.LastKey)
+	}
+	res := mustExec(t, db, "SELECT count(*) FROM logs")
+	if res.Rows[0]["count(*)"] != int64(2) {
+		t.Fatal("row count wrong")
+	}
+}
+
+func TestSizeBytesGrows(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (id INT PRIMARY KEY, data TEXT)")
+	small := db.SizeBytes()
+	mustExec(t, db, "INSERT INTO t (id, data) VALUES (1, ?)", string(make([]byte, 10000)))
+	if db.SizeBytes() < small+10000 {
+		t.Fatalf("SizeBytes did not grow: %d -> %d", small, db.SizeBytes())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	db := Open()
+	for _, q := range []string{
+		"",
+		"FROB the database",
+		"SELECT FROM",
+		"INSERT INTO t VALUES (1)",
+		"CREATE TABLE (id INT)",
+		"SELECT * FROM t WHERE 'unterminated",
+		"SELECT * FROM t LIMIT abc",
+		"SELECT * FROM t extra garbage",
+	} {
+		if _, err := db.Exec(q); err == nil {
+			t.Fatalf("Exec(%q) accepted invalid SQL", q)
+		}
+	}
+}
+
+func TestNullHandling(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+	mustExec(t, db, "INSERT INTO t (id, v) VALUES (1, NULL), (2, 5)")
+	res := mustExec(t, db, "SELECT id FROM t WHERE v = NULL")
+	if len(res.Rows) != 1 || res.Rows[0]["id"] != int64(1) {
+		t.Fatalf("NULL equality rows = %v", res.Rows)
+	}
+	res = mustExec(t, db, "SELECT count(v) FROM t")
+	if res.Rows[0]["count(v)"] != int64(1) {
+		t.Fatalf("count(v) = %v, want 1 (NULLs not counted)", res.Rows[0]["count(v)"])
+	}
+}
+
+// Property: snapshot/restore is an exact inverse for any mutation batch.
+func TestPropertySnapshotRestore(t *testing.T) {
+	f := func(stocks []uint8) bool {
+		db := Open()
+		if _, err := db.Exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+			return false
+		}
+		for i, s := range stocks {
+			if _, err := db.Exec("INSERT INTO t (id, v) VALUES (?, ?)", i, int(s)); err != nil {
+				return false
+			}
+		}
+		snap := db.Snapshot()
+		want := db.Dump()
+		if _, err := db.Exec("UPDATE t SET v = v + 1"); err != nil {
+			return false
+		}
+		if _, err := db.Exec("DELETE FROM t WHERE v % 2 = 0"); err != nil {
+			return false
+		}
+		db.Restore(snap)
+		return reflect.DeepEqual(db.Dump(), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a transaction that rolls back is equivalent to never having
+// run, for arbitrary update deltas.
+func TestPropertyRollbackIdentity(t *testing.T) {
+	f := func(deltas []int8) bool {
+		db := Open()
+		if _, err := db.Exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+			return false
+		}
+		if _, err := db.Exec("INSERT INTO t (id, v) VALUES (1, 100)"); err != nil {
+			return false
+		}
+		want := db.Dump()
+		if _, err := db.Exec("BEGIN"); err != nil {
+			return false
+		}
+		for _, d := range deltas {
+			if _, err := db.Exec("UPDATE t SET v = v + ?", int(d)); err != nil {
+				return false
+			}
+		}
+		if _, err := db.Exec("ROLLBACK"); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(db.Dump(), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	db := Open()
+	if _, err := db.Exec("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec("INSERT INTO t (id, v) VALUES (?, ?)", i, "value"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectWhere(b *testing.B) {
+	db := Open()
+	if _, err := db.Exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := db.Exec("INSERT INTO t (id, v) VALUES (?, ?)", i, i%10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec("SELECT * FROM t WHERE v = 3"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestProbeObservesInsideTransactions(t *testing.T) {
+	db := newBooksDB(t)
+	var probed []Mutation
+	db.SetProbe(func(m Mutation) { probed = append(probed, m) })
+	mustExec(t, db, "BEGIN")
+	mustExec(t, db, "UPDATE books SET stock = 0 WHERE id = 1")
+	mustExec(t, db, "ROLLBACK")
+	if len(probed) != 1 {
+		t.Fatalf("probe saw %d mutations inside tx, want 1 (shadow execution)", len(probed))
+	}
+	// Regular hooks stayed silent (rolled back).
+	db.SetProbe(nil)
+	probed = nil
+	mustExec(t, db, "UPDATE books SET stock = 1 WHERE id = 1")
+	if len(probed) != 0 {
+		t.Fatal("detached probe still firing")
+	}
+}

@@ -1,0 +1,312 @@
+package statesync
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/crdt"
+	"repro/internal/httpapp"
+	"repro/internal/script"
+	"repro/internal/sqldb"
+	"repro/internal/vfs"
+)
+
+// Binding connects a live service instance to its replicated state —
+// the role of the CRDT templates the paper's transformation weaves into
+// the identified statements. Outbound: committed SQL mutations, file
+// writes, and global-variable changes are mirrored into the CRDT
+// components. Inbound: remote changes are pushed into the running
+// database, filesystem, and interpreter (with hooks muted so inbound
+// state is not echoed back out).
+type Binding struct {
+	app   *httpapp.App
+	state *ReplicaState
+	units analysis.StateUnits
+
+	trackedTables map[string]bool
+	trackedFiles  bool
+	lastGlobals   map[string]any
+}
+
+// Bind wires the app to the replicated state, seeding the CRDT
+// components from the app's current contents for the tracked units.
+// Use it on the cloud master, whose app holds the authoritative state.
+func Bind(app *httpapp.App, state *ReplicaState, units analysis.StateUnits) (*Binding, error) {
+	return bind(app, state, units, true)
+}
+
+// BindReplica wires an edge replica to state forked from the cloud
+// snapshot: instead of seeding the CRDT from the (empty) replica app, it
+// pushes the snapshot state into the app — the paper's "each edge node
+// initializes its CRDT data structure with a passed state snapshot".
+func BindReplica(app *httpapp.App, state *ReplicaState, units analysis.StateUnits) (*Binding, error) {
+	return bind(app, state, units, false)
+}
+
+func bind(app *httpapp.App, state *ReplicaState, units analysis.StateUnits, seed bool) (*Binding, error) {
+	b := &Binding{
+		app:           app,
+		state:         state,
+		units:         units,
+		trackedTables: map[string]bool{},
+		lastGlobals:   map[string]any{},
+	}
+	for _, t := range units.Tables {
+		b.trackedTables[t] = true
+	}
+	b.trackedFiles = len(units.Files) > 0 || len(units.FileStmts) > 0
+
+	app.DB().OnMutation(func(m sqldb.Mutation) {
+		if !b.trackedTables[m.Table] {
+			return
+		}
+		// Mirror the committed row change into CRDT-Table.
+		if err := b.state.Tables.EnsureTable(m.Table); err != nil {
+			return
+		}
+		switch m.Kind {
+		case sqldb.MutDelete:
+			_ = b.state.Tables.DeleteRow(m.Table, m.Key)
+		default:
+			_ = b.state.Tables.UpsertRow(m.Table, m.Key, normalizeCols(m.Cols))
+		}
+	})
+	app.FS().OnMutation(func(a vfs.Access) {
+		if !b.trackedFiles {
+			return
+		}
+		switch a.Kind {
+		case vfs.AccessWrite:
+			// a.Content carries the written bytes; the hook must not
+			// call back into the locked filesystem.
+			_ = b.state.Files.Write(a.Path, a.Content)
+		case vfs.AccessRemove:
+			_ = b.state.Files.Remove(a.Path)
+		}
+	})
+	if seed {
+		// Seed: current table rows, files, and globals.
+		if err := b.seed(); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	// Replica path: load the snapshot state into the app.
+	if err := b.PushIntoApp(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// normalizeCols converts sqldb values to CRDT scalars.
+func normalizeCols(cols map[string]any) map[string]any {
+	out := make(map[string]any, len(cols))
+	for k, v := range cols {
+		if i, ok := v.(int64); ok {
+			out[k] = float64(i)
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+func (b *Binding) seed() error {
+	dump := b.app.DB().Dump()
+	names := make([]string, 0, len(dump))
+	for name := range dump {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !b.trackedTables[name] {
+			continue
+		}
+		if err := b.state.Tables.EnsureTable(name); err != nil {
+			return err
+		}
+	}
+	// Replay current rows through SQL SELECT to get keys: use the dump
+	// plus key recovery via a full SELECT per table.
+	for _, name := range names {
+		if !b.trackedTables[name] {
+			continue
+		}
+		rows, keys, err := tableRows(b.app.DB(), name)
+		if err != nil {
+			return err
+		}
+		for i, row := range rows {
+			if err := b.state.Tables.UpsertRow(name, keys[i], normalizeCols(row)); err != nil {
+				return err
+			}
+		}
+	}
+	if b.trackedFiles {
+		for _, p := range b.app.FS().List("") {
+			content, err := b.app.FS().Read(p)
+			if err != nil {
+				continue
+			}
+			if err := b.state.Files.Write(p, content); err != nil {
+				return err
+			}
+		}
+	}
+	return b.MirrorGlobals()
+}
+
+// tableRows returns a table's rows along with their primary keys.
+func tableRows(db *sqldb.DB, table string) ([]map[string]any, []string, error) {
+	res, err := db.Exec("SELECT * FROM " + table)
+	if err != nil {
+		return nil, nil, err
+	}
+	keys := make([]string, len(res.Rows))
+	rows := make([]map[string]any, len(res.Rows))
+	pk := primaryKeyCol(res.Cols, res.Rows)
+	for i, r := range res.Rows {
+		rows[i] = r
+		if pk != "" {
+			keys[i] = fmt.Sprint(r[pk])
+		} else {
+			keys[i] = fmt.Sprintf("_row%d", i)
+		}
+	}
+	return rows, keys, nil
+}
+
+// primaryKeyCol guesses the key column: "id" if present, else the first
+// column.
+func primaryKeyCol(cols []string, rows []sqldb.Row) string {
+	for _, c := range cols {
+		if strings.EqualFold(c, "id") {
+			return c
+		}
+	}
+	if len(cols) > 0 {
+		return cols[0]
+	}
+	_ = rows
+	return ""
+}
+
+// MirrorGlobals copies changed tracked globals into CRDT-JSON. The
+// replica runtime calls it after every service invocation — the analog
+// of the generated set-accessor instrumentation.
+func (b *Binding) MirrorGlobals() error {
+	for _, name := range b.units.GlobalsToSync() {
+		cur, ok := b.app.Interp().GetGlobal(name)
+		if !ok {
+			continue
+		}
+		if prev, seen := b.lastGlobals[name]; seen && script.Equal(prev, cur) {
+			continue
+		}
+		b.lastGlobals[name] = script.DeepCopy(cur)
+		if err := putGlobal(b.state, name, cur); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func putGlobal(state *ReplicaState, name string, v any) error {
+	return state.JSON.PutGo("root", "g:"+name, goValue(v))
+}
+
+// ApplyRemote integrates a delta and pushes the resulting state into the
+// running app, with mutation hooks muted.
+func (b *Binding) ApplyRemote(d Delta) error {
+	if err := b.state.Apply(d); err != nil {
+		return err
+	}
+	return b.PushIntoApp()
+}
+
+// PushIntoApp materializes the CRDT state into the live database,
+// filesystem, and interpreter globals.
+func (b *Binding) PushIntoApp() error {
+	db := b.app.DB()
+	db.SetMuted(true)
+	defer db.SetMuted(false)
+	fs := b.app.FS()
+	fs.SetMuted(true)
+	defer fs.SetMuted(false)
+
+	// Tables: rebuild tracked tables from CRDT rows.
+	for _, name := range b.state.Tables.TableNames() {
+		if !b.trackedTables[name] {
+			continue
+		}
+		if _, err := db.Exec("CREATE TABLE IF NOT EXISTS " + name + " (id INT PRIMARY KEY)"); err != nil {
+			return err
+		}
+		if _, err := db.Exec("DELETE FROM " + name); err != nil {
+			return err
+		}
+		for _, key := range b.state.Tables.RowKeys(name) {
+			row, ok := b.state.Tables.Row(name, key)
+			if !ok {
+				continue
+			}
+			if err := insertRow(db, name, row); err != nil {
+				return err
+			}
+		}
+	}
+	// Files.
+	if b.trackedFiles {
+		for _, p := range b.state.Files.Paths() {
+			content, ok := b.state.Files.Read(p)
+			if !ok {
+				continue
+			}
+			if cur, err := fs.Read(p); err == nil && string(cur) == string(content) {
+				continue
+			}
+			if err := fs.Write(p, content); err != nil {
+				return err
+			}
+		}
+	}
+	// Globals.
+	for _, name := range b.units.GlobalsToSync() {
+		v, ok := b.state.JSON.MapGet("root", "g:"+name)
+		if !ok {
+			continue
+		}
+		var sv any
+		if v.Kind == crdt.ValObj { // materialize the nested object
+			m, err := b.state.JSON.Materialize(v.Obj)
+			if err != nil {
+				return err
+			}
+			sv = scriptValue(m)
+		} else {
+			sv = scriptValue(v.ToGo())
+		}
+		b.app.Interp().SetGlobal(name, sv)
+		b.lastGlobals[name] = script.DeepCopy(sv)
+	}
+	return nil
+}
+
+func insertRow(db *sqldb.DB, table string, row map[string]any) error {
+	cols := make([]string, 0, len(row))
+	for c := range row {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	placeholders := make([]string, len(cols))
+	args := make([]any, len(cols))
+	for i, c := range cols {
+		placeholders[i] = "?"
+		args[i] = row[c]
+	}
+	q := "INSERT INTO " + table + " (" + strings.Join(cols, ", ") + ") VALUES (" + strings.Join(placeholders, ", ") + ")"
+	_, err := db.Exec(q, args...)
+	return err
+}

@@ -1,0 +1,260 @@
+package statesync
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/crdt"
+	"repro/internal/netem"
+	"repro/internal/simclock"
+)
+
+// Endpoint is one synchronization participant: a replica's state, with
+// an optional binding into a live app.
+type Endpoint struct {
+	Name    string
+	State   *ReplicaState
+	Binding *Binding
+}
+
+// apply integrates an inbound delta, through the binding when present.
+func (e *Endpoint) apply(d Delta) error {
+	if e.Binding != nil {
+		return e.Binding.ApplyRemote(d)
+	}
+	return e.State.Apply(d)
+}
+
+// refresh mirrors pending local changes (globals) before computing a
+// delta.
+func (e *Endpoint) refresh() error {
+	if e.Binding != nil {
+		return e.Binding.MirrorGlobals()
+	}
+	return nil
+}
+
+// conn is the bidirectional channel between the master and one edge.
+type conn struct {
+	edge *Endpoint
+	// link carries edge_state messages up and cloud_state messages down.
+	link *netem.Duplex
+	// ackedByMaster is the edge state the master has confirmed applying;
+	// ackedByEdge is the master state the edge has confirmed.
+	ackedByMaster Heads
+	ackedByEdge   Heads
+}
+
+// Stats aggregates synchronization traffic.
+type Stats struct {
+	// EdgeStateBytes is the edge→cloud volume; CloudStateBytes the
+	// cloud→edge volume.
+	EdgeStateBytes  int64
+	CloudStateBytes int64
+	// Messages counts non-empty deltas sent (both directions).
+	Messages int64
+	// Errors counts failed applications.
+	Errors int64
+}
+
+// TotalBytes returns the WAN synchronization volume.
+func (s Stats) TotalBytes() int64 { return s.EdgeStateBytes + s.CloudStateBytes }
+
+// Manager runs the background synchronization protocol on virtual time:
+// every interval, each edge sends its new changes to the cloud master
+// (edge_state) and the master sends its new changes — including changes
+// it learned from other edges — to each edge (cloud_state). Edge
+// replicas unconditionally accept everything received from the cloud
+// (paper §III-G1).
+type Manager struct {
+	clock    *simclock.Clock
+	master   *Endpoint
+	conns    []*conn
+	interval time.Duration
+	stats    Stats
+	running  bool
+	onError  func(error)
+}
+
+// NewManager returns a manager for the given cloud master endpoint.
+func NewManager(clock *simclock.Clock, master *Endpoint, interval time.Duration) (*Manager, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("statesync: interval must be positive, got %v", interval)
+	}
+	if master == nil || master.State == nil {
+		return nil, fmt.Errorf("statesync: nil master endpoint")
+	}
+	return &Manager{clock: clock, master: master, interval: interval}, nil
+}
+
+// SetErrorHandler installs a callback for apply errors (default:
+// counted in Stats only).
+func (m *Manager) SetErrorHandler(f func(error)) { m.onError = f }
+
+// AddEdge registers an edge endpoint connected over the given duplex
+// WAN link.
+func (m *Manager) AddEdge(edge *Endpoint, link *netem.Duplex) error {
+	if edge == nil || edge.State == nil {
+		return fmt.Errorf("statesync: nil edge endpoint")
+	}
+	if link == nil {
+		return fmt.Errorf("statesync: nil link")
+	}
+	// The edge was initialized by forking the master's snapshot, so both
+	// sides already share the edge's current history: synchronization
+	// starts from the fork point, not from scratch.
+	start := edge.State.Heads()
+	m.conns = append(m.conns, &conn{edge: edge, link: link, ackedByMaster: start, ackedByEdge: start})
+	return nil
+}
+
+// Stats returns the accumulated traffic statistics.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the statistics (link counters are the caller's).
+func (m *Manager) ResetStats() { m.stats = Stats{} }
+
+// Start schedules the periodic synchronization. It keeps rescheduling
+// itself until Stop.
+func (m *Manager) Start() {
+	if m.running {
+		return
+	}
+	m.running = true
+	m.scheduleTick()
+}
+
+// Stop halts future rounds (in-flight messages still deliver).
+func (m *Manager) Stop() { m.running = false }
+
+func (m *Manager) scheduleTick() {
+	m.clock.After(m.interval, func() {
+		if !m.running {
+			return
+		}
+		m.SyncRound()
+		m.scheduleTick()
+	})
+}
+
+// SyncRound performs one bidirectional exchange for every edge.
+func (m *Manager) SyncRound() {
+	if err := m.master.refresh(); err != nil {
+		m.fail(err)
+	}
+	for _, c := range m.conns {
+		if err := c.edge.refresh(); err != nil {
+			m.fail(err)
+		}
+		m.sendEdgeState(c)
+		m.sendCloudState(c)
+	}
+}
+
+// sendEdgeState ships the edge's unacknowledged changes to the master.
+func (m *Manager) sendEdgeState(c *conn) {
+	delta := c.edge.State.Delta(c.ackedByMaster)
+	if delta.Empty() {
+		return
+	}
+	payload, err := EncodeDelta(delta)
+	if err != nil {
+		m.fail(err)
+		return
+	}
+	headsAtSend := c.edge.State.Heads()
+	m.stats.EdgeStateBytes += int64(len(payload))
+	m.stats.Messages++
+	c.link.Up.Send(len(payload), func() {
+		if err := m.master.apply(delta); err != nil {
+			m.fail(err)
+			return
+		}
+		c.ackedByMaster = headsAtSend
+	})
+}
+
+// sendCloudState ships the master's unacknowledged changes to the edge.
+func (m *Manager) sendCloudState(c *conn) {
+	delta := m.master.State.Delta(c.ackedByEdge)
+	if delta.Empty() {
+		return
+	}
+	payload, err := EncodeDelta(delta)
+	if err != nil {
+		m.fail(err)
+		return
+	}
+	headsAtSend := m.master.State.Heads()
+	m.stats.CloudStateBytes += int64(len(payload))
+	m.stats.Messages++
+	c.link.Down.Send(len(payload), func() {
+		if err := c.edge.apply(delta); err != nil {
+			m.fail(err)
+			return
+		}
+		c.ackedByEdge = headsAtSend
+	})
+}
+
+func (m *Manager) fail(err error) {
+	m.stats.Errors++
+	if m.onError != nil {
+		m.onError(err)
+	}
+}
+
+// Converged reports whether the master and every edge hold identical
+// state.
+func (m *Manager) Converged() bool {
+	for _, c := range m.conns {
+		if !m.master.State.Converged(c.edge.State) {
+			return false
+		}
+	}
+	return true
+}
+
+// CompactAcknowledged truncates change logs that every peer has already
+// acknowledged: the master compacts through the intersection of all
+// edges' acknowledged heads; each edge compacts through what the master
+// has acknowledged of it. This bounds log growth on long-running
+// deployments. Edges added after compaction must initialize from a
+// replica that still holds full history.
+func (m *Manager) CompactAcknowledged() int {
+	if len(m.conns) == 0 {
+		return 0
+	}
+	inter := m.conns[0].ackedByEdge
+	for _, c := range m.conns[1:] {
+		inter = intersectHeads(inter, c.ackedByEdge)
+	}
+	dropped := m.master.State.Compact(inter)
+	for _, c := range m.conns {
+		dropped += c.edge.State.Compact(c.ackedByMaster)
+	}
+	return dropped
+}
+
+// intersectHeads returns the componentwise/actorwise minimum of two
+// knowledge summaries.
+func intersectHeads(a, b Heads) Heads {
+	out := Heads{}
+	for comp, av := range a {
+		bv, ok := b[comp]
+		if !ok {
+			continue
+		}
+		vv := crdt.VersionVector{}
+		for actor, s := range av {
+			if bs, ok := bv[actor]; ok {
+				if bs < s {
+					s = bs
+				}
+				vv[actor] = s
+			}
+		}
+		out[comp] = vv
+	}
+	return out
+}

@@ -1,0 +1,408 @@
+package statesync
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file provides a real-network transport for the synchronization
+// protocol — the analog of the paper's bidirectional socket.io channel.
+// A TCPMaster listens for edge replicas; each TCPEdge dials in,
+// exchanges a hello carrying its version vector, and both sides then
+// push state deltas periodically. TCP's reliable ordered delivery lets
+// acknowledgements advance optimistically on write; a reconnect
+// re-handshakes from the peer's declared heads.
+//
+// The virtual-time Manager remains the evaluation vehicle; this
+// transport is for deployments that span real processes.
+
+// frameKind tags wire frames.
+type frameKind string
+
+const (
+	frameHello frameKind = "hello"
+	frameState frameKind = "state"
+)
+
+// frame is the wire message.
+type frame struct {
+	Kind  frameKind `json:"kind"`
+	From  string    `json:"from,omitempty"`
+	Heads Heads     `json:"heads,omitempty"`
+	Delta Delta     `json:"delta,omitempty"`
+}
+
+// maxFrameBytes bounds a frame to keep a misbehaving peer from forcing
+// unbounded allocation.
+const maxFrameBytes = 64 << 20
+
+func writeFrame(w io.Writer, f *frame) (int, error) {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return 0, fmt.Errorf("statesync: encoding frame: %w", err)
+	}
+	if len(payload) > maxFrameBytes {
+		return 0, fmt.Errorf("statesync: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n, err := w.Write(payload)
+	return n + 4, err
+}
+
+func readFrame(r io.Reader) (*frame, int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrameBytes {
+		return nil, 0, fmt.Errorf("statesync: frame of %d bytes exceeds limit", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, err
+	}
+	var f frame
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return nil, 0, fmt.Errorf("statesync: decoding frame: %w", err)
+	}
+	return &f, int(size) + 4, nil
+}
+
+// TCPStats counts transport traffic.
+type TCPStats struct {
+	BytesSent     int64
+	BytesReceived int64
+	FramesSent    int64
+	FramesRecv    int64
+}
+
+// TCPMaster is the cloud master's listener: it accepts edge replicas and
+// keeps them synchronized with the master endpoint's state.
+type TCPMaster struct {
+	ep       *Endpoint
+	ln       net.Listener
+	interval time.Duration
+
+	mu      sync.Mutex // guards ep state and stats
+	stats   TCPStats
+	closed  bool
+	wg      sync.WaitGroup
+	onError func(error)
+}
+
+// ServeMaster starts a master on addr ("127.0.0.1:0" for an ephemeral
+// port). Close must be called to release the listener and goroutines.
+func ServeMaster(addr string, ep *Endpoint, interval time.Duration) (*TCPMaster, error) {
+	if ep == nil || ep.State == nil {
+		return nil, errors.New("statesync: nil master endpoint")
+	}
+	if interval <= 0 {
+		return nil, errors.New("statesync: interval must be positive")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("statesync: listen: %w", err)
+	}
+	m := &TCPMaster{ep: ep, ln: ln, interval: interval}
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the listener address (for edges to dial).
+func (m *TCPMaster) Addr() string { return m.ln.Addr().String() }
+
+// SetErrorHandler installs a callback for connection errors.
+func (m *TCPMaster) SetErrorHandler(f func(error)) { m.onError = f }
+
+// Do runs f while holding the master's state lock; all local mutations
+// of the master's replicated state must go through it.
+func (m *TCPMaster) Do(f func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f()
+}
+
+// Stats returns a snapshot of transport counters.
+func (m *TCPMaster) Stats() TCPStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Close stops accepting, closes connections, and waits for goroutines.
+func (m *TCPMaster) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	err := m.ln.Close()
+	m.wg.Wait()
+	return err
+}
+
+func (m *TCPMaster) fail(err error) {
+	if m.onError != nil && err != nil && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.EOF) {
+		m.onError(err)
+	}
+}
+
+func (m *TCPMaster) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		m.wg.Add(1)
+		go m.serveConn(conn)
+	}
+}
+
+// serveConn handles one edge: hello exchange, then a reader goroutine
+// applying inbound edge_state frames while a ticker pushes cloud_state.
+func (m *TCPMaster) serveConn(conn net.Conn) {
+	defer m.wg.Done()
+	defer func() { _ = conn.Close() }()
+
+	r := bufio.NewReader(conn)
+	hello, n, err := readFrame(r)
+	if err != nil || hello.Kind != frameHello {
+		m.fail(fmt.Errorf("statesync: bad hello: %w", err))
+		return
+	}
+	m.mu.Lock()
+	m.stats.BytesReceived += int64(n)
+	m.stats.FramesRecv++
+	reply := &frame{Kind: frameHello, Heads: m.ep.State.Heads()}
+	sent, err := writeFrame(conn, reply)
+	m.stats.BytesSent += int64(sent)
+	m.stats.FramesSent++
+	peerKnown := hello.Heads
+	m.mu.Unlock()
+	if err != nil {
+		m.fail(err)
+		return
+	}
+
+	stop := make(chan struct{})
+	var once sync.Once
+	shutdown := func() { once.Do(func() { close(stop); _ = conn.Close() }) }
+	defer shutdown()
+
+	// Pusher: periodically ship deltas the edge is missing.
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		defer shutdown()
+		ticker := time.NewTicker(m.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+			}
+			m.mu.Lock()
+			if err := m.ep.refresh(); err != nil {
+				m.fail(err)
+			}
+			delta := m.ep.State.Delta(peerKnown)
+			var heads Heads
+			if !delta.Empty() {
+				heads = m.ep.State.Heads()
+			}
+			m.mu.Unlock()
+			if delta.Empty() {
+				continue
+			}
+			n, err := writeFrame(conn, &frame{Kind: frameState, Delta: delta})
+			m.mu.Lock()
+			m.stats.BytesSent += int64(n)
+			m.stats.FramesSent++
+			if err == nil {
+				peerKnown = heads
+			}
+			m.mu.Unlock()
+			if err != nil {
+				m.fail(err)
+				return
+			}
+		}
+	}()
+
+	// Reader: apply inbound edge_state.
+	for {
+		f, n, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		m.mu.Lock()
+		m.stats.BytesReceived += int64(n)
+		m.stats.FramesRecv++
+		var applyErr error
+		if f.Kind == frameState {
+			applyErr = m.ep.apply(f.Delta)
+		}
+		m.mu.Unlock()
+		if applyErr != nil {
+			m.fail(applyErr)
+			return
+		}
+	}
+}
+
+// TCPEdge is one edge replica's connection to the master.
+type TCPEdge struct {
+	ep       *Endpoint
+	conn     net.Conn
+	interval time.Duration
+
+	mu        sync.Mutex
+	stats     TCPStats
+	peerKnown Heads
+	wg        sync.WaitGroup
+	stop      chan struct{}
+	once      sync.Once
+	onError   func(error)
+}
+
+// DialEdge connects an edge endpoint to a master and starts background
+// synchronization. Close must be called to stop it.
+func DialEdge(addr string, ep *Endpoint, interval time.Duration) (*TCPEdge, error) {
+	if ep == nil || ep.State == nil {
+		return nil, errors.New("statesync: nil edge endpoint")
+	}
+	if interval <= 0 {
+		return nil, errors.New("statesync: interval must be positive")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("statesync: dial: %w", err)
+	}
+	e := &TCPEdge{ep: ep, conn: conn, interval: interval, stop: make(chan struct{})}
+
+	// Handshake.
+	n, err := writeFrame(conn, &frame{Kind: frameHello, From: ep.Name, Heads: ep.State.Heads()})
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	e.stats.BytesSent += int64(n)
+	e.stats.FramesSent++
+	r := bufio.NewReader(conn)
+	hello, hn, err := readFrame(r)
+	if err != nil || hello.Kind != frameHello {
+		_ = conn.Close()
+		return nil, fmt.Errorf("statesync: bad master hello: %w", err)
+	}
+	e.stats.BytesReceived += int64(hn)
+	e.stats.FramesRecv++
+	e.peerKnown = hello.Heads
+
+	e.wg.Add(2)
+	go e.pushLoop()
+	go e.readLoop(r)
+	return e, nil
+}
+
+// SetErrorHandler installs a callback for connection errors.
+func (e *TCPEdge) SetErrorHandler(f func(error)) { e.onError = f }
+
+// Do runs f while holding the edge's state lock.
+func (e *TCPEdge) Do(f func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f()
+}
+
+// Stats returns a snapshot of transport counters.
+func (e *TCPEdge) Stats() TCPStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Close stops synchronization and closes the connection.
+func (e *TCPEdge) Close() error {
+	e.once.Do(func() { close(e.stop); _ = e.conn.Close() })
+	e.wg.Wait()
+	return nil
+}
+
+func (e *TCPEdge) fail(err error) {
+	if e.onError != nil && err != nil && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.EOF) {
+		e.onError(err)
+	}
+}
+
+func (e *TCPEdge) pushLoop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-ticker.C:
+		}
+		e.mu.Lock()
+		if err := e.ep.refresh(); err != nil {
+			e.fail(err)
+		}
+		delta := e.ep.State.Delta(e.peerKnown)
+		heads := Heads{}
+		if !delta.Empty() {
+			heads = e.ep.State.Heads()
+		}
+		e.mu.Unlock()
+		if delta.Empty() {
+			continue
+		}
+		n, err := writeFrame(e.conn, &frame{Kind: frameState, Delta: delta})
+		e.mu.Lock()
+		e.stats.BytesSent += int64(n)
+		e.stats.FramesSent++
+		if err == nil {
+			e.peerKnown = heads
+		}
+		e.mu.Unlock()
+		if err != nil {
+			e.fail(err)
+			return
+		}
+	}
+}
+
+func (e *TCPEdge) readLoop(r *bufio.Reader) {
+	defer e.wg.Done()
+	for {
+		f, n, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		e.stats.BytesReceived += int64(n)
+		e.stats.FramesRecv++
+		var applyErr error
+		if f.Kind == frameState {
+			applyErr = e.ep.apply(f.Delta)
+		}
+		e.mu.Unlock()
+		if applyErr != nil {
+			e.fail(applyErr)
+			return
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package statesync
+
+import (
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestTCPSyncConverges(t *testing.T) {
+	master := newState(t, "cloud")
+	if err := master.JSON.PutScalar("root", "seed", 1); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeMaster("127.0.0.1:0", &Endpoint{Name: "cloud", State: master}, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	edges := make([]*TCPEdge, 2)
+	states := make([]*ReplicaState, 2)
+	for i := range edges {
+		st, err := master.Fork(crdtActor("tcp-edge" + string(rune('0'+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		states[i] = st
+		edge, err := DialEdge(srv.Addr(), &Endpoint{Name: "edge", State: st}, 10*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges[i] = edge
+	}
+	defer func() {
+		for _, e := range edges {
+			if err := e.Close(); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+
+	// Concurrent mutations: one per edge, one at the master. All state
+	// access goes through the transports' locks.
+	edges[0].Do(func() {
+		if err := states[0].JSON.PutScalar("root", "from0", 10); err != nil {
+			t.Error(err)
+		}
+	})
+	edges[1].Do(func() {
+		if err := states[1].Files.Write("edge1.txt", []byte("hi")); err != nil {
+			t.Error(err)
+		}
+	})
+	srv.Do(func() {
+		if err := master.JSON.PutScalar("root", "fromCloud", 42); err != nil {
+			t.Error(err)
+		}
+	})
+
+	converged := waitFor(t, 5*time.Second, func() bool {
+		ok := true
+		srv.Do(func() {
+			edges[0].Do(func() { ok = ok && master.Converged(states[0]) })
+			edges[1].Do(func() { ok = ok && master.Converged(states[1]) })
+		})
+		return ok
+	})
+	if !converged {
+		t.Fatal("TCP sync did not converge")
+	}
+	// Edge 1 learned edge 0's change via the master (star topology).
+	var num float64
+	edges[1].Do(func() {
+		if v, ok := states[1].JSON.MapGet("root", "from0"); ok {
+			num = v.Num
+		}
+	})
+	if num != 10 {
+		t.Fatalf("edge1 from0 = %v, want 10", num)
+	}
+	if srv.Stats().FramesRecv == 0 || edges[0].Stats().BytesSent == 0 {
+		t.Fatalf("stats empty: master=%+v edge=%+v", srv.Stats(), edges[0].Stats())
+	}
+}
+
+func TestTCPQuiescentSendsNoState(t *testing.T) {
+	master := newState(t, "cloud")
+	srv, err := ServeMaster("127.0.0.1:0", &Endpoint{Name: "cloud", State: master}, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	st, err := master.Fork("quiet-edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := DialEdge(srv.Addr(), &Endpoint{Name: "edge", State: st}, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = edge.Close() }()
+	time.Sleep(100 * time.Millisecond)
+	// Only the hello frames flowed.
+	if got := edge.Stats().FramesSent; got != 1 {
+		t.Fatalf("edge sent %d frames, want 1 (hello only)", got)
+	}
+	if got := srv.Stats().FramesSent; got != 1 {
+		t.Fatalf("master sent %d frames, want 1 (hello only)", got)
+	}
+}
+
+func TestTCPValidation(t *testing.T) {
+	if _, err := ServeMaster("127.0.0.1:0", nil, time.Second); err == nil {
+		t.Fatal("nil endpoint accepted")
+	}
+	st := newState(t, "m")
+	if _, err := ServeMaster("127.0.0.1:0", &Endpoint{State: st}, 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := DialEdge("127.0.0.1:1", &Endpoint{State: st}, time.Second); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+	if _, err := DialEdge("addr", nil, time.Second); err == nil {
+		t.Fatal("nil edge endpoint accepted")
+	}
+}
+
+func TestTCPCloseIsClean(t *testing.T) {
+	master := newState(t, "cloud")
+	srv, err := ServeMaster("127.0.0.1:0", &Endpoint{Name: "cloud", State: master}, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := master.Fork("edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := DialEdge(srv.Addr(), &Endpoint{Name: "e", State: st}, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closing in either order must not hang or panic.
+	if err := edge.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := edge.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

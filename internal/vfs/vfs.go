@@ -1,0 +1,271 @@
+// Package vfs provides an in-memory filesystem for the subject services.
+//
+// The paper identifies file accesses by instrumenting invocations whose
+// arguments are file URLs, duplicates the identified files to the edge,
+// and wraps them in CRDT-Files. This virtual filesystem stands in for the
+// cloud server's disk: it supports the read/write/remove surface the
+// services use, snapshot/restore for state isolation, and access logging
+// so the dynamic analysis can see which paths a service execution
+// touched.
+package vfs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotExist is returned when a path has no file.
+var ErrNotExist = errors.New("vfs: file does not exist")
+
+// AccessKind distinguishes logged file operations.
+type AccessKind int
+
+// Access kinds.
+const (
+	AccessRead AccessKind = iota + 1
+	AccessWrite
+	AccessRemove
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessRemove:
+		return "remove"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", int(k))
+	}
+}
+
+// Access is one logged file operation.
+type Access struct {
+	Kind AccessKind
+	Path string
+	Size int
+	// Content holds the written bytes for write accesses delivered to
+	// mutation hooks (hooks run under the filesystem lock and must not
+	// call back into the FS).
+	Content []byte
+}
+
+// MutationHook observes file writes and removals (not reads). Hooks run
+// synchronously; the CRDT-Files wiring uses them to mirror local file
+// changes into the replicated store.
+type MutationHook func(Access)
+
+// FS is an in-memory filesystem. It is safe for concurrent use.
+type FS struct {
+	mu      sync.Mutex
+	files   map[string][]byte
+	log     []Access
+	logging bool
+	hooks   []MutationHook
+	// muted suppresses hooks while remote state is being applied, to
+	// avoid echoing inbound synchronization back out.
+	muted bool
+}
+
+// OnMutation registers a hook for writes and removals.
+func (fs *FS) OnMutation(h MutationHook) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.hooks = append(fs.hooks, h)
+}
+
+// SetMuted toggles hook suppression (used while applying remote state).
+func (fs *FS) SetMuted(m bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.muted = m
+}
+
+// New returns an empty filesystem.
+func New() *FS {
+	return &FS{files: make(map[string][]byte)}
+}
+
+// normalize canonicalizes a path (strips leading "./" and "/").
+func normalize(path string) string {
+	path = strings.TrimPrefix(path, "./")
+	path = strings.TrimPrefix(path, "/")
+	return path
+}
+
+// Write stores content at path, replacing any existing file.
+func (fs *FS) Write(path string, content []byte) error {
+	if normalize(path) == "" {
+		return fmt.Errorf("vfs: empty path")
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	cp := make([]byte, len(content))
+	copy(cp, content)
+	fs.files[normalize(path)] = cp
+	fs.record(Access{Kind: AccessWrite, Path: normalize(path), Size: len(content), Content: cp})
+	return nil
+}
+
+// Read returns a copy of the file at path.
+func (fs *FS) Read(path string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	b, ok := fs.files[normalize(path)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	fs.record(Access{Kind: AccessRead, Path: normalize(path), Size: len(b)})
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return cp, nil
+}
+
+// Exists reports whether path holds a file.
+func (fs *FS) Exists(path string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[normalize(path)]
+	return ok
+}
+
+// Size returns the length of the file at path.
+func (fs *FS) Size(path string) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	b, ok := fs.files[normalize(path)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	return len(b), nil
+}
+
+// Remove deletes the file at path.
+func (fs *FS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	p := normalize(path)
+	if _, ok := fs.files[p]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	delete(fs.files, p)
+	fs.record(Access{Kind: AccessRemove, Path: p})
+	return nil
+}
+
+// List returns all paths, sorted. With a non-empty prefix, only paths
+// under that prefix are returned.
+func (fs *FS) List(prefix string) []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	p := normalize(prefix)
+	var out []string
+	for path := range fs.files {
+		if p == "" || strings.HasPrefix(path, p) {
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hash returns the hex SHA-256 of the file at path.
+func (fs *FS) Hash(path string) (string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	b, ok := fs.files[normalize(path)]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// TotalBytes returns the summed size of all files.
+func (fs *FS) TotalBytes() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var n int64
+	for _, b := range fs.files {
+		n += int64(len(b))
+	}
+	return n
+}
+
+// Snapshot is a point-in-time deep copy of the filesystem contents.
+type Snapshot struct {
+	files map[string][]byte
+}
+
+// Snapshot captures the current contents.
+func (fs *FS) Snapshot() *Snapshot {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	s := &Snapshot{files: make(map[string][]byte, len(fs.files))}
+	for p, b := range fs.files {
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		s.files[p] = cp
+	}
+	return s
+}
+
+// Restore replaces the contents with a snapshot.
+func (fs *FS) Restore(s *Snapshot) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files = make(map[string][]byte, len(s.files))
+	for p, b := range s.files {
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		fs.files[p] = cp
+	}
+}
+
+// Paths returns the snapshot's paths, sorted.
+func (s *Snapshot) Paths() []string {
+	out := make([]string, 0, len(s.files))
+	for p := range s.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- Access logging (dynamic analysis support) ----
+
+// StartLogging begins recording file accesses, clearing any prior log.
+func (fs *FS) StartLogging() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.logging = true
+	fs.log = nil
+}
+
+// StopLogging stops recording and returns the accesses observed since
+// StartLogging.
+func (fs *FS) StopLogging() []Access {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.logging = false
+	log := fs.log
+	fs.log = nil
+	return log
+}
+
+func (fs *FS) record(a Access) {
+	if fs.logging {
+		fs.log = append(fs.log, a)
+	}
+	if a.Kind != AccessRead && !fs.muted {
+		for _, h := range fs.hooks {
+			h(a)
+		}
+	}
+}

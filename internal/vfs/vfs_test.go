@@ -1,0 +1,221 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRemove(t *testing.T) {
+	fs := New()
+	if err := fs.Write("a/b.txt", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.Read("a/b.txt")
+	if err != nil || string(b) != "hi" {
+		t.Fatalf("Read = %q, %v", b, err)
+	}
+	if !fs.Exists("a/b.txt") {
+		t.Fatal("Exists = false")
+	}
+	n, err := fs.Size("a/b.txt")
+	if err != nil || n != 2 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	if err := fs.Remove("a/b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Read("a/b.txt"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Read after remove: %v", err)
+	}
+	if err := fs.Remove("a/b.txt"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("double Remove: %v", err)
+	}
+	if err := fs.Write("", nil); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}
+
+func TestPathNormalization(t *testing.T) {
+	fs := New()
+	if err := fs.Write("./x.txt", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/x.txt") || !fs.Exists("x.txt") {
+		t.Fatal("normalized variants not equivalent")
+	}
+}
+
+func TestReadIsolation(t *testing.T) {
+	fs := New()
+	orig := []byte("abc")
+	if err := fs.Write("f", orig); err != nil {
+		t.Fatal(err)
+	}
+	orig[0] = 'X' // mutate caller copy
+	got, _ := fs.Read("f")
+	if string(got) != "abc" {
+		t.Fatal("Write did not copy content")
+	}
+	got[0] = 'Y' // mutate returned copy
+	again, _ := fs.Read("f")
+	if string(again) != "abc" {
+		t.Fatal("Read did not copy content")
+	}
+}
+
+func TestListWithPrefix(t *testing.T) {
+	fs := New()
+	for _, p := range []string{"m/a", "m/b", "n/c"} {
+		if err := fs.Write(p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fs.List("m/"); !reflect.DeepEqual(got, []string{"m/a", "m/b"}) {
+		t.Fatalf("List(m/) = %v", got)
+	}
+	if got := fs.List(""); len(got) != 3 {
+		t.Fatalf("List() = %v", got)
+	}
+}
+
+func TestHashAndTotalBytes(t *testing.T) {
+	fs := New()
+	if err := fs.Write("f", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	h, err := fs.Hash("f")
+	if err != nil || len(h) != 64 {
+		t.Fatalf("Hash = %q, %v", h, err)
+	}
+	if _, err := fs.Hash("missing"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Hash(missing) = %v", err)
+	}
+	if fs.TotalBytes() != 5 {
+		t.Fatalf("TotalBytes = %d", fs.TotalBytes())
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	fs := New()
+	if err := fs.Write("keep", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	snap := fs.Snapshot()
+	if err := fs.Write("keep", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("new", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Restore(snap)
+	b, _ := fs.Read("keep")
+	if string(b) != "v1" {
+		t.Fatalf("keep = %q, want v1", b)
+	}
+	if fs.Exists("new") {
+		t.Fatal("restored FS has post-snapshot file")
+	}
+	if got := snap.Paths(); !reflect.DeepEqual(got, []string{"keep"}) {
+		t.Fatalf("snap.Paths = %v", got)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	fs := New()
+	if err := fs.Write("f", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	snap := fs.Snapshot()
+	if err := fs.Write("f", []byte("zzz")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Restore(snap)
+	b, _ := fs.Read("f")
+	if string(b) != "abc" {
+		t.Fatal("snapshot shares storage with live FS")
+	}
+}
+
+func TestAccessLogging(t *testing.T) {
+	fs := New()
+	if err := fs.Write("before", nil); err != nil {
+		t.Fatal(err)
+	}
+	fs.StartLogging()
+	if err := fs.Write("f", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Read("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	log := fs.StopLogging()
+	want := []Access{
+		{Kind: AccessWrite, Path: "f", Size: 3, Content: []byte("abc")},
+		{Kind: AccessRead, Path: "f", Size: 3},
+		{Kind: AccessRemove, Path: "f"},
+	}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+	// After StopLogging, accesses are not recorded.
+	if err := fs.Write("g", nil); err != nil {
+		t.Fatal(err)
+	}
+	if again := fs.StopLogging(); len(again) != 0 {
+		t.Fatalf("post-stop log = %v", again)
+	}
+}
+
+// Property: snapshot/restore round-trips arbitrary content sets exactly.
+func TestPropertySnapshotRoundTrip(t *testing.T) {
+	f := func(names []string, blobs [][]byte) bool {
+		fs := New()
+		for i, name := range names {
+			if normalizeOK(name) {
+				var content []byte
+				if i < len(blobs) {
+					content = blobs[i]
+				}
+				if err := fs.Write(name, content); err != nil {
+					return false
+				}
+			}
+		}
+		snap := fs.Snapshot()
+		wantPaths := fs.List("")
+		wantTotal := fs.TotalBytes()
+		for _, p := range fs.List("") {
+			_ = fs.Remove(p)
+		}
+		fs.Restore(snap)
+		if fs.TotalBytes() != wantTotal {
+			return false
+		}
+		return reflect.DeepEqual(fs.List(""), wantPaths)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func normalizeOK(p string) bool { return normalize(p) != "" }
+
+func BenchmarkWriteRead(b *testing.B) {
+	fs := New()
+	payload := bytes.Repeat([]byte{1}, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := fs.Write("bench", payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fs.Read("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

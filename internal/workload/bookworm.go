@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/httpapp"
+)
+
+// bookwormSrc models Bookworm: a database-backed store with CRUD
+// services, light compute, and small payloads. Its read services are
+// cacheable — one of only two such subjects (§IV-E2).
+const bookwormSrc = `
+var checkouts = 0
+
+func init() any {
+	db.exec("CREATE TABLE books (id INT PRIMARY KEY, title TEXT, author TEXT, stock INT, loans INT)")
+	db.exec("INSERT INTO books (id, title, author, stock, loans) VALUES " +
+		"(1, 'SICP', 'Abelson', 4, 0), " +
+		"(2, 'TAPL', 'Pierce', 2, 0), " +
+		"(3, 'PLAI', 'Krishnamurthi', 3, 0), " +
+		"(4, 'The Go Programming Language', 'Donovan', 5, 0), " +
+		"(5, 'Distributed Systems', 'van Steen', 1, 0)")
+	return nil
+}
+
+func listBooks(req any, res any) any {
+	cpu(300)
+	rows := db.query("SELECT * FROM books ORDER BY id")
+	res.send(rows)
+	return nil
+}
+
+func getBook(req any, res any) any {
+	tv1 := req.param("id")
+	rows := db.query("SELECT * FROM books WHERE id = ?", num(tv1))
+	if len(rows) == 0 {
+		res.status(404)
+		res.send(map[string]any{"error": "no such book"})
+		return nil
+	}
+	res.send(rows[0])
+	return nil
+}
+
+func addBook(req any, res any) any {
+	tv1 := req.json()
+	n := db.query("SELECT max(id) FROM books")
+	id := num(n[0]["max(id)"]) + 1
+	db.exec("INSERT INTO books (id, title, author, stock, loans) VALUES (?, ?, ?, ?, 0)",
+		id, tv1["title"], tv1["author"], num(tv1["stock"]))
+	tv2 := map[string]any{"id": id}
+	res.send(tv2)
+	return nil
+}
+
+func checkout(req any, res any) any {
+	tv1 := req.json()
+	id := num(tv1["id"])
+	rows := db.query("SELECT stock FROM books WHERE id = ?", id)
+	if len(rows) == 0 || num(rows[0]["stock"]) < 1 {
+		res.status(409)
+		res.send(map[string]any{"error": "unavailable"})
+		return nil
+	}
+	db.exec("UPDATE books SET stock = stock - 1, loans = loans + 1 WHERE id = ?", id)
+	checkouts = checkouts + 1
+	tv2 := map[string]any{"ok": true, "checkouts": checkouts}
+	res.send(tv2)
+	return nil
+}
+
+func returnBook(req any, res any) any {
+	tv1 := req.json()
+	id := num(tv1["id"])
+	db.exec("UPDATE books SET stock = stock + 1 WHERE id = ?", id)
+	tv2 := map[string]any{"ok": true}
+	res.send(tv2)
+	return nil
+}
+
+func popular(req any, res any) any {
+	cpu(300)
+	rows := db.query("SELECT title, loans FROM books ORDER BY loans DESC LIMIT 3")
+	res.send(rows)
+	return nil
+}`
+
+// Bookworm returns the bookstore subject.
+func Bookworm() Subject {
+	return Subject{
+		Name:   "bookworm",
+		Source: bookwormSrc,
+		Services: []Service{
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/books", Handler: "listBooks"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/books", nil)
+				},
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/books/:id", Handler: "getBook"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get(fmt.Sprintf("/books/%d", 1+i%5), nil)
+				},
+			},
+			{
+				Route: httpapp.Route{Method: "POST", Path: "/books", Handler: "addBook"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return post("/books", []byte(fmt.Sprintf(
+						`{"title": "Book %d", "author": "Author %d", "stock": %d}`, i, i, 1+i%4)), nil)
+				},
+				Mutates: true,
+			},
+			{
+				Route: httpapp.Route{Method: "POST", Path: "/checkout", Handler: "checkout"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return post("/checkout", []byte(fmt.Sprintf(`{"id": %d}`, 1+i%5)), nil)
+				},
+				Mutates: true,
+			},
+			{
+				Route: httpapp.Route{Method: "POST", Path: "/return", Handler: "returnBook"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return post("/return", []byte(fmt.Sprintf(`{"id": %d}`, 1+i%5)), nil)
+				},
+				Mutates: true,
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/popular", Handler: "popular"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/popular", nil)
+				},
+			},
+		},
+		Primary:    0,
+		Cacheable:  true,
+		ComputeOps: 300,
+	}
+}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/httpapp"
+)
+
+// fobojetSrc is the motivating-example app (firebase-objdet-node in the
+// paper): clients upload camera images; the server localizes and
+// identifies objects with a pre-trained model, persists detections, and
+// returns boxes and labels. Upload-heavy and CPU-bound.
+const fobojetSrc = `
+var hits = 0
+var modelVersion = "yolo-lite-1.2"
+var classCounts = map[string]any{}
+
+func init() any {
+	db.exec("CREATE TABLE detections (id INT PRIMARY KEY, label TEXT, score REAL, boxes INT)")
+	db.exec("CREATE TABLE feedback (id INT PRIMARY KEY, detection INT, correct INT)")
+	fs.write("model/weights.bin", strings.repeat("w", 4096))
+	fs.write("model/classes.txt", "person,car,dog,cat,bicycle,bus,bird,boat")
+	return nil
+}
+
+func classify(feat any) any {
+	cpu(40000)
+	names := strings.split(bytes.toString(fs.read("model/classes.txt")), ",")
+	idx := feat - floor(feat/len(names))*len(names)
+	return names[idx]
+}
+
+func predict(req any, res any) any {
+	tv1 := req.body()
+	weights := fs.read("model/weights.bin")
+	feat := bytes.hash(tv1) + floor(bytes.sum(weights) / 1000)
+	label := classify(feat)
+	score := (feat - floor(feat/100)*100) / 100
+	boxes := 1 + feat - floor(feat/4)*4
+	hits = hits + 1
+	classCounts[label] = num(classCounts[label]) + 1
+	db.exec("INSERT INTO detections (id, label, score, boxes) VALUES (?, ?, ?, ?)", hits, label, score, boxes)
+	tv2 := map[string]any{"label": label, "score": score, "boxes": boxes, "model": modelVersion}
+	res.send(tv2)
+	return nil
+}
+
+func listDetections(req any, res any) any {
+	rows := db.query("SELECT * FROM detections ORDER BY id DESC LIMIT 20")
+	res.send(rows)
+	return nil
+}
+
+func getDetection(req any, res any) any {
+	tv1 := req.param("id")
+	rows := db.query("SELECT * FROM detections WHERE id = ?", num(tv1))
+	if len(rows) == 0 {
+		res.status(404)
+		res.send(map[string]any{"error": "not found"})
+		return nil
+	}
+	res.send(rows[0])
+	return nil
+}
+
+func stats(req any, res any) any {
+	rows := db.query("SELECT count(*), avg(score) FROM detections")
+	tv2 := map[string]any{"total": hits, "counts": classCounts, "agg": rows[0]}
+	res.send(tv2)
+	return nil
+}
+
+func feedback(req any, res any) any {
+	tv1 := req.json()
+	id := num(tv1["detection"])
+	correct := 0
+	if tv1["correct"] == true {
+		correct = 1
+	}
+	n := db.query("SELECT count(*) FROM feedback")
+	fid := num(n[0]["count(*)"]) + 1
+	db.exec("INSERT INTO feedback (id, detection, correct) VALUES (?, ?, ?)", fid, id, correct)
+	tv2 := map[string]any{"recorded": fid}
+	res.send(tv2)
+	return nil
+}
+
+func modelInfo(req any, res any) any {
+	tv2 := map[string]any{"version": modelVersion, "weightsBytes": len(fs.read("model/weights.bin"))}
+	res.send(tv2)
+	return nil
+}`
+
+// fobojetImageKB is the simulated camera-image size. The paper's images
+// run 1–20 MB; we scale 1:32 to keep simulations fast while preserving
+// the upload-heavy shape.
+const fobojetImageKB = 64
+
+// Fobojet returns the image object-detection subject.
+func Fobojet() Subject {
+	return Subject{
+		Name:   "fobojet",
+		Source: fobojetSrc,
+		Services: []Service{
+			{
+				Route: httpapp.Route{Method: "POST", Path: "/predict", Handler: "predict"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return post("/predict", payload(rng, fobojetImageKB*1024, i), nil)
+				},
+				Mutates: true,
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/detections", Handler: "listDetections"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/detections", nil)
+				},
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/detections/:id", Handler: "getDetection"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get(fmt.Sprintf("/detections/%d", 1+i%3), nil)
+				},
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/stats", Handler: "stats"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/stats", nil)
+				},
+			},
+			{
+				Route: httpapp.Route{Method: "POST", Path: "/feedback", Handler: "feedback"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return post("/feedback", []byte(fmt.Sprintf(`{"detection": %d, "correct": true}`, 1+i%3)), nil)
+				},
+				Mutates: true,
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/model-info", Handler: "modelInfo"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/model-info", nil)
+				},
+			},
+		},
+		Primary:    0,
+		Cacheable:  false, // camera images are unique
+		ComputeOps: 40000,
+	}
+}

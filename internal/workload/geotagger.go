@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/httpapp"
+)
+
+// geotaggerSrc models a location-tagging service: clients submit
+// positions, the server assigns them to zones, maintains per-zone
+// counters, and renders density summaries. Small payloads, moderate
+// compute.
+const geotaggerSrc = `
+var tagCount = 0
+var zoneHits = map[string]any{}
+
+func init() any {
+	db.exec("CREATE TABLE tags (id INT PRIMARY KEY, lat REAL, lon REAL, zone TEXT)")
+	db.exec("CREATE TABLE zones (id TEXT PRIMARY KEY, minLat INT, maxLat INT, minLon INT, maxLon INT)")
+	db.exec("INSERT INTO zones (id, minLat, maxLat, minLon, maxLon) VALUES " +
+		"('north', 50, 90, -180, 180), " +
+		"('central', 20, 50, -180, 180), " +
+		"('south', -90, 20, -180, 180)")
+	return nil
+}
+
+func zoneFor(lat any, lon any) any {
+	cpu(1500)
+	zones := db.query("SELECT * FROM zones ORDER BY id")
+	for _, z := range zones {
+		if lat >= z["minLat"] && lat < z["maxLat"] && lon >= z["minLon"] && lon <= z["maxLon"] {
+			return z["id"]
+		}
+	}
+	return "unzoned"
+}
+
+func tag(req any, res any) any {
+	tv1 := req.json()
+	lat := num(tv1["lat"])
+	lon := num(tv1["lon"])
+	zone := zoneFor(lat, lon)
+	tagCount = tagCount + 1
+	zoneHits[zone] = num(zoneHits[zone]) + 1
+	db.exec("INSERT INTO tags (id, lat, lon, zone) VALUES (?, ?, ?, ?)", tagCount, lat, lon, zone)
+	tv2 := map[string]any{"id": tagCount, "zone": zone}
+	res.send(tv2)
+	return nil
+}
+
+func listTags(req any, res any) any {
+	rows := db.query("SELECT * FROM tags ORDER BY id DESC LIMIT 20")
+	res.send(rows)
+	return nil
+}
+
+func near(req any, res any) any {
+	cpu(800)
+	lat := num(req.param("lat"))
+	window := 5
+	rows := db.query("SELECT * FROM tags WHERE lat >= ? AND lat <= ? ORDER BY id DESC LIMIT 10",
+		lat-window, lat+window)
+	res.send(rows)
+	return nil
+}
+
+func addZone(req any, res any) any {
+	tv1 := req.json()
+	db.exec("INSERT INTO zones (id, minLat, maxLat, minLon, maxLon) VALUES (?, ?, ?, ?, ?)",
+		str(tv1["id"]), num(tv1["minLat"]), num(tv1["maxLat"]), num(tv1["minLon"]), num(tv1["maxLon"]))
+	tv2 := map[string]any{"added": tv1["id"]}
+	res.send(tv2)
+	return nil
+}
+
+func listZones(req any, res any) any {
+	rows := db.query("SELECT * FROM zones ORDER BY id")
+	res.send(rows)
+	return nil
+}
+
+func heatmap(req any, res any) any {
+	cpu(1200)
+	rows := db.query("SELECT count(*) FROM tags")
+	tv2 := map[string]any{"total": rows[0]["count(*)"], "zones": zoneHits}
+	res.send(tv2)
+	return nil
+}`
+
+// GeoTagger returns the location-tagging subject.
+func GeoTagger() Subject {
+	return Subject{
+		Name:   "geo-tagger",
+		Source: geotaggerSrc,
+		Services: []Service{
+			{
+				Route: httpapp.Route{Method: "POST", Path: "/tag", Handler: "tag"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return post("/tag", []byte(fmt.Sprintf(
+						`{"lat": %d, "lon": %d}`, rng.Intn(180)-90, rng.Intn(360)-180)), nil)
+				},
+				Mutates: true,
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/tags", Handler: "listTags"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/tags", nil)
+				},
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/near", Handler: "near"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/near", map[string]string{"lat": fmt.Sprintf("%d", rng.Intn(180)-90)})
+				},
+			},
+			{
+				Route: httpapp.Route{Method: "POST", Path: "/zones", Handler: "addZone"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return post("/zones", []byte(fmt.Sprintf(
+						`{"id": "z%d", "minLat": %d, "maxLat": %d, "minLon": -180, "maxLon": 180}`,
+						i, -10+i, 10+i)), nil)
+				},
+				Mutates: true,
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/zones", Handler: "listZones"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/zones", nil)
+				},
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/heatmap", Handler: "heatmap"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/heatmap", nil)
+				},
+			},
+		},
+		Primary:    0,
+		Cacheable:  false,
+		ComputeOps: 1500,
+	}
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/httpapp"
+)
+
+// medchemSrc models med-chem-rules: matching chemical compound
+// descriptors against a curated rule base (Lipinski-style filters).
+// Text-analytics workload over small payloads; the rule base changes
+// rarely, so responses are cacheable (§IV-E2).
+const medchemSrc = `
+var matchCount = 0
+
+func init() any {
+	db.exec("CREATE TABLE rules (id INT PRIMARY KEY, name TEXT, maxWeight INT, maxLogp INT, maxDonors INT)")
+	db.exec("INSERT INTO rules (id, name, maxWeight, maxLogp, maxDonors) VALUES " +
+		"(1, 'lipinski', 500, 5, 5), " +
+		"(2, 'ghose', 480, 6, 4), " +
+		"(3, 'veber', 500, 7, 6)")
+	fs.write("compounds/known.csv", "aspirin,180,1\ncaffeine,194,0\nibuprofen,206,3")
+	return nil
+}
+
+func evaluateRules(weight any, logp any, donors any) any {
+	cpu(3000)
+	rows := db.query("SELECT * FROM rules ORDER BY id")
+	passed := []any{}
+	for _, r := range rows {
+		if weight <= r["maxWeight"] && logp <= r["maxLogp"] && donors <= r["maxDonors"] {
+			push(passed, r["name"])
+		}
+	}
+	return passed
+}
+
+func match(req any, res any) any {
+	tv1 := req.json()
+	weight := num(tv1["weight"])
+	logp := num(tv1["logp"])
+	donors := num(tv1["donors"])
+	passed := evaluateRules(weight, logp, donors)
+	matchCount = matchCount + 1
+	tv2 := map[string]any{"passed": passed, "druglike": len(passed) > 0}
+	res.send(tv2)
+	return nil
+}
+
+func listRules(req any, res any) any {
+	rows := db.query("SELECT * FROM rules ORDER BY id")
+	res.send(rows)
+	return nil
+}
+
+func addRule(req any, res any) any {
+	tv1 := req.json()
+	n := db.query("SELECT max(id) FROM rules")
+	id := num(n[0]["max(id)"]) + 1
+	db.exec("INSERT INTO rules (id, name, maxWeight, maxLogp, maxDonors) VALUES (?, ?, ?, ?, ?)",
+		id, tv1["name"], num(tv1["maxWeight"]), num(tv1["maxLogp"]), num(tv1["maxDonors"]))
+	tv2 := map[string]any{"id": id}
+	res.send(tv2)
+	return nil
+}
+
+func getRule(req any, res any) any {
+	tv1 := req.param("id")
+	rows := db.query("SELECT * FROM rules WHERE id = ?", num(tv1))
+	if len(rows) == 0 {
+		res.status(404)
+		res.send(map[string]any{"error": "no such rule"})
+		return nil
+	}
+	res.send(rows[0])
+	return nil
+}
+
+func validate(req any, res any) any {
+	tv1 := req.json()
+	name := str(tv1["name"])
+	known := bytes.toString(fs.read("compounds/known.csv"))
+	cpu(1000)
+	tv2 := map[string]any{"known": strings.contains(known, name)}
+	res.send(tv2)
+	return nil
+}
+
+func summary(req any, res any) any {
+	rows := db.query("SELECT count(*) FROM rules")
+	tv2 := map[string]any{"rules": rows[0]["count(*)"], "matches": matchCount}
+	res.send(tv2)
+	return nil
+}`
+
+// MedChemRules returns the chemistry rule-matching subject.
+func MedChemRules() Subject {
+	compounds := []string{"aspirin", "caffeine", "ibuprofen", "paracetamol"}
+	return Subject{
+		Name:   "med-chem-rules",
+		Source: medchemSrc,
+		Services: []Service{
+			{
+				Route: httpapp.Route{Method: "POST", Path: "/match", Handler: "match"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return post("/match", []byte(fmt.Sprintf(
+						`{"weight": %d, "logp": %d, "donors": %d}`, 150+(i%5)*90, 1+i%6, i%7)), nil)
+				},
+				Mutates: true,
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/rules", Handler: "listRules"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/rules", nil)
+				},
+			},
+			{
+				Route: httpapp.Route{Method: "POST", Path: "/rules", Handler: "addRule"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return post("/rules", []byte(fmt.Sprintf(
+						`{"name": "custom%d", "maxWeight": %d, "maxLogp": 5, "maxDonors": 5}`, i, 400+i*10)), nil)
+				},
+				Mutates: true,
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/rules/:id", Handler: "getRule"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get(fmt.Sprintf("/rules/%d", 1+i%3), nil)
+				},
+			},
+			{
+				Route: httpapp.Route{Method: "POST", Path: "/validate", Handler: "validate"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return post("/validate", []byte(fmt.Sprintf(
+						`{"name": "%s"}`, compounds[i%len(compounds)])), nil)
+				},
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/summary", Handler: "summary"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/summary", nil)
+				},
+			},
+		},
+		Primary:    0,
+		Cacheable:  true,
+		ComputeOps: 3000,
+	}
+}

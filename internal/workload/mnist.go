@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/httpapp"
+)
+
+// mnistSrc models mnist-rest: hand-written digit recognition. Smaller
+// uploads than fobojet, moderate compute, with an accuracy ledger in the
+// database and a training-sample spool on disk.
+const mnistSrc = `
+var totalPredictions = 0
+var correctGuesses = 0
+
+func init() any {
+	db.exec("CREATE TABLE history (id INT PRIMARY KEY, digit INT, confidence REAL)")
+	fs.write("model/mnist.params", strings.repeat("p", 2048))
+	fs.write("labels.txt", "0,1,2,3,4,5,6,7,8,9")
+	return nil
+}
+
+func infer(pixels any) any {
+	cpu(15000)
+	h := bytes.hash(pixels)
+	return h - floor(h/10)*10
+}
+
+func predictDigit(req any, res any) any {
+	tv1 := req.body()
+	digit := infer(tv1)
+	conf := (bytes.hash(tv1) - floor(bytes.hash(tv1)/50)*50) / 50 + 0.5
+	if conf > 1 {
+		conf = 1
+	}
+	totalPredictions = totalPredictions + 1
+	db.exec("INSERT INTO history (id, digit, confidence) VALUES (?, ?, ?)", totalPredictions, digit, conf)
+	tv2 := map[string]any{"digit": digit, "confidence": conf}
+	res.send(tv2)
+	return nil
+}
+
+func predictBatch(req any, res any) any {
+	tv1 := req.body()
+	quarter := floor(len(tv1) / 4)
+	results := []any{}
+	for i := 0; i < 4; i++ {
+		chunk := tv1[i*quarter : (i+1)*quarter]
+		push(results, infer(chunk))
+		totalPredictions = totalPredictions + 1
+	}
+	tv2 := map[string]any{"digits": results}
+	res.send(tv2)
+	return nil
+}
+
+func accuracy(req any, res any) any {
+	acc := 0
+	if totalPredictions > 0 {
+		acc = correctGuesses / totalPredictions
+	}
+	tv2 := map[string]any{"total": totalPredictions, "correct": correctGuesses, "accuracy": acc}
+	res.send(tv2)
+	return nil
+}
+
+func labels(req any, res any) any {
+	tv2 := strings.split(bytes.toString(fs.read("labels.txt")), ",")
+	res.send(tv2)
+	return nil
+}
+
+func trainSample(req any, res any) any {
+	tv1 := req.body()
+	expected := num(req.param("label"))
+	guess := infer(tv1)
+	if guess == expected {
+		correctGuesses = correctGuesses + 1
+	}
+	totalPredictions = totalPredictions + 1
+	fs.write("spool/sample-" + totalPredictions + ".bin", tv1)
+	tv2 := map[string]any{"stored": true, "guess": guess}
+	res.send(tv2)
+	return nil
+}
+
+func history(req any, res any) any {
+	rows := db.query("SELECT * FROM history ORDER BY id DESC LIMIT 10")
+	res.send(rows)
+	return nil
+}`
+
+const mnistImageBytes = 8 * 1024
+
+// MnistRest returns the digit-recognition subject.
+func MnistRest() Subject {
+	return Subject{
+		Name:   "mnist-rest",
+		Source: mnistSrc,
+		Services: []Service{
+			{
+				Route: httpapp.Route{Method: "POST", Path: "/predict-digit", Handler: "predictDigit"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return post("/predict-digit", payload(rng, mnistImageBytes, i), nil)
+				},
+				Mutates: true,
+			},
+			{
+				Route: httpapp.Route{Method: "POST", Path: "/predict-batch", Handler: "predictBatch"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return post("/predict-batch", payload(rng, 4*mnistImageBytes, i), nil)
+				},
+				Mutates: true,
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/accuracy", Handler: "accuracy"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/accuracy", nil)
+				},
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/labels", Handler: "labels"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/labels", nil)
+				},
+			},
+			{
+				Route: httpapp.Route{Method: "POST", Path: "/train-sample", Handler: "trainSample"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return post("/train-sample", payload(rng, mnistImageBytes, i),
+						map[string]string{"label": fmt.Sprintf("%d", i%10)})
+				},
+				Mutates: true,
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/history", Handler: "history"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/history", nil)
+				},
+			},
+		},
+		Primary:    0,
+		Cacheable:  false, // hand-written digits are unique
+		ComputeOps: 15000,
+	}
+}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/httpapp"
+)
+
+// sensorhubSrc models the paper's sweet-spot service class (§II-D):
+// CPU-bound transformation of client-collected sensor data into
+// computed summaries persisted for future referencing — exactly the
+// kind of service whose replicas tolerate temporary inconsistency.
+const sensorhubSrc = `
+var ingested = 0
+var lastAlert = "none"
+var calibration = map[string]any{"offset": 0, "scale": 1}
+
+func init() any {
+	db.exec("CREATE TABLE readings (id INT PRIMARY KEY, sensor TEXT, mean REAL, peak REAL)")
+	db.exec("CREATE TABLE devices (id TEXT PRIMARY KEY, kind TEXT)")
+	db.exec("INSERT INTO devices (id, kind) VALUES ('s1', 'temp'), ('s2', 'vibration'), ('s3', 'humidity')")
+	return nil
+}
+
+func summarize(samples any) any {
+	cpu(2000)
+	total := 0
+	peak := 0
+	for _, v := range samples {
+		adj := (v + num(calibration["offset"])) * num(calibration["scale"])
+		total = total + adj
+		if adj > peak {
+			peak = adj
+		}
+	}
+	mean := 0
+	if len(samples) > 0 {
+		mean = total / len(samples)
+	}
+	return map[string]any{"mean": mean, "peak": peak}
+}
+
+func ingest(req any, res any) any {
+	tv1 := req.json()
+	sensor := str(tv1["sensor"])
+	summary := summarize(tv1["samples"])
+	ingested = ingested + 1
+	db.exec("INSERT INTO readings (id, sensor, mean, peak) VALUES (?, ?, ?, ?)",
+		ingested, sensor, summary["mean"], summary["peak"])
+	if summary["peak"] > 90 {
+		lastAlert = sensor
+	}
+	tv2 := map[string]any{"id": ingested, "summary": summary}
+	res.send(tv2)
+	return nil
+}
+
+func summaryAll(req any, res any) any {
+	cpu(1000)
+	rows := db.query("SELECT count(*), avg(mean), max(peak) FROM readings")
+	tv2 := map[string]any{"agg": rows[0], "ingested": ingested}
+	res.send(tv2)
+	return nil
+}
+
+func series(req any, res any) any {
+	tv1 := req.param("sensor")
+	rows := db.query("SELECT * FROM readings WHERE sensor = ? ORDER BY id DESC LIMIT 25", tv1)
+	res.send(rows)
+	return nil
+}
+
+func calibrate(req any, res any) any {
+	tv1 := req.json()
+	calibration["offset"] = num(tv1["offset"])
+	calibration["scale"] = num(tv1["scale"])
+	tv2 := map[string]any{"applied": calibration}
+	res.send(tv2)
+	return nil
+}
+
+func alerts(req any, res any) any {
+	rows := db.query("SELECT * FROM readings WHERE peak > 90 ORDER BY id DESC LIMIT 10")
+	tv2 := map[string]any{"last": lastAlert, "recent": rows}
+	res.send(tv2)
+	return nil
+}
+
+func devices(req any, res any) any {
+	rows := db.query("SELECT * FROM devices ORDER BY id")
+	res.send(rows)
+	return nil
+}`
+
+// SensorHub returns the sensor-aggregation subject.
+func SensorHub() Subject {
+	sensors := []string{"s1", "s2", "s3"}
+	return Subject{
+		Name:   "sensor-hub",
+		Source: sensorhubSrc,
+		Services: []Service{
+			{
+				Route: httpapp.Route{Method: "POST", Path: "/ingest", Handler: "ingest"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					body := fmt.Sprintf(`{"sensor": "%s", "samples": [`, sensors[i%3])
+					for j := 0; j < 128; j++ {
+						if j > 0 {
+							body += ","
+						}
+						body += fmt.Sprintf("%d", rng.Intn(100))
+					}
+					body += "]}"
+					return post("/ingest", []byte(body), nil)
+				},
+				Mutates: true,
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/summary", Handler: "summaryAll"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/summary", nil)
+				},
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/series/:sensor", Handler: "series"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/series/"+sensors[i%3], nil)
+				},
+			},
+			{
+				Route: httpapp.Route{Method: "POST", Path: "/calibrate", Handler: "calibrate"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return post("/calibrate", []byte(fmt.Sprintf(
+						`{"offset": %d, "scale": %d}`, i%5, 1+i%2)), nil)
+				},
+				Mutates: true,
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/alerts", Handler: "alerts"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/alerts", nil)
+				},
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/devices", Handler: "devices"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/devices", nil)
+				},
+			},
+		},
+		Primary:    0,
+		Cacheable:  false, // sensor batches are unique
+		ComputeOps: 2000,
+	}
+}

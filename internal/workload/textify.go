@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/httpapp"
+)
+
+// textifySrc models a document text-extraction service: clients upload
+// scanned pages, the server extracts text (CPU-heavy), persists
+// documents to files, and indexes them in the database.
+const textifySrc = `
+var docCount = 0
+var vocabulary = map[string]any{}
+
+func init() any {
+	db.exec("CREATE TABLE documents (id INT PRIMARY KEY, name TEXT, words INT)")
+	fs.write("corpus/stopwords.txt", "the,a,an,of,to,in")
+	return nil
+}
+
+func extractText(page any) any {
+	cpu(10000)
+	h := bytes.hash(page)
+	words := 50 + h - floor(h/200)*200
+	return map[string]any{"words": words, "text": "w" + words}
+}
+
+func extract(req any, res any) any {
+	tv1 := req.body()
+	name := str(req.param("name"))
+	if name == "" {
+		name = "doc"
+	}
+	result := extractText(tv1)
+	docCount = docCount + 1
+	fs.write("docs/" + docCount + ".txt", str(result["text"]))
+	db.exec("INSERT INTO documents (id, name, words) VALUES (?, ?, ?)", docCount, name, result["words"])
+	vocabulary[name] = result["words"]
+	tv2 := map[string]any{"id": docCount, "words": result["words"]}
+	res.send(tv2)
+	return nil
+}
+
+func listDocuments(req any, res any) any {
+	rows := db.query("SELECT * FROM documents ORDER BY id")
+	res.send(rows)
+	return nil
+}
+
+func getDocument(req any, res any) any {
+	tv1 := req.param("id")
+	path := "docs/" + tv1 + ".txt"
+	if !fs.exists(path) {
+		res.status(404)
+		res.send(map[string]any{"error": "no such document"})
+		return nil
+	}
+	tv2 := map[string]any{"id": num(tv1), "text": bytes.toString(fs.read(path))}
+	res.send(tv2)
+	return nil
+}
+
+func annotate(req any, res any) any {
+	tv1 := req.json()
+	id := num(tv1["id"])
+	note := str(tv1["note"])
+	rows := db.query("SELECT name FROM documents WHERE id = ?", id)
+	if len(rows) == 0 {
+		res.status(404)
+		res.send(map[string]any{"error": "no such document"})
+		return nil
+	}
+	fs.write("notes/" + id + ".txt", note)
+	tv2 := map[string]any{"annotated": id}
+	res.send(tv2)
+	return nil
+}
+
+func search(req any, res any) any {
+	cpu(2000)
+	tv1 := req.param("q")
+	rows := db.query("SELECT * FROM documents WHERE name LIKE ?", "%" + tv1 + "%")
+	res.send(rows)
+	return nil
+}
+
+func wordcount(req any, res any) any {
+	rows := db.query("SELECT sum(words) FROM documents")
+	tv2 := map[string]any{"total": rows[0]["sum(words)"], "docs": docCount}
+	res.send(tv2)
+	return nil
+}`
+
+const textifyPageBytes = 16 * 1024
+
+// Textify returns the text-extraction subject.
+func Textify() Subject {
+	return Subject{
+		Name:   "textify",
+		Source: textifySrc,
+		Services: []Service{
+			{
+				Route: httpapp.Route{Method: "POST", Path: "/extract", Handler: "extract"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return post("/extract", payload(rng, textifyPageBytes, i),
+						map[string]string{"name": fmt.Sprintf("scan%d", i)})
+				},
+				Mutates: true,
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/documents", Handler: "listDocuments"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/documents", nil)
+				},
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/documents/:id", Handler: "getDocument"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get(fmt.Sprintf("/documents/%d", 1+i%3), nil)
+				},
+			},
+			{
+				Route: httpapp.Route{Method: "POST", Path: "/annotate", Handler: "annotate"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return post("/annotate", []byte(fmt.Sprintf(
+						`{"id": %d, "note": "reviewed pass %d"}`, 1+i%3, i)), nil)
+				},
+				Mutates: true,
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/search", Handler: "search"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/search", map[string]string{"q": fmt.Sprintf("scan%d", i%4)})
+				},
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/wordcount", Handler: "wordcount"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return get("/wordcount", nil)
+				},
+			},
+		},
+		Primary:    0,
+		Cacheable:  false, // scans are unique
+		ComputeOps: 10000,
+	}
+}

@@ -1,0 +1,137 @@
+// Package workload defines the seven subject applications (42 remote
+// services in total) used throughout the evaluation, standing in for the
+// paper's seven open-source GitHub subjects. Each subject is a complete
+// client-cloud application written in the service-script dialect, with
+// the state shapes the paper's transformation targets: SQL tables,
+// files, and global variables. Per-subject traffic profiles (upload/
+// download volume, compute intensity, cacheability) mirror the classes
+// in Table II — image-upload CPU-heavy apps, CRUD database apps, text
+// analytics, and sensor aggregation.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/httpapp"
+)
+
+// RequestGen produces the i-th sample request for a service, optionally
+// randomized through rng (deterministic per seed).
+type RequestGen func(rng *rand.Rand, i int) *httpapp.Request
+
+// Service describes one remote service of a subject.
+type Service struct {
+	Route httpapp.Route
+	// Gen builds representative client requests.
+	Gen RequestGen
+	// Mutates reports whether the service changes server state.
+	Mutates bool
+}
+
+// Subject is one evaluated application.
+type Subject struct {
+	// Name identifies the app (fobojet, bookworm, …).
+	Name string
+	// Source is the service-script implementation.
+	Source string
+	// Services lists the app's remote services with request generators.
+	Services []Service
+	// Primary indexes the headline service used for the throughput,
+	// latency, and energy experiments (Figures 7–8).
+	Primary int
+	// Cacheable marks subjects whose responses a caching proxy could
+	// reuse (§IV-E2 finds only two such subjects).
+	Cacheable bool
+	// ComputeOps approximates the primary service's compute cost, for
+	// documentation and sanity checks.
+	ComputeOps float64
+}
+
+// Routes returns the app's route table.
+func (s Subject) Routes() []httpapp.Route {
+	rts := make([]httpapp.Route, len(s.Services))
+	for i, svc := range s.Services {
+		rts[i] = svc.Route
+	}
+	return rts
+}
+
+// NewApp instantiates a fresh cloud instance of the subject.
+func (s Subject) NewApp() (*httpapp.App, error) {
+	return httpapp.New(s.Name, s.Source, s.Routes())
+}
+
+// PrimaryService returns the headline service.
+func (s Subject) PrimaryService() Service { return s.Services[s.Primary] }
+
+// SampleRequest returns the i-th sample request for service k.
+func (s Subject) SampleRequest(k, i int, seed int64) *httpapp.Request {
+	rng := rand.New(rand.NewSource(seed + int64(k*1000+i)))
+	return s.Services[k].Gen(rng, i)
+}
+
+// RegressionVectors returns the request set used for the RQ1
+// original-vs-replica equivalence check: a few requests per service.
+func (s Subject) RegressionVectors() []*httpapp.Request {
+	var out []*httpapp.Request
+	for k := range s.Services {
+		for i := 0; i < 3; i++ {
+			out = append(out, s.SampleRequest(k, i, 42))
+		}
+	}
+	return out
+}
+
+// Subjects returns all seven subject applications.
+func Subjects() []Subject {
+	return []Subject{
+		Fobojet(),
+		MnistRest(),
+		Bookworm(),
+		MedChemRules(),
+		SensorHub(),
+		Textify(),
+		GeoTagger(),
+	}
+}
+
+// ByName returns the named subject.
+func ByName(name string) (Subject, error) {
+	for _, s := range Subjects() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Subject{}, fmt.Errorf("workload: unknown subject %q", name)
+}
+
+// TotalServices returns the service count across all subjects (the
+// paper evaluates 42).
+func TotalServices() int {
+	n := 0
+	for _, s := range Subjects() {
+		n += len(s.Services)
+	}
+	return n
+}
+
+// payload builds a deterministic pseudo-random byte payload of the given
+// size; i differentiates payload contents across requests (so caching
+// cannot hit on unique sensor/image inputs).
+func payload(rng *rand.Rand, size, i int) []byte {
+	b := make([]byte, size)
+	rng.Read(b)
+	// Stamp the index to guarantee uniqueness.
+	stamp := fmt.Sprintf("#%d#", i)
+	copy(b, stamp)
+	return b
+}
+
+func get(path string, query map[string]string) *httpapp.Request {
+	return &httpapp.Request{Method: "GET", Path: path, Query: query}
+}
+
+func post(path string, body []byte, query map[string]string) *httpapp.Request {
+	return &httpapp.Request{Method: "POST", Path: path, Query: query, Body: body}
+}

@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+)
+
+func TestSevenSubjectsFortyTwoServices(t *testing.T) {
+	subs := Subjects()
+	if len(subs) != 7 {
+		t.Fatalf("subjects = %d, want 7", len(subs))
+	}
+	if got := TotalServices(); got != 42 {
+		t.Fatalf("services = %d, want 42", got)
+	}
+	seen := map[string]bool{}
+	for _, s := range subs {
+		if seen[s.Name] {
+			t.Fatalf("duplicate subject %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Primary < 0 || s.Primary >= len(s.Services) {
+			t.Fatalf("%s: bad primary index %d", s.Name, s.Primary)
+		}
+		if s.ComputeOps <= 0 {
+			t.Fatalf("%s: no compute cost", s.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("bookworm")
+	if err != nil || s.Name != "bookworm" {
+		t.Fatalf("ByName = %v, %v", s.Name, err)
+	}
+	if _, err := ByName("ghost"); err == nil {
+		t.Fatal("unknown subject accepted")
+	}
+}
+
+// TestEveryServiceResponds exercises all 42 services of all 7 apps with
+// generated sample requests: every service must produce a successful,
+// non-empty response (the paper's Subject-inference precondition).
+func TestEveryServiceResponds(t *testing.T) {
+	for _, sub := range Subjects() {
+		sub := sub
+		t.Run(sub.Name, func(t *testing.T) {
+			app, err := sub.NewApp()
+			if err != nil {
+				t.Fatalf("NewApp: %v", err)
+			}
+			// Warm up state so id-based reads find rows: run the
+			// mutating services once first.
+			for k, svc := range sub.Services {
+				if svc.Mutates {
+					req := sub.SampleRequest(k, 0, 7)
+					if _, _, err := app.Invoke(req); err != nil {
+						t.Fatalf("warmup %s: %v", svc.Route, err)
+					}
+				}
+			}
+			for k, svc := range sub.Services {
+				for i := 1; i <= 2; i++ {
+					req := sub.SampleRequest(k, i, 7)
+					resp, cost, err := app.Invoke(req)
+					if err != nil {
+						t.Fatalf("%s sample %d: %v", svc.Route, i, err)
+					}
+					if len(resp.Body) == 0 {
+						t.Fatalf("%s: empty response body", svc.Route)
+					}
+					if cost <= 0 {
+						t.Fatalf("%s: zero compute cost", svc.Route)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPrimaryServiceComputeOrdering checks the Table II-style profile
+// classes: fobojet is the most compute-heavy primary, bookworm the
+// lightest.
+func TestPrimaryServiceComputeOrdering(t *testing.T) {
+	cost := func(name string) float64 {
+		sub, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := sub.NewApp()
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := sub.SampleRequest(sub.Primary, 0, 3)
+		_, ops, err := app.Invoke(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ops
+	}
+	fobojet := cost("fobojet")
+	bookworm := cost("bookworm")
+	mnist := cost("mnist-rest")
+	if !(fobojet > mnist && mnist > bookworm) {
+		t.Fatalf("compute ordering violated: fobojet=%v mnist=%v bookworm=%v", fobojet, mnist, bookworm)
+	}
+	if fobojet/bookworm < 10 {
+		t.Fatalf("compute spread too narrow: %v vs %v", fobojet, bookworm)
+	}
+}
+
+// TestStateIsolationHoldsForAllSubjects verifies the checkpoint
+// invariant on every app: repeated primary-service executions from
+// state_init give identical responses.
+func TestStateIsolationHoldsForAllSubjects(t *testing.T) {
+	for _, sub := range Subjects() {
+		sub := sub
+		t.Run(sub.Name, func(t *testing.T) {
+			app, err := sub.NewApp()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := checkpoint.NewRunner(app)
+			req := sub.SampleRequest(sub.Primary, 0, 11)
+			if err := r.VerifyFixedInit(req); err != nil {
+				t.Fatalf("isolation broken: %v", err)
+			}
+		})
+	}
+}
+
+// TestMutatingServicesChangeState confirms the Mutates annotations are
+// truthful for DB-backed services.
+func TestMutatingServicesChangeState(t *testing.T) {
+	for _, sub := range Subjects() {
+		sub := sub
+		t.Run(sub.Name, func(t *testing.T) {
+			app, err := sub.NewApp()
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := app.DB().SizeBytes() + app.FS().TotalBytes()
+			mutated := false
+			for k, svc := range sub.Services {
+				if !svc.Mutates {
+					continue
+				}
+				if _, _, err := app.Invoke(sub.SampleRequest(k, 0, 5)); err != nil {
+					t.Fatalf("%s: %v", svc.Route, err)
+				}
+				mutated = true
+			}
+			if !mutated {
+				t.Skip("subject has no mutating services")
+			}
+			after := app.DB().SizeBytes() + app.FS().TotalBytes()
+			if after <= before {
+				t.Fatalf("mutating services left no state trace: %d -> %d", before, after)
+			}
+		})
+	}
+}
+
+func TestRegressionVectorsCoverAllServices(t *testing.T) {
+	for _, sub := range Subjects() {
+		vecs := sub.RegressionVectors()
+		if len(vecs) != len(sub.Services)*3 {
+			t.Fatalf("%s: %d vectors, want %d", sub.Name, len(vecs), len(sub.Services)*3)
+		}
+		for _, v := range vecs {
+			if v.Method == "" || v.Path == "" {
+				t.Fatalf("%s: malformed vector %+v", sub.Name, v)
+			}
+		}
+	}
+}
+
+func TestRoutesResolvable(t *testing.T) {
+	for _, sub := range Subjects() {
+		app, err := sub.NewApp()
+		if err != nil {
+			t.Fatalf("%s: %v", sub.Name, err)
+		}
+		for k := range sub.Services {
+			req := sub.SampleRequest(k, 0, 1)
+			if _, _, err := app.Lookup(req.Method, req.Path); err != nil {
+				t.Fatalf("%s: generated request %s %s does not route: %v", sub.Name, req.Method, req.Path, err)
+			}
+		}
+	}
+}
+
+func TestSampleRequestsDeterministic(t *testing.T) {
+	sub, err := ByName("sensor-hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sub.SampleRequest(0, 0, 99)
+	b := sub.SampleRequest(0, 0, 99)
+	if string(a.Body) != string(b.Body) {
+		t.Fatal("sample requests not deterministic per seed")
+	}
+	c := sub.SampleRequest(0, 1, 99)
+	if string(a.Body) == string(c.Body) {
+		t.Fatal("different indices produced identical payloads")
+	}
+}
