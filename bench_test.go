@@ -9,11 +9,17 @@
 package repro
 
 import (
+	"context"
+	"strconv"
 	"testing"
 	"time"
 
+	"repro/internal/analysis"
+	"repro/internal/capture"
 	"repro/internal/core"
+	"repro/internal/datalog"
 	"repro/internal/experiments"
+	"repro/internal/httpapp"
 	"repro/internal/simclock"
 	"repro/internal/workload"
 )
@@ -21,6 +27,7 @@ import (
 // BenchmarkMotivationRTT regenerates the §II-A cross-continent latency
 // observation.
 func BenchmarkMotivationRTT(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.MotivationRTT(); err != nil {
 			b.Fatal(err)
@@ -31,6 +38,7 @@ func BenchmarkMotivationRTT(b *testing.B) {
 // BenchmarkTable2 regenerates Table II (subject services, WAN traffic,
 // latency).
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	var loKB, leKB float64
 	for i := 0; i < b.N; i++ {
 		_, rows, err := experiments.Table2()
@@ -47,6 +55,7 @@ func BenchmarkTable2(b *testing.B) {
 // regression, whose RPi-4/RPi-3 slope ratio recovers the device speed
 // ratio (paper: 1.71 measured, 1.8 benchmark).
 func BenchmarkFig6bRegression(b *testing.B) {
+	b.ReportAllocs()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		_, res, err := experiments.Fig6b()
@@ -61,6 +70,7 @@ func BenchmarkFig6bRegression(b *testing.B) {
 // BenchmarkFig7Throughput regenerates the WAN-speed throughput sweep for
 // the motivating subject, reporting the crossover index.
 func BenchmarkFig7Throughput(b *testing.B) {
+	b.ReportAllocs()
 	var crossover float64
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig7Subject("fobojet")
@@ -75,6 +85,7 @@ func BenchmarkFig7Throughput(b *testing.B) {
 // BenchmarkFig7AllSubjects regenerates the full Figure 7 grid including
 // the Data Deluge indices (Fig 7-g).
 func BenchmarkFig7AllSubjects(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := experiments.Fig7(); err != nil {
 			b.Fatal(err)
@@ -85,6 +96,7 @@ func BenchmarkFig7AllSubjects(b *testing.B) {
 // BenchmarkFig8Energy regenerates the mobile-energy comparison (200
 // executions per subject over the limited network).
 func BenchmarkFig8Energy(b *testing.B) {
+	b.ReportAllocs()
 	var saved float64
 	for i := 0; i < b.N; i++ {
 		_, rows, err := experiments.Fig8()
@@ -102,6 +114,7 @@ func BenchmarkFig8Energy(b *testing.B) {
 // BenchmarkFig9Latency regenerates the latency-vs-RPS grid for 1-4
 // active replicas.
 func BenchmarkFig9Latency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := experiments.Fig9Left(); err != nil {
 			b.Fatal(err)
@@ -112,6 +125,7 @@ func BenchmarkFig9Latency(b *testing.B) {
 // BenchmarkFig9Elasticity regenerates the elastic power-down comparison
 // (paper: 12.96% energy saving).
 func BenchmarkFig9Elasticity(b *testing.B) {
+	b.ReportAllocs()
 	var saving float64
 	for i := 0; i < b.N; i++ {
 		_, res, err := experiments.Fig9Right()
@@ -126,6 +140,7 @@ func BenchmarkFig9Elasticity(b *testing.B) {
 // BenchmarkFig10aSyncTraffic regenerates the per-request WAN traffic
 // comparison against cross-ISA full-state synchronization.
 func BenchmarkFig10aSyncTraffic(b *testing.B) {
+	b.ReportAllocs()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		_, rows, err := experiments.Fig10a()
@@ -140,6 +155,7 @@ func BenchmarkFig10aSyncTraffic(b *testing.B) {
 // BenchmarkFig10bProxies regenerates the caching/batching/EdgStr latency
 // box statistics.
 func BenchmarkFig10bProxies(b *testing.B) {
+	b.ReportAllocs()
 	var median float64
 	for i := 0; i < b.N; i++ {
 		_, res, err := experiments.Fig10b()
@@ -154,6 +170,7 @@ func BenchmarkFig10bProxies(b *testing.B) {
 // BenchmarkAnalysisAccuracy regenerates the RQ3 state-isolation
 // effectiveness measurement.
 func BenchmarkAnalysisAccuracy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := experiments.AnalysisAccuracy(); err != nil {
 			b.Fatal(err)
@@ -164,6 +181,7 @@ func BenchmarkAnalysisAccuracy(b *testing.B) {
 // BenchmarkAblationDeltaVsFullSync quantifies CRDT delta sync against
 // full-state shipping.
 func BenchmarkAblationDeltaVsFullSync(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationDeltaVsFullSync(); err != nil {
 			b.Fatal(err)
@@ -174,6 +192,7 @@ func BenchmarkAblationDeltaVsFullSync(b *testing.B) {
 // BenchmarkAblationLBPolicy compares least-connections against
 // round-robin balancing.
 func BenchmarkAblationLBPolicy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationLBPolicy(); err != nil {
 			b.Fatal(err)
@@ -184,6 +203,7 @@ func BenchmarkAblationLBPolicy(b *testing.B) {
 // BenchmarkAblationSyncInterval sweeps the background sync period
 // against staleness and WAN message cost.
 func BenchmarkAblationSyncInterval(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationSyncInterval(); err != nil {
 			b.Fatal(err)
@@ -231,5 +251,101 @@ func BenchmarkDeployAndServe(b *testing.B) {
 		}
 		clock.RunUntil(30 * time.Second)
 		dep.Stop()
+	}
+}
+
+// BenchmarkAnalyzeAppParallel compares per-service dynamic analysis on a
+// single worker against the per-core worker pool, on the multi-service
+// motivating subject. On a multi-core runner the parallel sub-benchmark
+// should approach a len(services)-way speedup.
+func BenchmarkAnalyzeAppParallel(b *testing.B) {
+	sub, err := workload.ByName("fobojet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := httpapp.New(sub.Name, sub.Source, sub.Routes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	records, err := core.CaptureTraffic(app, sub.RegressionVectors())
+	if err != nil {
+		b.Fatal(err)
+	}
+	services := capture.InferSubject(records)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fresh, err := httpapp.New(sub.Name, sub.Source, sub.Routes())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := analysis.NewAnalyzer(fresh).AnalyzeAppContext(
+					context.Background(), services, analysis.Parallelism{Workers: bc.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchJoinDB builds the transitive-closure workload both Datalog join
+// paths are measured on: a layered dependence graph with the path
+// fan-in of a real STMT-T-DEP closure, so duplicate derivations — the
+// cost the indexed path avoids — dominate.
+func benchJoinDB(b *testing.B, reference bool) *datalog.DB {
+	b.Helper()
+	db := datalog.NewDB()
+	db.SetReferenceJoin(reference)
+	const layers, width = 7, 5
+	node := func(l, w int) string { return "s" + strconv.Itoa(l*width+w) }
+	for l := 0; l+1 < layers; l++ {
+		for x := 0; x < width; x++ {
+			for y := 0; y < width; y++ {
+				if _, err := db.AddFact("dep", node(l+1, y), node(l, x)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	for _, r := range []datalog.Rule{
+		datalog.NewRule(
+			datalog.NewAtom("tdep", datalog.V("X"), datalog.V("Y")),
+			datalog.NewAtom("dep", datalog.V("X"), datalog.V("Y"))),
+		datalog.NewRule(
+			datalog.NewAtom("tdep", datalog.V("X"), datalog.V("Z")),
+			datalog.NewAtom("dep", datalog.V("X"), datalog.V("Y")),
+			datalog.NewAtom("tdep", datalog.V("Y"), datalog.V("Z"))),
+	} {
+		if err := db.AddRule(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// BenchmarkDatalogJoin measures the semi-naive fixpoint on a layered
+// transitive closure, naive nested-loop join against the indexed
+// compiled-plan join. Only Run is timed; DB construction happens with
+// the timer stopped.
+func BenchmarkDatalogJoin(b *testing.B) {
+	for _, bc := range []struct {
+		name      string
+		reference bool
+	}{{"naive", true}, {"indexed", false}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := benchJoinDB(b, bc.reference)
+				b.StartTimer()
+				if err := db.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

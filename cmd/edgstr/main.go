@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/core"
 	"repro/internal/workload"
@@ -23,6 +25,7 @@ func main() {
 	subject := flag.String("subject", "", "subject app to transform (see -list)")
 	list := flag.Bool("list", false, "list available subject apps")
 	replica := flag.Bool("replica", false, "print the generated replica source")
+	workers := flag.Int("workers", 0, "analysis worker pool size (0 = one per core, 1 = sequential)")
 	flag.Parse()
 
 	if *list {
@@ -35,19 +38,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "edgstr: -subject is required (use -list to see options)")
 		os.Exit(1)
 	}
-	if err := run(*subject, *replica); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *subject, *replica, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "edgstr:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, printReplica bool) error {
+func run(ctx context.Context, name string, printReplica bool, workers int) error {
 	sub, err := workload.ByName(name)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("transforming %s (%d routes)…\n", sub.Name, len(sub.Services))
-	res, err := core.TransformSubjectTraffic(sub.Name, sub.Source, sub.Routes(), sub.RegressionVectors())
+	res, err := core.TransformSubjectTrafficContext(ctx, sub.Name, sub.Source, sub.Routes(), sub.RegressionVectors(), workers)
 	if err != nil {
 		return err
 	}

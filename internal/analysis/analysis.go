@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"go/ast"
 	"sort"
@@ -52,35 +53,65 @@ func (u *StateUnits) Merge(o StateUnits) {
 	u.FileStmts = mergeStmts(u.FileStmts, o.FileStmts)
 }
 
+// mergeSorted merges two sorted, deduplicated string slices (the
+// invariant every StateUnits field maintains) into a fresh sorted,
+// deduplicated slice. When one side is empty the other is returned
+// as-is; merged results are treated as immutable.
 func mergeSorted(a, b []string) []string {
-	set := map[string]bool{}
-	for _, x := range a {
-		set[x] = true
+	if len(a) == 0 {
+		return b
 	}
-	for _, x := range b {
-		set[x] = true
+	if len(b) == 0 {
+		return a
 	}
-	out := make([]string, 0, len(set))
-	for x := range set {
-		out = append(out, x)
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
 	}
-	sort.Strings(out)
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
 	return out
 }
 
+// mergeStmts merges two sorted, deduplicated statement-ID slices the
+// same way mergeSorted merges strings.
 func mergeStmts(a, b []script.StmtID) []script.StmtID {
-	set := map[script.StmtID]bool{}
-	for _, x := range a {
-		set[x] = true
+	if len(a) == 0 {
+		return b
 	}
-	for _, x := range b {
-		set[x] = true
+	if len(b) == 0 {
+		return a
 	}
-	out := make([]script.StmtID, 0, len(set))
-	for x := range set {
-		out = append(out, x)
+	out := make([]script.StmtID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
 	return out
 }
 
@@ -127,6 +158,13 @@ func (a *Analyzer) Runner() *checkpoint.Runner { return a.runner }
 // base execution, fuzzed executions, Datalog solving for entry/exit and
 // the dependence closure, and state-unit identification.
 func (a *Analyzer) AnalyzeService(svc capture.Service) (*ServiceAnalysis, error) {
+	return a.AnalyzeServiceContext(context.Background(), svc)
+}
+
+// AnalyzeServiceContext is AnalyzeService with cancellation: the
+// context is checked before each isolated execution, so canceled
+// analyses stop between runs rather than mid-trace.
+func (a *Analyzer) AnalyzeServiceContext(ctx context.Context, svc capture.Service) (*ServiceAnalysis, error) {
 	if len(svc.Samples) == 0 {
 		return nil, fmt.Errorf("analysis: service %s has no samples", svc.Name())
 	}
@@ -153,6 +191,9 @@ func (a *Analyzer) AnalyzeService(svc capture.Service) (*ServiceAnalysis, error)
 	fuzzed := capture.Fuzz(sample, 0)
 	traces := make([]*Trace, 0, len(fuzzed))
 	for _, fz := range fuzzed {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		a.runner.Reset()
 		tr := Collect(a.app, fz.Req)
 		traces = append(traces, tr)
@@ -172,6 +213,9 @@ func (a *Analyzer) AnalyzeService(svc capture.Service) (*ServiceAnalysis, error)
 	// merges St_all across executions): different inputs exercise
 	// different branches, and the extraction must cover all of them.
 	for s := 1; s < len(svc.Samples) && s < maxAnalysisSamples; s++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		extra := svc.Samples[s]
 		req := &httpapp.Request{Method: extra.Method, Path: extra.Path, Query: extra.Query, Body: extra.ReqBody}
 		a.runner.Reset()
@@ -588,19 +632,10 @@ func setToSorted(set map[string]bool) []string {
 	return out
 }
 
-// AnalyzeApp analyzes every inferred service and merges the state units.
+// AnalyzeApp analyzes every inferred service and merges the state
+// units. Services are analyzed concurrently by a worker pool sized to
+// runtime.GOMAXPROCS(0); see AnalyzeAppContext for the configuration
+// knob and the ordering guarantee.
 func (a *Analyzer) AnalyzeApp(services []capture.Service) ([]*ServiceAnalysis, StateUnits, error) {
-	var (
-		results []*ServiceAnalysis
-		merged  StateUnits
-	)
-	for _, svc := range services {
-		sa, err := a.AnalyzeService(svc)
-		if err != nil {
-			return nil, StateUnits{}, err
-		}
-		results = append(results, sa)
-		merged.Merge(sa.State)
-	}
-	return results, merged, nil
+	return a.AnalyzeAppContext(context.Background(), services, Parallelism{})
 }

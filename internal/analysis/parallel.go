@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/capture"
+	"repro/internal/checkpoint"
+)
+
+// Parallelism configures AnalyzeAppContext's worker pool.
+type Parallelism struct {
+	// Workers bounds how many services are analyzed concurrently.
+	// Zero or negative means runtime.GOMAXPROCS(0); 1 forces the
+	// sequential path on the analyzer's own app instance.
+	Workers int
+}
+
+// fork builds an isolated sibling analyzer: a fresh instance of the
+// same app (own interpreter, database, filesystem) pinned to the
+// parent's captured state_init. Restore only reads the shared State —
+// deep-copying into the app — so any number of forks may run
+// concurrently against it.
+func (a *Analyzer) fork() (*Analyzer, error) {
+	clone, err := a.app.Clone()
+	if err != nil {
+		return nil, err
+	}
+	runner := checkpoint.NewRunnerWith(clone, a.runner.Init())
+	runner.Reset()
+	return &Analyzer{app: clone, runner: runner}, nil
+}
+
+// AnalyzeAppContext analyzes every inferred service and merges the
+// state units. With more than one worker, each worker analyzes
+// services on its own forked app instance — state isolation
+// (checkpoint restore of state_init before every execution) guarantees
+// per-service analyses are independent, and statement numbering is
+// deterministic per parse, so the fan-out changes nothing observable.
+//
+// Results are returned in the input service order and state units are
+// merged in that same order, byte-identical to the sequential path.
+// On failure the first error in input order is returned and
+// outstanding work is canceled.
+func (a *Analyzer) AnalyzeAppContext(ctx context.Context, services []capture.Service, par Parallelism) ([]*ServiceAnalysis, StateUnits, error) {
+	workers := par.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(services) {
+		workers = len(services)
+	}
+	if workers <= 1 {
+		return a.analyzeAppSequential(ctx, services)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]*ServiceAnalysis, len(services))
+	errs := make([]error, len(services))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker, err := a.fork()
+			for i := range jobs {
+				if err != nil {
+					// The fork failed; attribute the error to the
+					// first job this worker drew and stop.
+					errs[i] = fmt.Errorf("forking analyzer: %w", err)
+					cancel()
+					return
+				}
+				sa, serr := worker.AnalyzeServiceContext(ctx, services[i])
+				if serr != nil {
+					errs[i] = serr
+					cancel()
+					return
+				}
+				results[i] = sa
+			}
+		}()
+	}
+	for i := range services {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Deterministic error propagation: the lowest-index failure wins,
+	// matching what the sequential path would have reported.
+	for _, err := range errs {
+		if err != nil {
+			return nil, StateUnits{}, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, StateUnits{}, err
+	}
+	var merged StateUnits
+	for _, sa := range results {
+		merged.Merge(sa.State)
+	}
+	return results, merged, nil
+}
+
+func (a *Analyzer) analyzeAppSequential(ctx context.Context, services []capture.Service) ([]*ServiceAnalysis, StateUnits, error) {
+	var (
+		results []*ServiceAnalysis
+		merged  StateUnits
+	)
+	for _, svc := range services {
+		sa, err := a.AnalyzeServiceContext(ctx, svc)
+		if err != nil {
+			return nil, StateUnits{}, err
+		}
+		results = append(results, sa)
+		merged.Merge(sa.State)
+	}
+	return results, merged, nil
+}

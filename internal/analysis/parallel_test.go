@@ -1,0 +1,148 @@
+package analysis_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/capture"
+	"repro/internal/core"
+	"repro/internal/httpapp"
+	"repro/internal/workload"
+)
+
+// subjectServices drives a subject's regression traffic through a
+// throwaway app instance and infers its services.
+func subjectServices(t *testing.T, sub workload.Subject) []capture.Service {
+	t.Helper()
+	app, err := httpapp.New(sub.Name, sub.Source, sub.Routes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := core.CaptureTraffic(app, sub.RegressionVectors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	services := capture.InferSubject(records)
+	if len(services) < 2 {
+		t.Fatalf("subject %s inferred only %d services", sub.Name, len(services))
+	}
+	return services
+}
+
+func newAnalyzer(t *testing.T, sub workload.Subject) *analysis.Analyzer {
+	t.Helper()
+	app, err := httpapp.New(sub.Name, sub.Source, sub.Routes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.NewAnalyzer(app)
+}
+
+// TestAnalyzeAppParallelMatchesSequential asserts the worker pool is
+// invisible: parallel AnalyzeApp output (result ordering and merged
+// state units) equals the sequential output on multi-service subjects.
+// Run under -race this also exercises the isolation of forked
+// analyzers.
+func TestAnalyzeAppParallelMatchesSequential(t *testing.T) {
+	for _, name := range []string{"fobojet", "sensor-hub"} {
+		sub, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		services := subjectServices(t, sub)
+
+		seqRes, seqUnits, err := newAnalyzer(t, sub).AnalyzeAppContext(
+			context.Background(), services, analysis.Parallelism{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+		parRes, parUnits, err := newAnalyzer(t, sub).AnalyzeAppContext(
+			context.Background(), services, analysis.Parallelism{Workers: 4})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+
+		if len(seqRes) != len(parRes) {
+			t.Fatalf("%s: %d sequential results vs %d parallel", name, len(seqRes), len(parRes))
+		}
+		for i := range seqRes {
+			if !reflect.DeepEqual(seqRes[i], parRes[i]) {
+				t.Errorf("%s: result %d (%s) diverges:\nsequential: %+v\nparallel:   %+v",
+					name, i, services[i].Name(), seqRes[i], parRes[i])
+			}
+		}
+		if !reflect.DeepEqual(seqUnits, parUnits) {
+			t.Errorf("%s: merged units diverge:\nsequential: %+v\nparallel:   %+v", name, seqUnits, parUnits)
+		}
+	}
+}
+
+// TestAnalyzeAppContextCanceled asserts a canceled context aborts the
+// fan-out with the context's error.
+func TestAnalyzeAppContextCanceled(t *testing.T) {
+	sub, err := workload.ByName("fobojet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	services := subjectServices(t, sub)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		_, _, err := newAnalyzer(t, sub).AnalyzeAppContext(ctx, services, analysis.Parallelism{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: canceled context did not abort analysis", workers)
+		}
+	}
+}
+
+// TestTransformParallelMatchesSequential asserts the whole pipeline
+// output — plans, replica source, merged units — is identical whether
+// analysis ran on one worker or many.
+func TestTransformParallelMatchesSequential(t *testing.T) {
+	sub, err := workload.ByName("sensor-hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := core.TransformSubjectTrafficContext(
+		context.Background(), sub.Name, sub.Source, sub.Routes(), sub.RegressionVectors(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.TransformSubjectTrafficContext(
+		context.Background(), sub.Name, sub.Source, sub.Routes(), sub.RegressionVectors(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.ReplicaSource != par.ReplicaSource {
+		t.Errorf("replica source diverges between sequential and parallel analysis")
+	}
+	if !reflect.DeepEqual(seq.Units, par.Units) {
+		t.Errorf("merged units diverge:\nsequential: %+v\nparallel:   %+v", seq.Units, par.Units)
+	}
+	if len(seq.Plans) != len(par.Plans) {
+		t.Fatalf("plan count diverges: %d vs %d", len(seq.Plans), len(par.Plans))
+	}
+	for name, sp := range seq.Plans {
+		pp := par.Plans[name]
+		if pp == nil {
+			t.Errorf("%s: missing from parallel plans", name)
+			continue
+		}
+		if sp.Replicated != pp.Replicated {
+			t.Errorf("%s: Replicated %v vs %v", name, sp.Replicated, pp.Replicated)
+		}
+		if !reflect.DeepEqual(sp.Extraction, pp.Extraction) {
+			t.Errorf("%s: extraction diverges", name)
+		}
+		// Each Transform run captures its own traffic, so the embedded
+		// Service samples carry run-varying wall-clock latencies;
+		// compare the analysis proper with Service normalized out.
+		sa, pa := *sp.Analysis, *pp.Analysis
+		sa.Service, pa.Service = capture.Service{}, capture.Service{}
+		if !reflect.DeepEqual(sa, pa) {
+			t.Errorf("%s: analysis diverges:\nsequential: %+v\nparallel:   %+v", name, sa, pa)
+		}
+	}
+}

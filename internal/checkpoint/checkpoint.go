@@ -90,6 +90,15 @@ func NewRunner(app *httpapp.App) *Runner {
 	return &Runner{app: app, init: Capture(app)}
 }
 
+// NewRunnerWith pins app to a previously captured state_init instead
+// of capturing the app's current state. Restore only reads the shared
+// State — it deep-copies into the app — so runners for independent app
+// instances may share one state_init concurrently; this is what gives
+// every worker of a parallel analysis the identical initial state.
+func NewRunnerWith(app *httpapp.App, init *State) *Runner {
+	return &Runner{app: app, init: init}
+}
+
 // Init returns the captured state_init.
 func (r *Runner) Init() *State { return r.init }
 

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -39,6 +40,10 @@ type Input struct {
 	// service whether eventual consistency is congruent with the
 	// replicated state the analysis presents. Nil accepts everything.
 	Consult func(svc capture.Service, units analysis.StateUnits) bool
+	// Workers bounds the per-service analysis worker pool. Zero means
+	// one worker per core (runtime.GOMAXPROCS); 1 forces sequential
+	// analysis.
+	Workers int
 }
 
 // ServicePlan is the transformation outcome for one service.
@@ -118,6 +123,14 @@ func CaptureTraffic(app *httpapp.App, reqs []*httpapp.Request) ([]capture.Record
 
 // Transform runs the full EdgStr pipeline over the input.
 func Transform(in Input) (*Result, error) {
+	return TransformContext(context.Background(), in)
+}
+
+// TransformContext runs the full EdgStr pipeline over the input,
+// fanning the per-service dynamic analysis out over in.Workers
+// concurrent isolated analyzers. Cancel the context to abort
+// outstanding analyses.
+func TransformContext(ctx context.Context, in Input) (*Result, error) {
 	if in.Name == "" || in.Source == "" || len(in.Routes) == 0 {
 		return nil, fmt.Errorf("core: incomplete input (name, source, and routes are required)")
 	}
@@ -152,13 +165,14 @@ func Transform(in Input) (*Result, error) {
 		Services:         services,
 		Plans:            map[string]*ServicePlan{},
 	}
+	analyses, _, err := analyzer.AnalyzeAppContext(ctx, services, analysis.Parallelism{Workers: in.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("core: analyzing services: %w", err)
+	}
 	extractions := map[string]*refactor.Extraction{}
 	var replicated []string
-	for _, svc := range services {
-		sa, err := analyzer.AnalyzeService(svc)
-		if err != nil {
-			return nil, fmt.Errorf("core: analyzing %s: %w", svc.Name(), err)
-		}
+	for i, svc := range services {
+		sa := analyses[i]
 		plan := &ServicePlan{Analysis: sa}
 
 		// 4. Consult Developer: is eventual consistency acceptable for
@@ -222,6 +236,13 @@ func Transform(in Input) (*Result, error) {
 // and transforms in one step: it builds the original app, captures the
 // given requests, and runs Transform.
 func TransformSubjectTraffic(name, source string, routes []httpapp.Route, reqs []*httpapp.Request) (*Result, error) {
+	return TransformSubjectTrafficContext(context.Background(), name, source, routes, reqs, 0)
+}
+
+// TransformSubjectTrafficContext is TransformSubjectTraffic with
+// cancellation and an analysis worker-pool bound (0 = one per core,
+// 1 = sequential).
+func TransformSubjectTrafficContext(ctx context.Context, name, source string, routes []httpapp.Route, reqs []*httpapp.Request, workers int) (*Result, error) {
 	app, err := httpapp.New(name, source, routes)
 	if err != nil {
 		return nil, fmt.Errorf("core: building app: %w", err)
@@ -230,5 +251,5 @@ func TransformSubjectTraffic(name, source string, routes []httpapp.Route, reqs [
 	if err != nil {
 		return nil, err
 	}
-	return Transform(Input{Name: name, Source: source, Routes: routes, Records: records})
+	return TransformContext(ctx, Input{Name: name, Source: source, Routes: routes, Records: records, Workers: workers})
 }

@@ -7,6 +7,12 @@
 // STMT-T-DEP closure are evaluated over them. This engine provides
 // exactly that: ground facts over string constants, definite Horn rules
 // with variables, semi-naive fixpoint evaluation, and pattern queries.
+//
+// Evaluation compiles each rule to a slot-based join plan and probes
+// per-predicate column indexes (argument position → constant → tuple
+// ids) instead of scanning full relations; the pre-index scanning
+// evaluator is retained behind SetReferenceJoin for differential
+// testing and benchmarking.
 package datalog
 
 import (
@@ -97,22 +103,67 @@ type Fact []string
 // key renders a canonical identity for dedup.
 func (f Fact) key() string { return strings.Join(f, "\x1f") }
 
+// relation stores one predicate's tuples together with their interned
+// identity keys, a dedup map, per-column indexes, and a cached sorted
+// view. Keys are built exactly once, at insertion.
+type relation struct {
+	arity  int
+	tuples []Fact
+	keys   []string       // interned identity, parallel to tuples
+	ids    map[string]int // key → tuple id
+	cols   []map[string][]int
+	sorted []Fact // cached Facts() order; nil when dirty
+}
+
+func newRelation(arity int) *relation {
+	r := &relation{arity: arity, ids: map[string]int{}, cols: make([]map[string][]int, arity)}
+	for i := range r.cols {
+		r.cols[i] = map[string][]int{}
+	}
+	return r
+}
+
+// add inserts the tuple under its precomputed key, reporting whether it
+// was new.
+func (r *relation) add(f Fact, key string) bool {
+	if _, ok := r.ids[key]; ok {
+		return false
+	}
+	id := len(r.tuples)
+	r.ids[key] = id
+	r.tuples = append(r.tuples, f)
+	r.keys = append(r.keys, key)
+	for i, v := range f {
+		r.cols[i][v] = append(r.cols[i][v], id)
+	}
+	r.sorted = nil
+	return true
+}
+
 // DB holds facts and rules.
 type DB struct {
-	facts map[string][]Fact          // pred → tuples
-	index map[string]map[string]bool // pred → tuple key → present
+	rels  map[string]*relation
 	arity map[string]int
 	rules []Rule
+	// refJoin switches Run to the retained scanning evaluator — the
+	// reference implementation the indexed path is differentially
+	// tested against.
+	refJoin bool
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB {
 	return &DB{
-		facts: map[string][]Fact{},
-		index: map[string]map[string]bool{},
+		rels:  map[string]*relation{},
 		arity: map[string]int{},
 	}
 }
+
+// SetReferenceJoin selects the naive scanning join instead of the
+// indexed one for subsequent Run calls. Both compute identical
+// fixpoints; the reference path exists for differential tests and as a
+// benchmark baseline.
+func (db *DB) SetReferenceJoin(on bool) { db.refJoin = on }
 
 // AddFact asserts a ground fact. It reports whether the fact was new.
 func (db *DB) AddFact(pred string, args ...string) (bool, error) {
@@ -120,18 +171,17 @@ func (db *DB) AddFact(pred string, args ...string) (bool, error) {
 		return false, err
 	}
 	f := Fact(args)
-	k := f.key()
-	idx := db.index[pred]
-	if idx == nil {
-		idx = map[string]bool{}
-		db.index[pred] = idx
+	return db.insert(pred, f, f.key()), nil
+}
+
+// insert adds an arity-checked fact under its precomputed key.
+func (db *DB) insert(pred string, f Fact, key string) bool {
+	r := db.rels[pred]
+	if r == nil {
+		r = newRelation(len(f))
+		db.rels[pred] = r
 	}
-	if idx[k] {
-		return false, nil
-	}
-	idx[k] = true
-	db.facts[pred] = append(db.facts[pred], f)
-	return true, nil
+	return r.add(f, key)
 }
 
 func (db *DB) checkArity(pred string, n int) error {
@@ -163,27 +213,483 @@ func (db *DB) AddRule(r Rule) error {
 }
 
 // Count returns the number of facts for a predicate.
-func (db *DB) Count(pred string) int { return len(db.facts[pred]) }
+func (db *DB) Count(pred string) int {
+	if r := db.rels[pred]; r != nil {
+		return len(r.tuples)
+	}
+	return 0
+}
 
 // Facts returns the tuples of a predicate, sorted lexicographically.
+// The order is computed from the interned keys and cached until the
+// next insertion.
 func (db *DB) Facts(pred string) []Fact {
-	out := make([]Fact, len(db.facts[pred]))
-	copy(out, db.facts[pred])
-	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	r := db.rels[pred]
+	if r == nil {
+		return nil
+	}
+	if r.sorted == nil {
+		ordered := make([]int, len(r.tuples))
+		for i := range ordered {
+			ordered[i] = i
+		}
+		sort.Slice(ordered, func(i, j int) bool { return r.keys[ordered[i]] < r.keys[ordered[j]] })
+		r.sorted = make([]Fact, len(ordered))
+		for i, id := range ordered {
+			r.sorted[i] = r.tuples[id]
+		}
+	}
+	out := make([]Fact, len(r.sorted))
+	copy(out, r.sorted)
 	return out
 }
+
+// sortedPreds returns the known predicate names in sorted order, so
+// every per-predicate iteration is reproducible.
+func (db *DB) sortedPreds() []string {
+	out := make([]string, 0, len(db.rels))
+	for p := range db.rels {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// maxRounds bounds semi-naive iteration as a convergence backstop.
+const maxRounds = 1_000_000
 
 // Run evaluates all rules to fixpoint using semi-naive iteration: each
 // round only joins against tuples derived in the previous round (the
 // delta), falling back to full joins for the first round.
 func (db *DB) Run() error {
-	// delta holds the facts derived in the previous round, per predicate.
+	if db.refJoin {
+		return db.runReference()
+	}
+	compiled := make([]compiledRule, len(db.rules))
+	for i, r := range db.rules {
+		compiled[i] = compileRule(r)
+	}
+	// The delta of round R is not a separate relation: facts derived
+	// during a round occupy a contiguous tuple-id suffix of their
+	// predicate's relation, so a [lo,hi) span over the stored relation
+	// identifies it with zero copying. Round 0 spans cover everything.
+	// Spans are rebuilt from sorted predicate order each round, so
+	// iteration is reproducible.
+	delta := make(map[string]span, len(db.rels))
+	// mark tracks, per predicate, how many tuples have already been
+	// promoted into a delta; new growth beyond it forms the next one.
+	mark := make(map[string]int, len(db.rels))
+	for _, p := range db.sortedPreds() {
+		n := len(db.rels[p].tuples)
+		delta[p] = span{0, n}
+		mark[p] = n
+	}
+	var (
+		rows   [][]string // reused binding-row buffer across rules/rounds
+		keyBuf []byte     // reused head-key buffer for duplicate probes
+	)
+	for round := 0; ; round++ {
+		if round > maxRounds {
+			return fmt.Errorf("datalog: fixpoint did not converge")
+		}
+		for _, cr := range compiled {
+			last := len(cr.body) - 1
+			for dpos := range cr.body {
+				dsp, ok := delta[cr.body[dpos].pred]
+				if !ok || dsp.lo >= dsp.hi {
+					continue
+				}
+				// Join all atoms but the last into binding rows, then
+				// fuse the final atom with head emission: duplicates
+				// of already-derived facts are rejected by probing the
+				// dedup map through a reused byte buffer, without
+				// materializing a row copy, fact, or key.
+				rows = db.joinPrefix(cr, dpos, dsp, rows[:0])
+				if len(rows) == 0 {
+					continue
+				}
+				lastRel := db.rels[cr.body[last].pred]
+				if lastRel == nil {
+					continue
+				}
+				lsp := span{0, len(lastRel.tuples)}
+				if last == dpos {
+					lsp = dsp
+				}
+				if lsp.lo >= lsp.hi {
+					continue
+				}
+				for _, row := range rows {
+					ids, all := lastRel.candidates(cr.body[last], row, lsp)
+					end := len(ids)
+					if all {
+						end = lsp.hi - lsp.lo
+					}
+					for c := 0; c < end; c++ {
+						id := lsp.lo + c
+						if !all {
+							id = ids[c]
+							if id >= lsp.hi {
+								break
+							}
+						}
+						tuple := lastRel.tuples[id]
+						if !lastMatches(cr.lastArgs, row, tuple) {
+							continue
+						}
+						keyBuf = keyBuf[:0]
+						for i, src := range cr.headSrc {
+							if i > 0 {
+								keyBuf = append(keyBuf, '\x1f')
+							}
+							keyBuf = append(keyBuf, src.value(row, tuple)...)
+						}
+						headRel := db.rels[cr.head.pred]
+						if headRel != nil {
+							if _, dup := headRel.ids[string(keyBuf)]; dup {
+								continue
+							}
+						}
+						f := make(Fact, len(cr.headSrc))
+						for i, src := range cr.headSrc {
+							f[i] = src.value(row, tuple)
+						}
+						db.insert(cr.head.pred, f, string(keyBuf))
+					}
+				}
+			}
+		}
+		// Next round's delta: whatever each relation grew past its
+		// watermark, including predicates first derived this round.
+		next := make(map[string]span, len(delta))
+		derived := false
+		for _, p := range db.sortedPreds() {
+			hi := len(db.rels[p].tuples)
+			if lo := mark[p]; lo < hi {
+				next[p] = span{lo, hi}
+				mark[p] = hi
+				derived = true
+			}
+		}
+		if !derived {
+			return nil
+		}
+		delta = next
+	}
+}
+
+// span is a half-open tuple-id range [lo, hi) within a relation.
+type span struct{ lo, hi int }
+
+// lastArg describes how one argument of a rule's final body atom is
+// checked during fused emission.
+type lastArg struct {
+	kind byte   // 'c' constant, 'r' row-bound slot, 't' same-atom repeat, 'f' free
+	slot int    // row slot for 'r'
+	pos  int    // first tuple position of the repeated slot for 't'
+	val  string // constant for 'c'
+}
+
+// lastMatches verifies the final atom against a tuple under the prefix
+// binding row without extending the row.
+func lastMatches(args []lastArg, row []string, tuple Fact) bool {
+	if len(args) != len(tuple) {
+		return false
+	}
+	for i, a := range args {
+		switch a.kind {
+		case 'c':
+			if tuple[i] != a.val {
+				return false
+			}
+		case 'r':
+			if tuple[i] != row[a.slot] {
+				return false
+			}
+		case 't':
+			if tuple[i] != tuple[a.pos] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// headSrc locates one head-argument value: a constant, a prefix-row
+// slot, or a position of the final atom's tuple.
+type headSrc struct {
+	kind byte // 'c' constant, 'r' row slot, 't' tuple position
+	idx  int
+	val  string
+}
+
+func (s headSrc) value(row []string, tuple Fact) string {
+	switch s.kind {
+	case 'r':
+		return row[s.idx]
+	case 't':
+		return tuple[s.idx]
+	}
+	return s.val
+}
+
+// argRef is one compiled atom argument: a constant (slot < 0) or a
+// variable slot. bound marks variable occurrences whose slot is already
+// filled when the argument is reached during matching (by an earlier
+// atom, or by an earlier position of the same atom).
+type argRef struct {
+	slot  int
+	val   string
+	bound bool
+}
+
+// compiledAtom is an atom lowered onto variable slots. prebound lists
+// the argument positions whose value is known before the atom is
+// matched — constants and variables bound by strictly earlier atoms —
+// i.e. the positions usable as column-index probes.
+type compiledAtom struct {
+	pred     string
+	args     []argRef
+	prebound []int
+}
+
+// compiledRule is a rule lowered to a slot-based join plan. Range
+// restriction (checked by AddRule) guarantees every head slot is bound
+// once the body has matched. The final body atom is described twice:
+// as a compiledAtom (for candidate selection) and as lastArgs/headSrc
+// (for fused check-and-emit without row extension).
+type compiledRule struct {
+	head     compiledAtom
+	body     []compiledAtom
+	nvars    int
+	lastArgs []lastArg
+	headSrc  []headSrc
+}
+
+func compileRule(r Rule) compiledRule {
+	slots := map[string]int{}
+	cr := compiledRule{body: make([]compiledAtom, len(r.Body))}
+	for bi, a := range r.Body {
+		ca := compiledAtom{pred: a.Pred, args: make([]argRef, len(a.Args))}
+		for i, t := range a.Args {
+			if !t.isVar {
+				ca.args[i] = argRef{slot: -1, val: t.value}
+				ca.prebound = append(ca.prebound, i)
+				continue
+			}
+			if s, ok := slots[t.value]; ok {
+				ca.args[i] = argRef{slot: s, bound: true}
+				// Only variables bound by earlier atoms have a known
+				// value before this atom matches; a repeat within the
+				// same atom does not.
+				if boundByEarlierAtom(cr.body[:bi], s) {
+					ca.prebound = append(ca.prebound, i)
+				}
+				continue
+			}
+			s := len(slots)
+			slots[t.value] = s
+			ca.args[i] = argRef{slot: s}
+		}
+		cr.body[bi] = ca
+	}
+	cr.nvars = len(slots)
+	cr.head = compiledAtom{pred: r.Head.Pred, args: make([]argRef, len(r.Head.Args))}
+	for i, t := range r.Head.Args {
+		if t.isVar {
+			cr.head.args[i] = argRef{slot: slots[t.value], bound: true}
+		} else {
+			cr.head.args[i] = argRef{slot: -1, val: t.value}
+		}
+	}
+
+	// Lower the final atom for fused emission. firstPos maps slots the
+	// final atom binds to their first tuple position.
+	last := len(cr.body) - 1
+	la := cr.body[last]
+	prefix := cr.body[:last]
+	firstPos := map[int]int{}
+	cr.lastArgs = make([]lastArg, len(la.args))
+	for i, ar := range la.args {
+		switch {
+		case ar.slot < 0:
+			cr.lastArgs[i] = lastArg{kind: 'c', val: ar.val}
+		case boundByEarlierAtom(prefix, ar.slot):
+			cr.lastArgs[i] = lastArg{kind: 'r', slot: ar.slot}
+		default:
+			if p, seen := firstPos[ar.slot]; seen {
+				cr.lastArgs[i] = lastArg{kind: 't', pos: p}
+			} else {
+				firstPos[ar.slot] = i
+				cr.lastArgs[i] = lastArg{kind: 'f'}
+			}
+		}
+	}
+	cr.headSrc = make([]headSrc, len(cr.head.args))
+	for i, ar := range cr.head.args {
+		switch {
+		case ar.slot < 0:
+			cr.headSrc[i] = headSrc{kind: 'c', val: ar.val}
+		case boundByEarlierAtom(prefix, ar.slot):
+			cr.headSrc[i] = headSrc{kind: 'r', idx: ar.slot}
+		default:
+			// Range restriction guarantees the slot is bound by the
+			// final atom when no earlier atom binds it.
+			cr.headSrc[i] = headSrc{kind: 't', idx: firstPos[ar.slot]}
+		}
+	}
+	return cr
+}
+
+func boundByEarlierAtom(earlier []compiledAtom, slot int) bool {
+	for _, a := range earlier {
+		for _, ar := range a.args {
+			if ar.slot == slot {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// joinPrefix enumerates binding rows satisfying every body atom except
+// the last, with the atom at dpos (when inside the prefix) restricted
+// to the delta span and the others matched against the full
+// relations. Candidate tuples come from the smallest column-index
+// posting list among the atom's prebound positions; only atoms with no
+// prebound position fall back to a full scan. The out buffer is reused
+// across calls.
+func (db *DB) joinPrefix(cr compiledRule, dpos int, dsp span, out [][]string) [][]string {
+	rows := append(out, make([]string, cr.nvars))
+	for i, atom := range cr.body[:len(cr.body)-1] {
+		rel := db.rels[atom.pred]
+		if rel == nil {
+			return nil
+		}
+		// Derived heads may append to rel mid-round when the head
+		// predicate also appears in the body; capture the current
+		// extent so this join sees a stable relation.
+		sp := span{0, len(rel.tuples)}
+		if i == dpos {
+			sp = dsp
+		}
+		if sp.lo >= sp.hi {
+			return nil
+		}
+		next := make([][]string, 0, len(rows))
+		for _, row := range rows {
+			ids, all := rel.candidates(atom, row, sp)
+			if all {
+				for id := sp.lo; id < sp.hi; id++ {
+					if nr, ok := extendRow(row, atom, rel.tuples[id]); ok {
+						next = append(next, nr)
+					}
+				}
+				continue
+			}
+			for _, id := range ids {
+				if id >= sp.hi {
+					break
+				}
+				if nr, ok := extendRow(row, atom, rel.tuples[id]); ok {
+					next = append(next, nr)
+				}
+			}
+		}
+		rows = next
+		if len(rows) == 0 {
+			return nil
+		}
+	}
+	return rows
+}
+
+// candidates returns the tuple ids worth matching against the atom
+// under the given binding row, restricted to the span: the smallest
+// posting list among the prebound positions (trimmed to the span's
+// lower bound; callers stop at its upper bound since ids ascend), or
+// (nil, true) to request a span scan when the atom constrains no
+// position up front.
+func (r *relation) candidates(a compiledAtom, row []string, sp span) ([]int, bool) {
+	best := -1
+	var bestList []int
+	for _, pos := range a.prebound {
+		ar := a.args[pos]
+		v := ar.val
+		if ar.slot >= 0 {
+			v = row[ar.slot]
+		}
+		list := r.cols[pos][v]
+		if len(list) == 0 {
+			return nil, false
+		}
+		if best < 0 || len(list) < len(bestList) {
+			best = pos
+			bestList = list
+		}
+	}
+	if best < 0 {
+		return nil, true
+	}
+	// Trim ids below the span: posting lists are ascending, so binary
+	// search the first id ≥ sp.lo.
+	lo, hi := 0, len(bestList)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bestList[mid] < sp.lo {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return bestList[lo:], false
+}
+
+// extendRow unifies the atom against a ground tuple under the binding
+// row, returning the (possibly shared) extended row. The input row is
+// copied only when the atom binds a new slot.
+func extendRow(row []string, a compiledAtom, tuple Fact) ([]string, bool) {
+	if len(a.args) != len(tuple) {
+		return nil, false
+	}
+	out := row
+	copied := false
+	for i, ar := range a.args {
+		if ar.slot < 0 {
+			if tuple[i] != ar.val {
+				return nil, false
+			}
+			continue
+		}
+		if ar.bound {
+			if out[ar.slot] != tuple[i] {
+				return nil, false
+			}
+			continue
+		}
+		if !copied {
+			nr := make([]string, len(row))
+			copy(nr, row)
+			out = nr
+			copied = true
+		}
+		out[ar.slot] = tuple[i]
+	}
+	return out, true
+}
+
+// runReference is the retained pre-index evaluator: scanning joins over
+// full per-predicate slices with map-based bindings. The delta is
+// seeded in sorted predicate order so derivation traces and
+// convergence-failure diagnostics are reproducible.
+func (db *DB) runReference() error {
 	delta := map[string][]Fact{}
-	for pred, fs := range db.facts {
-		delta[pred] = append([]Fact(nil), fs...)
+	for _, pred := range db.sortedPreds() {
+		r := db.rels[pred]
+		delta[pred] = append(make([]Fact, 0, len(r.tuples)), r.tuples...)
 	}
 	for round := 0; ; round++ {
-		if round > 1_000_000 {
+		if round > maxRounds {
 			return fmt.Errorf("datalog: fixpoint did not converge")
 		}
 		next := map[string][]Fact{}
@@ -196,18 +702,15 @@ func (db *DB) Run() error {
 				if len(delta[rule.Body[dpos].Pred]) == 0 {
 					continue
 				}
-				bindingsList := db.joinBody(rule.Body, dpos, delta)
+				bindingsList := db.joinBodyReference(rule.Body, dpos, delta)
 				for _, b := range bindingsList {
 					head, ok := substitute(rule.Head, b)
 					if !ok {
 						continue
 					}
-					fresh, err := db.AddFact(head.Pred, groundArgs(head)...)
-					if err != nil {
-						return err
-					}
-					if fresh {
-						next[head.Pred] = append(next[head.Pred], groundArgs(head))
+					f := groundArgs(head)
+					if db.insert(head.Pred, f, f.key()) {
+						next[head.Pred] = append(next[head.Pred], f)
 						derived = true
 					}
 				}
@@ -220,17 +723,17 @@ func (db *DB) Run() error {
 	}
 }
 
-// joinBody enumerates variable bindings satisfying the body, with the
-// atom at dpos matched against the delta relation and the others against
-// the full relations.
-func (db *DB) joinBody(body []Atom, dpos int, delta map[string][]Fact) []map[string]string {
+// joinBodyReference enumerates variable bindings satisfying the body by
+// scanning full relations, with the atom at dpos matched against the
+// delta relation.
+func (db *DB) joinBodyReference(body []Atom, dpos int, delta map[string][]Fact) []map[string]string {
 	bindings := []map[string]string{{}}
 	for i, atom := range body {
 		var rel []Fact
 		if i == dpos {
 			rel = delta[atom.Pred]
-		} else {
-			rel = db.facts[atom.Pred]
+		} else if r := db.rels[atom.Pred]; r != nil {
+			rel = r.tuples[:len(r.tuples):len(r.tuples)]
 		}
 		var next []map[string]string
 		for _, b := range bindings {
@@ -314,10 +817,39 @@ func groundArgs(a Atom) Fact {
 
 // Query returns all bindings of the pattern's variables against the
 // current fact set (call Run first to saturate derived predicates).
-// Results are sorted deterministically.
+// Constant positions probe the column indexes. Results are sorted
+// deterministically.
 func (db *DB) Query(pattern Atom) []map[string]string {
+	r := db.rels[pattern.Pred]
+	if r == nil {
+		return nil
+	}
+	var candidates []Fact
+	best := -1
+	var bestList []int
+	for i, t := range pattern.Args {
+		if t.isVar || i >= r.arity {
+			continue
+		}
+		list := r.cols[i][t.value]
+		if len(list) == 0 {
+			return nil
+		}
+		if best < 0 || len(list) < len(bestList) {
+			best = i
+			bestList = list
+		}
+	}
+	if best < 0 {
+		candidates = r.tuples
+	} else {
+		candidates = make([]Fact, len(bestList))
+		for i, id := range bestList {
+			candidates[i] = r.tuples[id]
+		}
+	}
 	var out []map[string]string
-	for _, tuple := range db.facts[pattern.Pred] {
+	for _, tuple := range candidates {
 		if b, ok := match(pattern, tuple, map[string]string{}); ok {
 			out = append(out, b)
 		}
@@ -328,11 +860,12 @@ func (db *DB) Query(pattern Atom) []map[string]string {
 
 // Holds reports whether a fully ground atom is present.
 func (db *DB) Holds(pred string, args ...string) bool {
-	idx := db.index[pred]
-	if idx == nil {
+	r := db.rels[pred]
+	if r == nil {
 		return false
 	}
-	return idx[Fact(args).key()]
+	_, ok := r.ids[Fact(args).key()]
+	return ok
 }
 
 func bindingKey(b map[string]string) string {
