@@ -20,6 +20,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/experiments"
 	"repro/internal/httpapp"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 	"repro/internal/workload"
 )
@@ -222,6 +223,25 @@ func BenchmarkTransformPipeline(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.TransformSubjectTraffic(sub.Name, sub.Source, sub.Routes(), sub.RegressionVectors()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransformPipelineObserved measures the same pipeline under a
+// live observability context (spans + metrics recorded throughout).
+// Compare against BenchmarkTransformPipeline for the enabled-path cost;
+// the disabled-path cost is asserted separately by BenchmarkObsOverhead
+// in internal/obs.
+func BenchmarkTransformPipelineObserved(b *testing.B) {
+	sub, err := workload.ByName("fobojet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx := obs.With(context.Background(), obs.New())
+		if _, err := core.TransformSubjectTrafficContext(ctx, sub.Name, sub.Source, sub.Routes(), sub.RegressionVectors(), 1); err != nil {
 			b.Fatal(err)
 		}
 	}

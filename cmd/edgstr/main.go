@@ -3,21 +3,36 @@
 // per-service analysis (entry/exit points, extracted statements,
 // replicated state units), and the generated edge-replica source.
 //
+// With -trace and/or -metrics the run is observed end to end: the
+// pipeline executes under an observability context, the result is
+// deployed on a simulated edge cluster and exercised with the subject's
+// regression traffic, and the command emits a JSON introspection
+// snapshot (see OBSERVABILITY.md) instead of the human-readable report —
+// the trace tree covers capture, per-service analysis, datalog solving,
+// extraction, and deployment, and the metrics section includes the
+// statesync traffic counters.
+//
 // Usage:
 //
 //	edgstr -subject fobojet            # summary
 //	edgstr -subject fobojet -replica   # print generated replica source
+//	edgstr -subject notes -trace -metrics | jq .   # observed quickstart run
 //	edgstr -list                       # list subjects
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/httpapp"
+	"repro/internal/obs"
+	"repro/internal/simclock"
 	"repro/internal/workload"
 )
 
@@ -26,12 +41,17 @@ func main() {
 	list := flag.Bool("list", false, "list available subject apps")
 	replica := flag.Bool("replica", false, "print the generated replica source")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = one per core, 1 = sequential)")
+	trace := flag.Bool("trace", false, "observe the run and emit the JSON trace tree")
+	metrics := flag.Bool("metrics", false, "observe the run and emit the JSON metrics snapshot")
 	flag.Parse()
 
 	if *list {
 		for _, s := range workload.Subjects() {
 			fmt.Printf("%-16s %d services, primary %s\n", s.Name, len(s.Services), s.PrimaryService().Route)
 		}
+		q := workload.Quickstart()
+		fmt.Printf("%-16s %d services, primary %s (docs quickstart; excluded from the evaluation set)\n",
+			q.Name, len(q.Services), q.PrimaryService().Route)
 		return
 	}
 	if *subject == "" {
@@ -40,7 +60,13 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *subject, *replica, *workers); err != nil {
+	var err error
+	if *trace || *metrics {
+		err = runObserved(ctx, *subject, *workers, *trace, *metrics)
+	} else {
+		err = run(ctx, *subject, *replica, *workers)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "edgstr:", err)
 		os.Exit(1)
 	}
@@ -91,4 +117,63 @@ func run(ctx context.Context, name string, printReplica bool, workers int) error
 		fmt.Println(res.ReplicaSource)
 	}
 	return nil
+}
+
+// runObserved runs the full observed lifecycle — capture, transform,
+// deploy, serve the regression traffic at the edge, synchronize — and
+// prints the introspection snapshot as indented JSON on stdout.
+func runObserved(ctx context.Context, name string, workers int, wantTrace, wantMetrics bool) error {
+	sub, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	o := obs.New()
+	ctx = obs.With(ctx, o)
+
+	res, err := core.TransformSubjectTrafficContext(ctx, sub.Name, sub.Source, sub.Routes(), sub.RegressionVectors(), workers)
+	if err != nil {
+		return err
+	}
+
+	// Deploy on the paper's standard four-Pi topology and replay the
+	// regression vectors through the edge so the serving-path and
+	// synchronization metrics carry real traffic.
+	clock := simclock.New()
+	dep, err := core.DeployContext(ctx, clock, res, core.DefaultDeployConfig())
+	if err != nil {
+		return err
+	}
+	_, serveSpan := obs.StartSpan(ctx, "serve")
+	var served, failed int
+	for _, req := range sub.RegressionVectors() {
+		dep.HandleAtEdge(req, func(_ *httpapp.Response, err error) {
+			if err != nil {
+				failed++
+				return
+			}
+			served++
+		})
+	}
+	clock.RunUntil(clock.Now() + 30*time.Second)
+	serveSpan.SetAttr("served", fmt.Sprint(served))
+	serveSpan.SetAttr("failed", fmt.Sprint(failed))
+	serveSpan.End()
+	_, syncSpan := obs.StartSpan(ctx, "settle_sync")
+	dep.SettleSync(120 * time.Second)
+	syncSpan.SetAttr("converged", fmt.Sprint(dep.Converged()))
+	syncSpan.End()
+	dep.Stop()
+
+	observation := core.Observe(dep)
+	if snap := observation.Observability; snap != nil {
+		if !wantTrace {
+			snap.Trace = nil
+		}
+		if !wantMetrics {
+			snap.Metrics = nil
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(observation)
 }

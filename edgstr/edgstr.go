@@ -27,13 +27,17 @@
 package edgstr
 
 import (
+	"context"
+
 	"repro/internal/analysis"
 	"repro/internal/capture"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/httpapp"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/simclock"
+	"repro/internal/statesync"
 )
 
 // Core transformation types.
@@ -81,6 +85,40 @@ type (
 	DeviceSpec = cluster.DeviceSpec
 )
 
+// Observability types. See OBSERVABILITY.md for the span taxonomy and
+// the metric name registry.
+type (
+	// Obs bundles a trace recorder and a metrics registry; attach one
+	// to a context with WithObs to instrument the pipeline.
+	Obs = obs.Obs
+	// Snapshot is a JSON-marshalable trace tree + metrics dump.
+	Snapshot = obs.Snapshot
+	// Observation is the introspection snapshot of a running
+	// deployment (Observe).
+	Observation = core.Observation
+	// EdgeObservation is one edge node's serving record.
+	EdgeObservation = core.EdgeObservation
+	// SyncStats is the replica synchronization runtime's traffic
+	// accounting: delta bytes by direction, messages, acknowledged
+	// round-trips, and apply errors.
+	SyncStats = statesync.Stats
+)
+
+// NewObs returns an enabled observability bundle. All instrumentation
+// hooks are no-ops until one is attached to the pipeline's context, so
+// the instrumented hot paths cost nothing by default.
+func NewObs() *Obs { return obs.New() }
+
+// WithObs attaches the bundle to a context; pass the context to
+// TransformContext, CaptureTraffic (via TransformWithTrafficContext),
+// and DeployContext to collect spans and metrics.
+func WithObs(ctx context.Context, o *Obs) context.Context { return obs.With(ctx, o) }
+
+// Observe captures an introspection snapshot of a running deployment:
+// trace + metrics (when deployed under an obs context), the
+// synchronization traffic statistics, and per-edge serving counters.
+func Observe(dep *Deployment) Observation { return core.Observe(dep) }
+
 // NewApp builds a service instance from script source and routes.
 func NewApp(name, source string, routes []Route) (*App, error) {
 	return httpapp.New(name, source, routes)
@@ -104,16 +142,37 @@ func InferSubject(records []Record) []Service {
 // Transform runs the full EdgStr pipeline.
 func Transform(in Input) (*Result, error) { return core.Transform(in) }
 
+// TransformContext runs the full EdgStr pipeline with cancellation and
+// observability: spans and metrics are recorded when the context
+// carries an Obs (WithObs).
+func TransformContext(ctx context.Context, in Input) (*Result, error) {
+	return core.TransformContext(ctx, in)
+}
+
 // TransformWithTraffic builds the app, captures the given requests, and
 // transforms in one step.
 func TransformWithTraffic(name, source string, routes []Route, reqs []*Request) (*Result, error) {
 	return core.TransformSubjectTraffic(name, source, routes, reqs)
 }
 
+// TransformWithTrafficContext is TransformWithTraffic with
+// cancellation, observability, and an analysis worker-pool bound
+// (0 = one per core, 1 = sequential).
+func TransformWithTrafficContext(ctx context.Context, name, source string, routes []Route, reqs []*Request, workers int) (*Result, error) {
+	return core.TransformSubjectTrafficContext(ctx, name, source, routes, reqs, workers)
+}
+
 // Deploy instantiates a transformation result as a running three-tier
 // system on the given virtual clock.
 func Deploy(clock *Clock, res *Result, cfg DeployConfig) (*Deployment, error) {
 	return core.Deploy(clock, res, cfg)
+}
+
+// DeployContext is Deploy with observability: under a WithObs context
+// the deployment opens a "deploy" span and records statesync.* and
+// cluster.* metrics for its lifetime.
+func DeployContext(ctx context.Context, clock *Clock, res *Result, cfg DeployConfig) (*Deployment, error) {
+	return core.DeployContext(ctx, clock, res, cfg)
 }
 
 // DefaultDeployConfig returns the evaluation's standard topology: a

@@ -1,6 +1,7 @@
 package edgstr_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -100,6 +101,44 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	n, err := dep.Cloud.App.DB().RowCount("notes")
 	if err != nil || n != 1 {
 		t.Fatalf("cloud rows = %d, %v", n, err)
+	}
+}
+
+// TestObservedFacade walks the observed variant of the documented flow:
+// attach an Obs, run transform + deploy through the Context entry
+// points, and read back the introspection snapshot with Observe.
+func TestObservedFacade(t *testing.T) {
+	o := edgstr.NewObs()
+	ctx := edgstr.WithObs(context.Background(), o)
+	res, err := edgstr.TransformWithTrafficContext(ctx, "demo", demoSrc, demoRoutes, demoRequests(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := edgstr.NewClock()
+	dep, err := edgstr.DeployContext(ctx, clock, res, edgstr.DefaultDeployConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range demoRequests() {
+		dep.HandleAtEdge(req, nil)
+	}
+	clock.RunUntil(10 * time.Second)
+	dep.SettleSync(60 * time.Second)
+	dep.Stop()
+
+	ob := edgstr.Observe(dep)
+	if ob.Observability == nil {
+		t.Fatal("observability snapshot missing despite WithObs")
+	}
+	if len(ob.Observability.Trace) == 0 {
+		t.Fatal("trace is empty")
+	}
+	var sync edgstr.SyncStats = ob.StateSync
+	if sync.TotalBytes() <= 0 || sync.Messages <= 0 {
+		t.Fatalf("statesync stats not surfaced: %+v", sync)
+	}
+	if len(ob.Edges) == 0 {
+		t.Fatal("no edge observations")
 	}
 }
 

@@ -7,11 +7,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/capture"
 	"repro/internal/checkpoint"
 	"repro/internal/datalog"
 	"repro/internal/httpapp"
+	"repro/internal/obs"
 	"repro/internal/script"
 )
 
@@ -163,11 +165,22 @@ func (a *Analyzer) AnalyzeService(svc capture.Service) (*ServiceAnalysis, error)
 
 // AnalyzeServiceContext is AnalyzeService with cancellation: the
 // context is checked before each isolated execution, so canceled
-// analyses stop between runs rather than mid-trace.
+// analyses stop between runs rather than mid-trace. When an obs.Obs is
+// attached to the context the analysis opens an "analysis.service"
+// span and records its wall-clock latency in the
+// "analysis.service_ms" histogram.
 func (a *Analyzer) AnalyzeServiceContext(ctx context.Context, svc capture.Service) (*ServiceAnalysis, error) {
 	if len(svc.Samples) == 0 {
 		return nil, fmt.Errorf("analysis: service %s has no samples", svc.Name())
 	}
+	o := obs.From(ctx)
+	ctx, span := obs.StartSpan(ctx, "analysis.service", obs.A("service", svc.Name()))
+	started := o.Now()
+	defer func() {
+		o.Histogram("analysis.service_ms").Observe(float64(o.Since(started)) / float64(time.Millisecond))
+		o.Counter("analysis.services").Add(1)
+		span.End()
+	}()
 	sample := svc.Samples[0]
 	baseReq := &httpapp.Request{
 		Method: sample.Method,
@@ -204,7 +217,7 @@ func (a *Analyzer) AnalyzeServiceContext(ctx context.Context, svc capture.Servic
 	res.Executed = sortedStmts(base.ExecutedSet())
 
 	// Solve for entry/exit and dependence closure.
-	if err := a.solve(res, base, fuzzed, traces); err != nil {
+	if err := a.solve(ctx, res, base, fuzzed, traces); err != nil {
 		return nil, err
 	}
 	res.State = identifyState(a.app, base)
@@ -224,7 +237,7 @@ func (a *Analyzer) AnalyzeServiceContext(ctx context.Context, svc capture.Servic
 			continue // failed executions are discarded (§III-E)
 		}
 		tmp := &ServiceAnalysis{Service: svc, Handler: rt.Handler}
-		if err := a.solve(tmp, tr, nil, nil); err != nil {
+		if err := a.solve(ctx, tmp, tr, nil, nil); err != nil {
 			continue
 		}
 		res.Extracted = mergeStmts(res.Extracted, tmp.Extracted)
@@ -258,7 +271,7 @@ func unsid(s string) script.StmtID {
 
 // solve builds the Datalog program of §III-E and extracts entry, exit,
 // and the transitive dependence closure.
-func (a *Analyzer) solve(res *ServiceAnalysis, base *Trace, fuzzed []capture.FuzzedRequest, traces []*Trace) error {
+func (a *Analyzer) solve(ctx context.Context, res *ServiceAnalysis, base *Trace, fuzzed []capture.FuzzedRequest, traces []*Trace) error {
 	db := datalog.NewDB()
 	prog := a.app.Program()
 
@@ -360,8 +373,18 @@ func (a *Analyzer) solve(res *ServiceAnalysis, base *Trace, fuzzed []capture.Fuz
 	)); err != nil {
 		return err
 	}
+	_, dlSpan := obs.StartSpan(ctx, "datalog")
 	if err := db.Run(); err != nil {
+		dlSpan.End()
 		return err
+	}
+	st := db.Stats()
+	dlSpan.SetAttr("facts_derived", strconv.Itoa(st.FactsDerived))
+	dlSpan.SetAttr("iterations", strconv.Itoa(st.Rounds))
+	dlSpan.End()
+	if o := obs.From(ctx); o != nil {
+		o.Counter("datalog.facts_derived").Add(int64(st.FactsDerived))
+		o.Counter("datalog.iterations").Add(int64(st.Rounds))
 	}
 
 	// Entry: the earliest-executed STMT-UNMAR statement inside the

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"repro/internal/capture"
 	"repro/internal/checkpoint"
+	"repro/internal/obs"
 )
 
 // Parallelism configures AnalyzeAppContext's worker pool.
@@ -52,6 +54,14 @@ func (a *Analyzer) AnalyzeAppContext(ctx context.Context, services []capture.Ser
 	if workers > len(services) {
 		workers = len(services)
 	}
+	// The "analyze" span parents every per-service span: workers receive
+	// this ctx, so spans they open from their goroutines attach under it.
+	// The span tree is lock-protected, which keeps the fan-out race-free
+	// without any coordination here.
+	ctx, span := obs.StartSpan(ctx, "analyze",
+		obs.A("workers", strconv.Itoa(workers)),
+		obs.A("services", strconv.Itoa(len(services))))
+	defer span.End()
 	if workers <= 1 {
 		return a.analyzeAppSequential(ctx, services)
 	}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/httpapp"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 )
 
@@ -156,11 +157,24 @@ type Server struct {
 	// the replica runtime uses it to mirror global-variable changes into
 	// the CRDT state.
 	AfterInvoke func()
+	// reqCounter and errCounter mirror per-server request totals into
+	// an observability registry (nil-safe no-ops when unset).
+	reqCounter *obs.Counter
+	errCounter *obs.Counter
 }
 
 // NewServer hosts app on node.
 func NewServer(name string, node *Node, app *httpapp.App) *Server {
 	return &Server{Name: name, Node: node, App: app}
+}
+
+// SetObs mirrors this server's request totals into the registry as
+// "cluster.requests.<name>" and "cluster.errors.<name>" counters. The
+// counters are resolved once here so the per-request cost is a
+// nil-safe atomic increment.
+func (s *Server) SetObs(o *obs.Obs) {
+	s.reqCounter = o.Counter("cluster.requests." + s.Name)
+	s.errCounter = o.Counter("cluster.errors." + s.Name)
 }
 
 // ActiveConns returns the server's in-flight request count.
@@ -171,9 +185,13 @@ func (s *Server) ActiveConns() int { return s.conns }
 // node's simulated execution latency.
 func (s *Server) Handle(req *httpapp.Request, done func(*httpapp.Response, time.Duration, error)) {
 	s.conns++
+	s.reqCounter.Add(1)
 	resp, ops, err := s.App.Invoke(req)
 	if err == nil && s.AfterInvoke != nil {
 		s.AfterInvoke()
+	}
+	if err != nil {
+		s.errCounter.Add(1)
 	}
 	s.Node.Process(ops, func(lat time.Duration) {
 		s.conns--

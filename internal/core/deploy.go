@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/crdt"
 	"repro/internal/httpapp"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 	"repro/internal/statesync"
 )
@@ -70,12 +73,29 @@ type Deployment struct {
 	Balancer *cluster.Balancer
 	Sync     *statesync.Manager
 
+	// Obs is the observability bundle the deployment records into (nil
+	// when deployed without one — every hook is then a no-op).
+	Obs *obs.Obs
+
 	replicated map[string]bool // "METHOD /pattern" served at the edge
 }
 
 // Deploy instantiates the transformation result as a running three-tier
 // system on the given virtual clock.
 func Deploy(clock *simclock.Clock, res *Result, cfg DeployConfig) (*Deployment, error) {
+	return DeployContext(context.Background(), clock, res, cfg)
+}
+
+// DeployContext is Deploy under an observability context: it opens a
+// "deploy" trace span, and wires the synchronization manager and every
+// server into the context's metrics registry (statesync.* and
+// cluster.* metric families) for the deployment's lifetime.
+func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg DeployConfig) (*Deployment, error) {
+	o := obs.From(ctx)
+	_, span := obs.StartSpan(ctx, "deploy",
+		obs.A("app", res.Name),
+		obs.A("edges", strconv.Itoa(len(cfg.EdgeSpecs))))
+	defer span.End()
 	if len(cfg.EdgeSpecs) == 0 {
 		return nil, fmt.Errorf("core: deployment needs at least one edge node")
 	}
@@ -100,6 +120,7 @@ func Deploy(clock *simclock.Clock, res *Result, cfg DeployConfig) (*Deployment, 
 	cloudNode := cluster.NewNode(clock, cfg.CloudSpec)
 	cloudServer := cluster.NewServer("cloud", cloudNode, cloudApp)
 	cloudServer.AfterInvoke = func() { _ = cloudBinding.MirrorGlobals() }
+	cloudServer.SetObs(o)
 
 	d := &Deployment{
 		Clock:        clock,
@@ -107,6 +128,7 @@ func Deploy(clock *simclock.Clock, res *Result, cfg DeployConfig) (*Deployment, 
 		Cloud:        cloudServer,
 		CloudBinding: cloudBinding,
 		CloudState:   cloudState,
+		Obs:          o,
 		replicated:   map[string]bool{},
 	}
 	for _, name := range res.ReplicatedServiceNames() {
@@ -119,6 +141,7 @@ func Deploy(clock *simclock.Clock, res *Result, cfg DeployConfig) (*Deployment, 
 	if err != nil {
 		return nil, err
 	}
+	mgr.SetObs(o)
 	d.Sync = mgr
 
 	servers := make([]*cluster.Server, 0, len(cfg.EdgeSpecs))
@@ -142,6 +165,7 @@ func Deploy(clock *simclock.Clock, res *Result, cfg DeployConfig) (*Deployment, 
 		node := cluster.NewNode(clock, spec)
 		server := cluster.NewServer(name, node, replicaApp)
 		server.AfterInvoke = func() { _ = binding.MirrorGlobals() }
+		server.SetObs(o)
 
 		wan, err := netem.NewDuplex(clock, cfg.WAN, int64(1000+i))
 		if err != nil {
@@ -161,6 +185,7 @@ func Deploy(clock *simclock.Clock, res *Result, cfg DeployConfig) (*Deployment, 
 		servers = append(servers, server)
 	}
 	d.Balancer = cluster.NewBalancer(cfg.Policy, servers...)
+	o.Gauge("deploy.edges").Set(float64(len(d.Edges)))
 	mgr.Start()
 	return d, nil
 }

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"repro/internal/obs"
+	"repro/internal/statesync"
+)
+
+// Observation is the introspection snapshot of a running deployment:
+// the observability trace/metrics (when the deployment was created
+// under an obs context), the synchronization runtime's traffic
+// statistics, and per-edge-node serving counters. It marshals to the
+// JSON shape `edgstr -trace -metrics` emits.
+type Observation struct {
+	// Name is the deployed app's name.
+	Name string `json:"name"`
+	// Observability is the trace forest and metrics registry snapshot;
+	// nil when the deployment runs without an Obs.
+	Observability *obs.Snapshot `json:"observability,omitempty"`
+	// StateSync is the synchronization runtime's traffic accounting
+	// (statesync.Manager.Stats), surfaced through the public facade.
+	StateSync statesync.Stats `json:"statesync"`
+	// Converged reports whether every edge currently matches the cloud.
+	Converged bool `json:"converged"`
+	// Edges lists per-edge-node serving counters.
+	Edges []EdgeObservation `json:"edges"`
+}
+
+// EdgeObservation is one edge node's serving record.
+type EdgeObservation struct {
+	Name string `json:"name"`
+	// ServedLocally counts requests the replica completed at the edge;
+	// Forwarded counts requests it redirected to the cloud master.
+	ServedLocally int64 `json:"served_locally"`
+	Forwarded     int64 `json:"forwarded"`
+	// NodeServed is the node's completed-execution count (local serves
+	// only; forwards execute on the cloud node).
+	NodeServed int64 `json:"node_served"`
+	// Utilization is the node's mean busy fraction across cores.
+	Utilization float64 `json:"utilization"`
+	// Active reports whether the node is powered up (the elasticity
+	// controller parks idle replicas in low-power mode).
+	Active bool `json:"active"`
+}
+
+// Observe captures an introspection snapshot of the deployment. It is
+// safe to call at any point in the deployment's lifetime, repeatedly,
+// and on a deployment created without observability (the trace/metrics
+// section is then omitted; the statesync and edge counters are always
+// present because they are maintained by the runtime itself).
+func Observe(d *Deployment) Observation {
+	o := Observation{
+		Name:      d.Result.Name,
+		StateSync: d.Sync.Stats(),
+		Converged: d.Converged(),
+	}
+	if d.Obs != nil {
+		o.Observability = d.Obs.Snapshot()
+	}
+	for _, e := range d.Edges {
+		o.Edges = append(o.Edges, EdgeObservation{
+			Name:          e.Name,
+			ServedLocally: e.ServedLocally,
+			Forwarded:     e.Forwarded,
+			NodeServed:    e.Server.Node.Served(),
+			Utilization:   e.Server.Node.Utilization(),
+			Active:        e.Server.Node.Active(),
+		})
+	}
+	return o
+}

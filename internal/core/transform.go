@@ -18,11 +18,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 
 	"repro/internal/analysis"
 	"repro/internal/capture"
 	"repro/internal/checkpoint"
 	"repro/internal/httpapp"
+	"repro/internal/obs"
 	"repro/internal/refactor"
 )
 
@@ -109,6 +111,15 @@ func (r *Result) ExtractedCount() int {
 // Failed invocations are recorded too (they are filtered by Subject
 // inference), but transport errors abort.
 func CaptureTraffic(app *httpapp.App, reqs []*httpapp.Request) ([]capture.Record, error) {
+	return CaptureTrafficContext(context.Background(), app, reqs)
+}
+
+// CaptureTrafficContext is CaptureTraffic under an observability
+// context: it opens a "capture" span and counts captured exchanges in
+// the "capture.records" counter.
+func CaptureTrafficContext(ctx context.Context, app *httpapp.App, reqs []*httpapp.Request) ([]capture.Record, error) {
+	_, span := obs.StartSpan(ctx, "capture", obs.A("app", app.Name()))
+	defer span.End()
 	log := capture.NewLog()
 	for _, req := range reqs {
 		if _, err := log.InvokeRecorded(app, req.Clone()); err != nil &&
@@ -118,7 +129,10 @@ func CaptureTraffic(app *httpapp.App, reqs []*httpapp.Request) ([]capture.Record
 			continue
 		}
 	}
-	return log.Records(), nil
+	records := log.Records()
+	span.SetAttr("records", strconv.Itoa(len(records)))
+	obs.From(ctx).Counter("capture.records").Add(int64(len(records)))
+	return records, nil
 }
 
 // Transform runs the full EdgStr pipeline over the input.
@@ -129,7 +143,10 @@ func Transform(in Input) (*Result, error) {
 // TransformContext runs the full EdgStr pipeline over the input,
 // fanning the per-service dynamic analysis out over in.Workers
 // concurrent isolated analyzers. Cancel the context to abort
-// outstanding analyses.
+// outstanding analyses. When an obs.Obs is attached to the context
+// (obs.With), every pipeline stage opens a trace span under a
+// "transform" root and records stage metrics; without one the hooks
+// are free no-ops.
 func TransformContext(ctx context.Context, in Input) (*Result, error) {
 	if in.Name == "" || in.Source == "" || len(in.Routes) == 0 {
 		return nil, fmt.Errorf("core: incomplete input (name, source, and routes are required)")
@@ -137,10 +154,14 @@ func TransformContext(ctx context.Context, in Input) (*Result, error) {
 	if len(in.Records) == 0 {
 		return nil, fmt.Errorf("core: no captured traffic — attach CaptureTraffic first")
 	}
+	ctx, tspan := obs.StartSpan(ctx, "transform", obs.A("app", in.Name))
+	defer tspan.End()
 
 	// 1. Normalize the server source so unmarshal/marshal values occupy
 	//    dedicated temporaries (Figure 4 left).
+	_, span := obs.StartSpan(ctx, "normalize")
 	normalized, err := refactor.Normalize(in.Source)
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: normalize: %w", err)
 	}
@@ -150,7 +171,10 @@ func TransformContext(ctx context.Context, in Input) (*Result, error) {
 	}
 
 	// 2. Infer the Subject interface from the captured traffic (Eq. 1).
+	_, span = obs.StartSpan(ctx, "infer_subject")
 	services := capture.InferSubject(in.Records)
+	span.SetAttr("services", strconv.Itoa(len(services)))
+	span.End()
 	if len(services) == 0 {
 		return nil, fmt.Errorf("core: no services inferred from %d records", len(in.Records))
 	}
@@ -169,6 +193,8 @@ func TransformContext(ctx context.Context, in Input) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: analyzing services: %w", err)
 	}
+	_, exSpan := obs.StartSpan(ctx, "extract")
+	defer exSpan.End() // idempotent; covers the error returns below
 	extractions := map[string]*refactor.Extraction{}
 	var replicated []string
 	for i, svc := range services {
@@ -208,8 +234,16 @@ func TransformContext(ctx context.Context, in Input) (*Result, error) {
 	if len(replicated) == 0 {
 		return nil, fmt.Errorf("core: developer rejected every service — nothing to replicate")
 	}
+	exSpan.SetAttr("replicated", strconv.Itoa(len(replicated)))
+	exSpan.SetAttr("extracted", strconv.Itoa(res.ExtractedCount()))
+	exSpan.End()
+	if o := obs.From(ctx); o != nil {
+		o.Counter("refactor.extracted").Add(int64(res.ExtractedCount()))
+		o.Counter("refactor.whole_handler").Add(int64(len(replicated) - res.ExtractedCount()))
+	}
 
 	// 6. Generate the edge-replica source (handlebars analog).
+	_, genSpan := obs.StartSpan(ctx, "generate_replica")
 	liveExtractions := map[string]*refactor.Extraction{}
 	for h, ex := range extractions {
 		if ex != nil {
@@ -221,14 +255,18 @@ func TransformContext(ctx context.Context, in Input) (*Result, error) {
 		Services:    replicated,
 		Extractions: liveExtractions,
 	})
+	genSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: generating replica: %w", err)
 	}
 	res.ReplicaSource = replicaSrc
 
 	// 7. Capture state_init for replica initialization.
+	_, initSpan := obs.StartSpan(ctx, "state_init")
 	analyzer.Runner().Reset()
 	res.InitState = checkpoint.Capture(app)
+	initSpan.SetAttr("bytes", strconv.FormatInt(res.InitState.SizeBytes(), 10))
+	initSpan.End()
 	return res, nil
 }
 
@@ -241,13 +279,16 @@ func TransformSubjectTraffic(name, source string, routes []httpapp.Route, reqs [
 
 // TransformSubjectTrafficContext is TransformSubjectTraffic with
 // cancellation and an analysis worker-pool bound (0 = one per core,
-// 1 = sequential).
+// 1 = sequential). Under an observability context the capture and
+// transform stages nest beneath one "pipeline" root span.
 func TransformSubjectTrafficContext(ctx context.Context, name, source string, routes []httpapp.Route, reqs []*httpapp.Request, workers int) (*Result, error) {
+	ctx, span := obs.StartSpan(ctx, "pipeline", obs.A("app", name))
+	defer span.End()
 	app, err := httpapp.New(name, source, routes)
 	if err != nil {
 		return nil, fmt.Errorf("core: building app: %w", err)
 	}
-	records, err := CaptureTraffic(app, reqs)
+	records, err := CaptureTrafficContext(ctx, app, reqs)
 	if err != nil {
 		return nil, err
 	}

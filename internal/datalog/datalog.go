@@ -149,6 +149,32 @@ type DB struct {
 	// reference implementation the indexed path is differentially
 	// tested against.
 	refJoin bool
+	// stats describes the most recent Run (either evaluator).
+	stats RunStats
+}
+
+// RunStats summarizes one fixpoint evaluation, for the observability
+// layer: how many semi-naive rounds ran and how many facts the rules
+// derived beyond the asserted ground facts.
+type RunStats struct {
+	// Rounds is the number of semi-naive iterations, including the
+	// final round that derived nothing and proved the fixpoint.
+	Rounds int
+	// FactsDerived is the number of new facts the rules produced.
+	FactsDerived int
+}
+
+// Stats returns the statistics of the most recent Run call (the zero
+// value before any Run).
+func (db *DB) Stats() RunStats { return db.stats }
+
+// factCount returns the total tuple count across relations.
+func (db *DB) factCount() int {
+	n := 0
+	for _, r := range db.rels {
+		n += len(r.tuples)
+	}
+	return n
 }
 
 // NewDB returns an empty database.
@@ -260,11 +286,22 @@ const maxRounds = 1_000_000
 
 // Run evaluates all rules to fixpoint using semi-naive iteration: each
 // round only joins against tuples derived in the previous round (the
-// delta), falling back to full joins for the first round.
+// delta), falling back to full joins for the first round. Statistics
+// for the run are available from Stats afterwards.
 func (db *DB) Run() error {
+	before := db.factCount()
+	db.stats = RunStats{}
+	var err error
 	if db.refJoin {
-		return db.runReference()
+		err = db.runReference()
+	} else {
+		err = db.runIndexed()
 	}
+	db.stats.FactsDerived = db.factCount() - before
+	return err
+}
+
+func (db *DB) runIndexed() error {
 	compiled := make([]compiledRule, len(db.rules))
 	for i, r := range db.rules {
 		compiled[i] = compileRule(r)
@@ -289,6 +326,7 @@ func (db *DB) Run() error {
 		keyBuf []byte     // reused head-key buffer for duplicate probes
 	)
 	for round := 0; ; round++ {
+		db.stats.Rounds++
 		if round > maxRounds {
 			return fmt.Errorf("datalog: fixpoint did not converge")
 		}
@@ -689,6 +727,7 @@ func (db *DB) runReference() error {
 		delta[pred] = append(make([]Fact, 0, len(r.tuples)), r.tuples...)
 	}
 	for round := 0; ; round++ {
+		db.stats.Rounds++
 		if round > maxRounds {
 			return fmt.Errorf("datalog: fixpoint did not converge")
 		}

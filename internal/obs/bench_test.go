@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkObsOverhead measures the instrumentation cost on both sides
+// of the enable switch. The disabled sub-benchmarks are the ones the
+// hot paths pay when no Obs is attached (the default for every
+// benchmark PR 1 established): a context lookup plus nil-receiver
+// calls, with zero allocations — TestDisabledPathAllocs asserts that.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("disabled/span", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, sp := StartSpan(ctx, "hot")
+			sp.SetAttr("k", "v")
+			sp.End()
+		}
+	})
+	b.Run("disabled/instruments", func(b *testing.B) {
+		var o *Obs
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o.Counter("c").Add(1)
+			o.Histogram("h").Observe(1)
+			o.Gauge("g").Set(1)
+		}
+	})
+	b.Run("enabled/span", func(b *testing.B) {
+		ctx := With(context.Background(), New())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, sp := StartSpan(ctx, "hot")
+			sp.End()
+		}
+	})
+	b.Run("enabled/instruments", func(b *testing.B) {
+		o := New()
+		c, h, g := o.Counter("c"), o.Histogram("h"), o.Gauge("g")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Add(1)
+			h.Observe(1)
+			g.Set(1)
+		}
+	})
+}
+
+// TestDisabledPathAllocs asserts the disabled-path contract the
+// tentpole promises: instrumentation with no Obs attached allocates
+// nothing, so the PR-1 hot paths are unaffected when observability is
+// off.
+func TestDisabledPathAllocs(t *testing.T) {
+	ctx := context.Background()
+	var o *Obs
+	allocs := testing.AllocsPerRun(1000, func() {
+		ctx2, sp := StartSpan(ctx, "hot")
+		sp.SetAttr("k", "v")
+		sp.End()
+		o.Counter("c").Add(1)
+		o.Histogram("h").ObserveDuration(time.Millisecond)
+		o.Gauge("g").Set(1)
+		_ = ctx2
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability path allocates %v times per op, want 0", allocs)
+	}
+}

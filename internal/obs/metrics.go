@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Registry holds named instruments. Instruments are created on first
+// use and live for the registry's lifetime; all methods are safe for
+// concurrent use, and every method on a nil *Registry is a no-op.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter. It is a no-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the gauge value. It is a no-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram accumulates float64 observations and reports quantiles via
+// the same metrics.Series interpolation the offline evaluation uses, so
+// runtime percentiles and evaluation percentiles agree by construction.
+type Histogram struct {
+	mu sync.Mutex
+	s  metrics.Series
+}
+
+// Observe records one observation. It is a no-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.s.Add(v)
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in milliseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.s.AddDuration(d)
+	h.mu.Unlock()
+}
+
+// Count returns the observation count (0 for a nil histogram).
+func (h *Histogram) Count() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.s.N()
+}
+
+// Quantile returns the p-th percentile (0 ≤ p ≤ 100), 0 when empty or
+// nil.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.s.Percentile(p)
+}
+
+// summary returns the histogram's snapshot fields under its lock.
+func (h *Histogram) summary() (n int, mean, p50, p90, p99, max float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.s.N() == 0 {
+		return 0, 0, 0, 0, 0, 0
+	}
+	return h.s.N(), h.s.Mean(), h.s.Percentile(50), h.s.Percentile(90), h.s.Percentile(99), h.s.Max()
+}

@@ -1,0 +1,126 @@
+// Package obs is the pipeline-wide observability layer: hierarchical
+// trace spans threaded through context.Context, a runtime metrics
+// registry (counters, gauges, histograms), and a JSON snapshot API for
+// introspection. It has no dependencies beyond the standard library and
+// internal/metrics (whose Series supplies the histogram quantile math).
+//
+// Everything is nil-safe by design: every method on a nil *Obs, *Span,
+// *Counter, *Gauge, or *Histogram is a no-op, and StartSpan on a
+// context without an attached Obs returns the context unchanged and a
+// nil span. Instrumented hot paths therefore cost a context lookup and
+// a few nil checks when observability is disabled — BenchmarkObsOverhead
+// and TestDisabledPathAllocs in this package pin that cost down.
+//
+// Typical use:
+//
+//	o := obs.New()
+//	ctx := obs.With(context.Background(), o)
+//	ctx, span := obs.StartSpan(ctx, "transform", obs.A("app", name))
+//	defer span.End()
+//	o.Counter("datalog.facts_derived").Add(42)
+//	o.Histogram("analysis.service_ms").Observe(elapsedMS)
+//	snap := o.Snapshot() // JSON-marshalable trace tree + metrics
+//
+// The span taxonomy and metric name registry are documented in
+// OBSERVABILITY.md at the repository root.
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Obs bundles a Tracer and a metrics Registry. A nil *Obs disables
+// all instrumentation.
+type Obs struct {
+	tracer  *Tracer
+	metrics *Registry
+}
+
+// New returns an enabled Obs on the real clock.
+func New() *Obs { return NewWithClock(time.Now) }
+
+// NewWithClock returns an enabled Obs whose span timestamps come from
+// now — tests inject a deterministic clock through it.
+func NewWithClock(now func() time.Time) *Obs {
+	return &Obs{tracer: newTracer(now), metrics: NewRegistry()}
+}
+
+// Tracer returns the span tracer (nil for a nil Obs).
+func (o *Obs) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer
+}
+
+// Metrics returns the metrics registry (nil for a nil Obs).
+func (o *Obs) Metrics() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.metrics
+}
+
+// Counter returns the named counter, creating it on first use
+// (nil for a nil Obs).
+func (o *Obs) Counter(name string) *Counter { return o.Metrics().Counter(name) }
+
+// Gauge returns the named gauge, creating it on first use
+// (nil for a nil Obs).
+func (o *Obs) Gauge(name string) *Gauge { return o.Metrics().Gauge(name) }
+
+// Histogram returns the named histogram, creating it on first use
+// (nil for a nil Obs).
+func (o *Obs) Histogram(name string) *Histogram { return o.Metrics().Histogram(name) }
+
+// Now returns the current time on the Obs clock (the zero time for a
+// nil Obs — callers only use it to feed Since, whose result is then
+// discarded by nil-safe instruments).
+func (o *Obs) Now() time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return o.tracer.now()
+}
+
+// Since returns the elapsed clock time from t.
+func (o *Obs) Since(t time.Time) time.Duration {
+	if o == nil {
+		return 0
+	}
+	return o.tracer.now().Sub(t)
+}
+
+// ctxKey types keep the context values private to this package.
+type obsKey struct{}
+type spanKey struct{}
+
+// With attaches o to the context; instrumented pipeline stages pick it
+// up via From and StartSpan.
+func With(ctx context.Context, o *Obs) context.Context {
+	if o == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, obsKey{}, o)
+}
+
+// From returns the Obs attached to the context, or nil.
+func From(ctx context.Context) *Obs {
+	o, _ := ctx.Value(obsKey{}).(*Obs)
+	return o
+}
+
+// StartSpan opens a child span of the context's current span (a root
+// span when there is none) and returns a derived context carrying it.
+// Without an attached Obs it returns ctx unchanged and a nil span, at
+// zero allocation.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	o := From(ctx)
+	if o == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	sp := o.tracer.StartSpan(parent, name, attrs...)
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// fakeClock advances by step on every Now call, giving byte-stable
+// span timings.
+type fakeClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	step time.Duration
+}
+
+func newFakeClock(step time.Duration) *fakeClock {
+	return &fakeClock{t: time.Unix(0, 0), step: step}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func TestSpanNesting(t *testing.T) {
+	o := NewWithClock(newFakeClock(time.Millisecond).Now)
+	ctx := With(context.Background(), o)
+
+	ctx1, root := StartSpan(ctx, "transform", A("app", "notes"))
+	ctx2, child := StartSpan(ctx1, "analyze")
+	_, leaf := StartSpan(ctx2, "datalog")
+	leaf.SetAttr("facts", "12")
+	leaf.End()
+	child.End()
+	// A sibling of "analyze" opened from the root context.
+	_, sib := StartSpan(ctx1, "extract")
+	sib.End()
+	root.End()
+
+	snap := o.Snapshot()
+	if len(snap.Trace) != 1 {
+		t.Fatalf("want 1 root span, got %d", len(snap.Trace))
+	}
+	r := snap.Trace[0]
+	if r.Name != "transform" || r.Attrs["app"] != "notes" {
+		t.Fatalf("bad root: %+v", r)
+	}
+	if len(r.Children) != 2 || r.Children[0].Name != "analyze" || r.Children[1].Name != "extract" {
+		t.Fatalf("bad children: %+v", r.Children)
+	}
+	an := r.Children[0]
+	if len(an.Children) != 1 || an.Children[0].Name != "datalog" {
+		t.Fatalf("bad grandchildren: %+v", an.Children)
+	}
+	if an.Children[0].Attrs["facts"] != "12" {
+		t.Fatalf("attr lost: %+v", an.Children[0].Attrs)
+	}
+	if an.Children[0].DurUS <= 0 {
+		t.Fatalf("leaf duration not recorded: %+v", an.Children[0])
+	}
+	if r.StartUS != 0 {
+		t.Fatalf("root should start at origin, got %d", r.StartUS)
+	}
+}
+
+func TestOpenSpanReportedUpToSnapshot(t *testing.T) {
+	o := NewWithClock(newFakeClock(time.Millisecond).Now)
+	ctx := With(context.Background(), o)
+	_, sp := StartSpan(ctx, "running")
+	snap := o.Snapshot() // span never ended
+	if len(snap.Trace) != 1 || snap.Trace[0].DurUS <= 0 {
+		t.Fatalf("open span should report elapsed time: %+v", snap.Trace)
+	}
+	sp.End()
+}
+
+func TestSetAttrOverwrites(t *testing.T) {
+	o := New()
+	sp := o.Tracer().StartSpan(nil, "s")
+	sp.SetAttr("k", "1")
+	sp.SetAttr("k", "2")
+	sp.End()
+	got := o.Snapshot().Trace[0].Attrs["k"]
+	if got != "2" {
+		t.Fatalf("SetAttr should overwrite, got %q", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// Every operation on disabled observability must be a silent no-op.
+	var o *Obs
+	ctx := With(context.Background(), o) // nil Obs attaches nothing
+	if From(ctx) != nil {
+		t.Fatal("nil Obs must not attach")
+	}
+	ctx2, sp := StartSpan(ctx, "x", A("k", "v"))
+	if sp != nil || ctx2 != ctx {
+		t.Fatal("StartSpan without Obs must return ctx unchanged and nil span")
+	}
+	sp.End()
+	sp.SetAttr("k", "v")
+	o.Counter("c").Add(1)
+	o.Gauge("g").Set(1)
+	o.Histogram("h").Observe(1)
+	o.Histogram("h").ObserveDuration(time.Second)
+	if o.Counter("c").Value() != 0 || o.Gauge("g").Value() != 0 ||
+		o.Histogram("h").Count() != 0 || o.Histogram("h").Quantile(50) != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if o.Tracer() != nil || o.Metrics() != nil {
+		t.Fatal("nil Obs accessors must return nil")
+	}
+	if o.Tracer().StartSpan(nil, "x") != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	if got := o.Snapshot(); got == nil || len(got.Trace) != 0 || len(got.Metrics) != 0 {
+		t.Fatalf("nil Obs snapshot must be empty, got %+v", got)
+	}
+	if o.Since(o.Now()) != 0 {
+		t.Fatal("nil Obs clock must be inert")
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	o := New()
+	o.Counter("requests").Add(3)
+	o.Counter("requests").Add(2)
+	if got := o.Counter("requests").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	o.Gauge("depth").Set(1.5)
+	o.Gauge("depth").Set(2.5)
+	if got := o.Gauge("depth").Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+}
+
+// TestHistogramMatchesSeries pins the histogram's quantile math to
+// metrics.Series: both must interpolate identically over the same data.
+func TestHistogramMatchesSeries(t *testing.T) {
+	var s metrics.Series
+	h := New().Histogram("lat")
+	vals := []float64{12, 3, 45, 7, 7, 19, 0.5, 88, 23, 4}
+	for _, v := range vals {
+		s.Add(v)
+		h.Observe(v)
+	}
+	for _, p := range []float64{0, 25, 50, 75, 90, 99, 100} {
+		if got, want := h.Quantile(p), s.Percentile(p); got != want {
+			t.Fatalf("p%v: histogram %v != series %v", p, got, want)
+		}
+	}
+	if h.Count() != s.N() {
+		t.Fatalf("count %d != %d", h.Count(), s.N())
+	}
+}
+
+// TestConcurrentRecording exercises every instrument and the span tree
+// from many goroutines; `go test -race` verifies the locking.
+func TestConcurrentRecording(t *testing.T) {
+	o := New()
+	ctx := With(context.Background(), o)
+	ctx, root := StartSpan(ctx, "root")
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_, sp := StartSpan(ctx, fmt.Sprintf("worker-%d", w))
+				sp.SetAttr("i", fmt.Sprint(i))
+				o.Counter("ops").Add(1)
+				o.Gauge("last").Set(float64(i))
+				o.Histogram("lat").Observe(float64(i))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if got := o.Counter("ops").Value(); got != workers*200 {
+		t.Fatalf("ops = %d, want %d", got, workers*200)
+	}
+	if got := o.Histogram("lat").Count(); got != workers*200 {
+		t.Fatalf("observations = %d, want %d", got, workers*200)
+	}
+	snap := o.Snapshot()
+	if len(snap.Trace) != 1 || len(snap.Trace[0].Children) != workers*200 {
+		t.Fatalf("span tree lost children: %d roots", len(snap.Trace))
+	}
+}

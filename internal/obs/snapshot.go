@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Snapshot is the introspection view of an Obs: the trace forest plus
+// every registered metric, in a stable order (roots and children by
+// start time then name, metrics by kind then name) so two snapshots of
+// the same state marshal to identical JSON.
+type Snapshot struct {
+	// Trace is the recorded span forest.
+	Trace []*SpanSnapshot `json:"trace,omitempty"`
+	// Metrics lists every registered instrument.
+	Metrics []MetricSnapshot `json:"metrics,omitempty"`
+}
+
+// SpanSnapshot is one serialized span. Times are microseconds relative
+// to the earliest root span's start.
+type SpanSnapshot struct {
+	Name     string            `json:"name"`
+	StartUS  int64             `json:"start_us"`
+	DurUS    int64             `json:"dur_us"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*SpanSnapshot   `json:"children,omitempty"`
+}
+
+// MetricSnapshot is one serialized instrument. Counters and gauges
+// carry Value; histograms carry Count and the quantile summary.
+type MetricSnapshot struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value"`
+	Count int     `json:"count,omitempty"`
+	Mean  float64 `json:"mean,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P90   float64 `json:"p90,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+}
+
+// Snapshot captures the current trace forest and metric values. It
+// returns an empty snapshot for a nil Obs. Open spans are reported as
+// running up to the snapshot instant.
+func (o *Obs) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	if o == nil {
+		return snap
+	}
+	at := o.tracer.now()
+	o.tracer.mu.Lock()
+	roots := append([]*Span(nil), o.tracer.roots...)
+	o.tracer.mu.Unlock()
+	origin := at
+	for _, r := range roots {
+		if r.start.Before(origin) {
+			origin = r.start
+		}
+	}
+	for _, r := range roots {
+		snap.Trace = append(snap.Trace, r.snapshot(origin, at))
+	}
+	sortSpans(snap.Trace)
+	snap.Metrics = o.metrics.snapshot()
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// sortSpans orders sibling spans by start time, then name.
+func sortSpans(spans []*SpanSnapshot) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].StartUS != spans[j].StartUS {
+			return spans[i].StartUS < spans[j].StartUS
+		}
+		return spans[i].Name < spans[j].Name
+	})
+}
+
+// snapshot serializes every instrument, sorted by kind then name.
+func (r *Registry) snapshot() []MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	r.mu.Unlock()
+
+	out := make([]MetricSnapshot, 0, len(counters)+len(gauges)+len(histograms))
+	for name, c := range counters {
+		out = append(out, MetricSnapshot{Name: name, Kind: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range gauges {
+		out = append(out, MetricSnapshot{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range histograms {
+		n, mean, p50, p90, p99, max := h.summary()
+		out = append(out, MetricSnapshot{
+			Name: name, Kind: "histogram",
+			Count: n, Mean: mean, P50: p50, P90: p90, P99: p99, Max: max,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

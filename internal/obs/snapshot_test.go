@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestSnapshotGolden pins the JSON snapshot format — the contract
+// OBSERVABILITY.md documents and `edgstr -trace -metrics` emits — with
+// a byte-exact golden file. Run with -update to regenerate.
+func TestSnapshotGolden(t *testing.T) {
+	o := NewWithClock(newFakeClock(time.Millisecond).Now)
+	ctx := With(context.Background(), o)
+
+	ctx, pipeline := StartSpan(ctx, "pipeline", A("app", "notes"))
+	_, capSpan := StartSpan(ctx, "capture")
+	capSpan.SetAttr("records", "6")
+	capSpan.End()
+	tctx, transform := StartSpan(ctx, "transform")
+	actx, analyze := StartSpan(tctx, "analyze", A("workers", "2"))
+	for _, svc := range []string{"POST /notes", "GET /notes"} {
+		sctx, sp := StartSpan(actx, "analysis.service", A("service", svc))
+		_, dl := StartSpan(sctx, "datalog")
+		dl.SetAttr("facts_derived", "40")
+		dl.SetAttr("iterations", "3")
+		dl.End()
+		sp.End()
+	}
+	analyze.End()
+	transform.End()
+	pipeline.End()
+
+	o.Counter("capture.records").Add(6)
+	o.Counter("datalog.facts_derived").Add(80)
+	o.Counter("datalog.iterations").Add(6)
+	o.Counter("statesync.edge_state_bytes").Add(512)
+	o.Gauge("deploy.edges").Set(4)
+	h := o.Histogram("analysis.service_ms")
+	for _, v := range []float64{1, 2, 3, 4} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := o.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "snapshot.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./internal/obs -run Golden -update` to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("snapshot JSON drifted from golden file.\n-- got --\n%s\n-- want --\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestSnapshotDeterministic re-snapshots the same state and requires
+// identical bytes — ordering must not depend on map iteration.
+func TestSnapshotDeterministic(t *testing.T) {
+	clock := newFakeClock(time.Millisecond)
+	o := NewWithClock(clock.Now)
+	ctx := With(context.Background(), o)
+	ctx, root := StartSpan(ctx, "root")
+	for _, n := range []string{"c", "a", "b"} {
+		_, sp := StartSpan(ctx, n)
+		sp.End()
+		o.Counter("count." + n).Add(1)
+		o.Gauge("gauge." + n).Set(2)
+		o.Histogram("hist." + n).Observe(3)
+	}
+	root.End()
+
+	var first, second bytes.Buffer
+	if err := o.Snapshot().WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Snapshot().WriteJSON(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("snapshots of identical state differ:\n%s\nvs\n%s", first.Bytes(), second.Bytes())
+	}
+}

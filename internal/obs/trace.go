@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key, Value string
+}
+
+// A builds a string attribute.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Tracer records a forest of spans. All methods are safe for
+// concurrent use — the PR-1 analysis worker pool opens sibling spans
+// from multiple goroutines.
+type Tracer struct {
+	now func() time.Time
+
+	mu    sync.Mutex
+	roots []*Span
+}
+
+func newTracer(now func() time.Time) *Tracer {
+	if now == nil {
+		now = time.Now
+	}
+	return &Tracer{now: now}
+}
+
+// StartSpan opens a span under parent (a root span when parent is
+// nil). It returns nil for a nil tracer.
+func (t *Tracer) StartSpan(parent *Span, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{tracer: t, name: name, start: t.now()}
+	sp.attrs = append(sp.attrs, attrs...)
+	if parent != nil {
+		parent.mu.Lock()
+		parent.children = append(parent.children, sp)
+		parent.mu.Unlock()
+		return sp
+	}
+	t.mu.Lock()
+	t.roots = append(t.roots, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// Span is one timed node in the trace tree.
+type Span struct {
+	tracer *Tracer
+	name   string
+	start  time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// End closes the span. It is a no-op on a nil or already-ended span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.end = s.tracer.now()
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr annotates the span. It is a no-op on a nil span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// snapshot converts the span subtree to its serializable form. Open
+// spans are reported as running up to the snapshot instant; children
+// are ordered by start time (then name) so concurrent siblings render
+// deterministically under a deterministic clock.
+func (s *Span) snapshot(origin, at time.Time) *SpanSnapshot {
+	s.mu.Lock()
+	end := s.end
+	if !s.ended {
+		end = at
+	}
+	out := &SpanSnapshot{
+		Name:    s.name,
+		StartUS: s.start.Sub(origin).Microseconds(),
+		DurUS:   end.Sub(s.start).Microseconds(),
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, c.snapshot(origin, at))
+	}
+	sortSpans(out.Children)
+	return out
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/crdt"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 )
 
@@ -45,20 +46,41 @@ type conn struct {
 	ackedByEdge   Heads
 }
 
-// Stats aggregates synchronization traffic.
+// Stats aggregates synchronization traffic. The deployment facade
+// exposes it through the observability snapshot (edgstr.Observe).
 type Stats struct {
 	// EdgeStateBytes is the edge→cloud volume; CloudStateBytes the
 	// cloud→edge volume.
-	EdgeStateBytes  int64
-	CloudStateBytes int64
+	EdgeStateBytes  int64 `json:"edge_state_bytes"`
+	CloudStateBytes int64 `json:"cloud_state_bytes"`
 	// Messages counts non-empty deltas sent (both directions).
-	Messages int64
+	Messages int64 `json:"messages"`
+	// AckRoundTrips counts deltas that completed the full cycle:
+	// encoded, shipped over the WAN, applied remotely, and acknowledged
+	// back into the sender's per-connection heads.
+	AckRoundTrips int64 `json:"ack_round_trips"`
 	// Errors counts failed applications.
-	Errors int64
+	Errors int64 `json:"errors"`
 }
 
 // TotalBytes returns the WAN synchronization volume.
 func (s Stats) TotalBytes() int64 { return s.EdgeStateBytes + s.CloudStateBytes }
+
+// record mirrors the manager's counters into an observability
+// registry. All writes are nil-safe no-ops when o is nil.
+type obsCounters struct {
+	edgeBytes, cloudBytes, messages, acks, errors *obs.Counter
+}
+
+func newObsCounters(o *obs.Obs) obsCounters {
+	return obsCounters{
+		edgeBytes:  o.Counter("statesync.edge_state_bytes"),
+		cloudBytes: o.Counter("statesync.cloud_state_bytes"),
+		messages:   o.Counter("statesync.messages"),
+		acks:       o.Counter("statesync.ack_round_trips"),
+		errors:     o.Counter("statesync.errors"),
+	}
+}
 
 // Manager runs the background synchronization protocol on virtual time:
 // every interval, each edge sends its new changes to the cloud master
@@ -74,6 +96,7 @@ type Manager struct {
 	stats    Stats
 	running  bool
 	onError  func(error)
+	obs      obsCounters
 }
 
 // NewManager returns a manager for the given cloud master endpoint.
@@ -90,6 +113,11 @@ func NewManager(clock *simclock.Clock, master *Endpoint, interval time.Duration)
 // SetErrorHandler installs a callback for apply errors (default:
 // counted in Stats only).
 func (m *Manager) SetErrorHandler(f func(error)) { m.onError = f }
+
+// SetObs mirrors the manager's statistics into the given observability
+// registry as statesync.* counters (see OBSERVABILITY.md). A nil Obs
+// disables mirroring.
+func (m *Manager) SetObs(o *obs.Obs) { m.obs = newObsCounters(o) }
 
 // AddEdge registers an edge endpoint connected over the given duplex
 // WAN link.
@@ -165,12 +193,16 @@ func (m *Manager) sendEdgeState(c *conn) {
 	headsAtSend := c.edge.State.Heads()
 	m.stats.EdgeStateBytes += int64(len(payload))
 	m.stats.Messages++
+	m.obs.edgeBytes.Add(int64(len(payload)))
+	m.obs.messages.Add(1)
 	c.link.Up.Send(len(payload), func() {
 		if err := m.master.apply(delta); err != nil {
 			m.fail(err)
 			return
 		}
 		c.ackedByMaster = headsAtSend
+		m.stats.AckRoundTrips++
+		m.obs.acks.Add(1)
 	})
 }
 
@@ -188,17 +220,22 @@ func (m *Manager) sendCloudState(c *conn) {
 	headsAtSend := m.master.State.Heads()
 	m.stats.CloudStateBytes += int64(len(payload))
 	m.stats.Messages++
+	m.obs.cloudBytes.Add(int64(len(payload)))
+	m.obs.messages.Add(1)
 	c.link.Down.Send(len(payload), func() {
 		if err := c.edge.apply(delta); err != nil {
 			m.fail(err)
 			return
 		}
 		c.ackedByEdge = headsAtSend
+		m.stats.AckRoundTrips++
+		m.obs.acks.Add(1)
 	})
 }
 
 func (m *Manager) fail(err error) {
 	m.stats.Errors++
+	m.obs.errors.Add(1)
 	if m.onError != nil {
 		m.onError(err)
 	}

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/httpapp"
+)
+
+// notesSrc is the tiny note-taking service from examples/quickstart and
+// the README walkthrough: one SQL table, one written global, two
+// services. It exists so documentation commands (`edgstr -subject
+// notes -trace -metrics`) run the exact app the docs narrate.
+const notesSrc = `
+var count = 0
+
+func init() any {
+	db.exec("CREATE TABLE notes (id INT PRIMARY KEY, text TEXT)")
+	return nil
+}
+
+func addNote(req any, res any) any {
+	tv1 := req.json()
+	count = count + 1
+	db.exec("INSERT INTO notes (id, text) VALUES (?, ?)", count, tv1["text"])
+	tv2 := map[string]any{"id": count}
+	res.send(tv2)
+	return nil
+}
+
+func listNotes(req any, res any) any {
+	rows := db.query("SELECT * FROM notes ORDER BY id")
+	res.send(rows)
+	return nil
+}`
+
+// Quickstart returns the documentation walkthrough subject. It is
+// deliberately NOT part of Subjects(): the evaluation set stays the
+// paper's seven apps / 42 services, but ByName resolves "notes" so the
+// quickstart input works everywhere a subject name does.
+func Quickstart() Subject {
+	return Subject{
+		Name:   "notes",
+		Source: notesSrc,
+		Services: []Service{
+			{
+				Route:   httpapp.Route{Method: "POST", Path: "/notes", Handler: "addNote"},
+				Mutates: true,
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return &httpapp.Request{
+						Method: "POST", Path: "/notes",
+						Body: []byte(fmt.Sprintf(`{"text": "note-%d-%d"}`, i, rng.Intn(1000))),
+					}
+				},
+			},
+			{
+				Route: httpapp.Route{Method: "GET", Path: "/notes", Handler: "listNotes"},
+				Gen: func(rng *rand.Rand, i int) *httpapp.Request {
+					return &httpapp.Request{Method: "GET", Path: "/notes"}
+				},
+			},
+		},
+		Primary:    1,
+		ComputeOps: 50,
+	}
+}
