@@ -17,7 +17,14 @@
 //	edgstr -subject fobojet            # summary
 //	edgstr -subject fobojet -replica   # print generated replica source
 //	edgstr -subject notes -trace -metrics | jq .   # observed quickstart run
+//	edgstr -subject notes -metrics -tcp            # sync over real TCP sockets
 //	edgstr -list                       # list subjects
+//
+// With -tcp the observed deployment synchronizes over the supervised
+// TCP transport (real loopback sockets, reconnect with backoff,
+// heartbeats) instead of the virtual-time manager; -tcp-heartbeat and
+// -tcp-max-retries tune it, and the snapshot gains a per-edge
+// "transport" section.
 package main
 
 import (
@@ -43,6 +50,9 @@ func main() {
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = one per core, 1 = sequential)")
 	trace := flag.Bool("trace", false, "observe the run and emit the JSON trace tree")
 	metrics := flag.Bool("metrics", false, "observe the run and emit the JSON metrics snapshot")
+	tcp := flag.Bool("tcp", false, "synchronize over the supervised TCP transport (with -trace/-metrics)")
+	tcpHeartbeat := flag.Duration("tcp-heartbeat", 0, "TCP transport heartbeat period (0 = default)")
+	tcpMaxRetries := flag.Int("tcp-max-retries", 0, "TCP reconnect attempts before giving up (0 = unlimited)")
 	flag.Parse()
 
 	if *list {
@@ -62,7 +72,8 @@ func main() {
 	defer stop()
 	var err error
 	if *trace || *metrics {
-		err = runObserved(ctx, *subject, *workers, *trace, *metrics)
+		err = runObserved(ctx, *subject, *workers, *trace, *metrics,
+			tcpOptions{enabled: *tcp, heartbeat: *tcpHeartbeat, maxRetries: *tcpMaxRetries})
 	} else {
 		err = run(ctx, *subject, *replica, *workers)
 	}
@@ -119,10 +130,17 @@ func run(ctx context.Context, name string, printReplica bool, workers int) error
 	return nil
 }
 
+// tcpOptions carries the -tcp* flags into the observed run.
+type tcpOptions struct {
+	enabled    bool
+	heartbeat  time.Duration
+	maxRetries int
+}
+
 // runObserved runs the full observed lifecycle — capture, transform,
 // deploy, serve the regression traffic at the edge, synchronize — and
 // prints the introspection snapshot as indented JSON on stdout.
-func runObserved(ctx context.Context, name string, workers int, wantTrace, wantMetrics bool) error {
+func runObserved(ctx context.Context, name string, workers int, wantTrace, wantMetrics bool, tcp tcpOptions) error {
 	sub, err := workload.ByName(name)
 	if err != nil {
 		return err
@@ -139,7 +157,15 @@ func runObserved(ctx context.Context, name string, workers int, wantTrace, wantM
 	// regression vectors through the edge so the serving-path and
 	// synchronization metrics carry real traffic.
 	clock := simclock.New()
-	dep, err := core.DeployContext(ctx, clock, res, core.DefaultDeployConfig())
+	cfg := core.DefaultDeployConfig()
+	if tcp.enabled {
+		cfg.Transport = core.TransportTCP
+		// Real-time sync: a tight interval keeps the settle phase short.
+		cfg.TCP.Interval = 50 * time.Millisecond
+		cfg.TCP.Heartbeat = tcp.heartbeat
+		cfg.TCP.MaxRetries = tcp.maxRetries
+	}
+	dep, err := core.DeployContext(ctx, clock, res, cfg)
 	if err != nil {
 		return err
 	}
@@ -159,7 +185,11 @@ func runObserved(ctx context.Context, name string, workers int, wantTrace, wantM
 	serveSpan.SetAttr("failed", fmt.Sprint(failed))
 	serveSpan.End()
 	_, syncSpan := obs.StartSpan(ctx, "settle_sync")
-	dep.SettleSync(120 * time.Second)
+	settleBudget := 120 * time.Second // virtual time
+	if tcp.enabled {
+		settleBudget = 10 * time.Second // wall clock
+	}
+	dep.SettleSync(settleBudget)
 	syncSpan.SetAttr("converged", fmt.Sprint(dep.Converged()))
 	syncSpan.End()
 	dep.Stop()

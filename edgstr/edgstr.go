@@ -28,6 +28,7 @@ package edgstr
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/capture"
@@ -54,6 +55,19 @@ type (
 	DeployConfig = core.DeployConfig
 	// EdgeReplica is one deployed edge node.
 	EdgeReplica = core.EdgeReplica
+	// Transport selects the synchronization runtime (virtual-time
+	// manager or real TCP sockets).
+	Transport = core.Transport
+)
+
+// Synchronization transports.
+const (
+	// TransportVirtual synchronizes on the deployment's virtual clock
+	// over netem-shaped links (the default, used by the evaluation).
+	TransportVirtual = core.TransportVirtual
+	// TransportTCP synchronizes over real loopback TCP sockets with
+	// supervised reconnect, heartbeats, and dead-peer detection.
+	TransportTCP = core.TransportTCP
 )
 
 // Application-model types.
@@ -102,7 +116,31 @@ type (
 	// accounting: delta bytes by direction, messages, acknowledged
 	// round-trips, and apply errors.
 	SyncStats = statesync.Stats
+	// TransportObservation is one edge's TCP connection supervision
+	// record (TransportTCP deployments only).
+	TransportObservation = core.TransportObservation
 )
+
+// TCP transport configuration types (TransportTCP deployments). See
+// DESIGN.md §9 for the fault-tolerance model.
+type (
+	// TCPConfig tunes the supervised TCP transport: sync interval,
+	// dial/read timeouts, heartbeat period, reconnect backoff, and the
+	// retry budget.
+	TCPConfig = statesync.TCPConfig
+	// BackoffConfig is the exponential reconnect backoff schedule.
+	BackoffConfig = statesync.BackoffConfig
+	// TCPEdgeStatus is a snapshot of one edge link's supervision state.
+	TCPEdgeStatus = statesync.EdgeStatus
+	// TCPStats counts TCP transport traffic and lifecycle events.
+	TCPStats = statesync.TCPStats
+)
+
+// DefaultTCPConfig returns the TCP transport's default fault-tolerance
+// settings at the given synchronization interval.
+func DefaultTCPConfig(interval time.Duration) TCPConfig {
+	return statesync.DefaultTCPConfig(interval)
+}
 
 // NewObs returns an enabled observability bundle. All instrumentation
 // hooks are no-ops until one is attached to the pipeline's context, so

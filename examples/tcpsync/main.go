@@ -109,18 +109,60 @@ func run() error {
 	}
 
 	// Wait for the changes to reach the cloud and the sibling edge.
-	deadline := time.Now().Add(5 * time.Second)
+	if err := waitRows(master, cloudApp, edges[1].tcp, edges[1].app, 3); err != nil {
+		return err
+	}
+	fmt.Println("cloud and edge2 hold 3 readings — converged over TCP")
+
+	// Fault tolerance: kill the master and bring a new one up on the
+	// same address and state. The edges' supervisors reconnect with
+	// backoff and re-handshake from the CRDT heads — no edge restarts,
+	// and the next batch flows as if nothing happened.
+	addr := master.Addr()
+	if err := master.Close(); err != nil {
+		return err
+	}
+	fmt.Println("cloud master killed; restarting on", addr)
+	master, err = statesync.ServeMaster(addr,
+		&statesync.Endpoint{Name: "cloud", State: cloudState, Binding: cloudBind},
+		20*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = master.Close() }()
+
+	req := sub.SampleRequest(sub.Primary, 3, 2024)
+	edges[0].tcp.Do(func() {
+		_, _, err = edges[0].app.Invoke(req)
+		if err == nil {
+			err = edges[0].bind.MirrorGlobals()
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if err := waitRows(master, cloudApp, edges[1].tcp, edges[1].app, 4); err != nil {
+		return err
+	}
+	st := edges[0].tcp.Status()
+	fmt.Printf("converged again after master restart (edge1 state=%s reconnects=%d)\n",
+		st.State, st.Reconnects)
+	fmt.Printf("edge1 transport: %+v\n", edges[0].tcp.Stats())
+	return nil
+}
+
+// waitRows polls until both the cloud and the sibling edge hold want
+// readings rows.
+func waitRows(master *statesync.TCPMaster, cloudApp *httpapp.App, edge2 *statesync.TCPEdge, edge2App *httpapp.App, want int) error {
+	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		var n int
+		var n, n2 int
 		master.Do(func() { n, _ = cloudApp.DB().RowCount("readings") })
-		var n2 int
-		edges[1].tcp.Do(func() { n2, _ = edges[1].app.DB().RowCount("readings") })
-		if n == 3 && n2 == 3 {
-			fmt.Printf("cloud holds %d readings; edge2 holds %d — converged over TCP\n", n, n2)
-			fmt.Printf("edge1 transport: %+v\n", edges[0].tcp.Stats())
+		edge2.Do(func() { n2, _ = edge2App.DB().RowCount("readings") })
+		if n == want && n2 == want {
 			return nil
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	return fmt.Errorf("did not converge within deadline")
+	return fmt.Errorf("did not reach %d readings within deadline", want)
 }

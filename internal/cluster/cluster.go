@@ -157,6 +157,11 @@ type Server struct {
 	// the replica runtime uses it to mirror global-variable changes into
 	// the CRDT state.
 	AfterInvoke func()
+	// WrapInvoke, when set, runs the invocation critical section
+	// (App.Invoke plus AfterInvoke) inside it. The TCP transport installs
+	// the endpoint's Do here so application mutations serialize with the
+	// background synchronization goroutines touching the same state.
+	WrapInvoke func(func())
 	// reqCounter and errCounter mirror per-server request totals into
 	// an observability registry (nil-safe no-ops when unset).
 	reqCounter *obs.Counter
@@ -186,9 +191,19 @@ func (s *Server) ActiveConns() int { return s.conns }
 func (s *Server) Handle(req *httpapp.Request, done func(*httpapp.Response, time.Duration, error)) {
 	s.conns++
 	s.reqCounter.Add(1)
-	resp, ops, err := s.App.Invoke(req)
-	if err == nil && s.AfterInvoke != nil {
-		s.AfterInvoke()
+	var resp *httpapp.Response
+	var ops float64
+	var err error
+	invoke := func() {
+		resp, ops, err = s.App.Invoke(req)
+		if err == nil && s.AfterInvoke != nil {
+			s.AfterInvoke()
+		}
+	}
+	if s.WrapInvoke != nil {
+		s.WrapInvoke(invoke)
+	} else {
+		invoke()
 	}
 	if err != nil {
 		s.errCounter.Add(1)

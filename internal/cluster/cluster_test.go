@@ -145,6 +145,35 @@ func TestServerHandle(t *testing.T) {
 	}
 }
 
+func TestServerWrapInvokeSerializesCriticalSection(t *testing.T) {
+	clock := simclock.New()
+	node := NewNode(clock, DeviceSpec{Name: "n", Cores: 1, OpsPerSec: 1000})
+	srv := NewServer("s", node, newWorkApp(t))
+	var order []string
+	srv.AfterInvoke = func() { order = append(order, "mirror") }
+	srv.WrapInvoke = func(f func()) {
+		order = append(order, "lock")
+		f()
+		order = append(order, "unlock")
+	}
+	srv.Handle(workReq("100"), func(resp *httpapp.Response, _ time.Duration, err error) {
+		if err != nil {
+			t.Errorf("err = %v", err)
+		}
+		if resp == nil {
+			t.Error("nil response")
+		}
+	})
+	clock.Run()
+	// The wrapper must bracket both the invocation and the mirror hook:
+	// that is what lets the TCP transport's Do serialize app mutations
+	// with its sync goroutines.
+	want := []string{"lock", "mirror", "unlock"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
 func newTestBalancer(t *testing.T, clock *simclock.Clock, policy Policy, n int) *Balancer {
 	t.Helper()
 	servers := make([]*Server, n)

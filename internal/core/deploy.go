@@ -15,6 +15,21 @@ import (
 	"repro/internal/statesync"
 )
 
+// Transport selects the synchronization runtime a deployment uses.
+type Transport int
+
+// Synchronization transports.
+const (
+	// TransportVirtual runs the statesync.Manager on the deployment's
+	// virtual clock over netem-shaped links — the evaluation vehicle.
+	TransportVirtual Transport = iota
+	// TransportTCP runs the supervised TCP transport over real loopback
+	// sockets: reconnect with backoff, heartbeats, and read-deadline
+	// dead-peer detection (see DESIGN.md §9). Synchronization then
+	// advances in real time, not virtual time.
+	TransportTCP
+)
+
 // DeployConfig describes the three-tier deployment topology.
 type DeployConfig struct {
 	// CloudSpec is the cloud node's device model.
@@ -27,6 +42,13 @@ type DeployConfig struct {
 	SyncInterval time.Duration
 	// Policy picks how the balancer routes across edge replicas.
 	Policy cluster.Policy
+	// Transport selects the synchronization runtime (default
+	// TransportVirtual).
+	Transport Transport
+	// TCP tunes the TCP transport when Transport is TransportTCP. A zero
+	// Interval inherits SyncInterval; other zero fields take the
+	// DefaultTCPConfig fault-tolerance settings.
+	TCP statesync.TCPConfig
 }
 
 // DefaultDeployConfig returns the evaluation's standard topology: one
@@ -52,8 +74,11 @@ type EdgeReplica struct {
 	Binding *statesync.Binding
 	State   *statesync.ReplicaState
 	// WAN is the replica's private link to the cloud (used for failure
-	// forwarding and synchronization).
+	// forwarding and, under TransportVirtual, synchronization).
 	WAN *netem.Duplex
+	// TCP is the replica's supervised connection to the master under
+	// TransportTCP (nil otherwise).
+	TCP *statesync.TCPEdge
 	// Forwarded counts requests redirected to the cloud master.
 	Forwarded int64
 	// ServedLocally counts requests completed at the edge.
@@ -71,7 +96,13 @@ type Deployment struct {
 
 	Edges    []*EdgeReplica
 	Balancer *cluster.Balancer
-	Sync     *statesync.Manager
+	// Sync is the virtual-time synchronization manager (nil under
+	// TransportTCP, where TCPMaster and the per-edge TCP handles own the
+	// protocol instead).
+	Sync *statesync.Manager
+	// TCPMaster is the cloud's TCP listener under TransportTCP (nil
+	// otherwise).
+	TCPMaster *statesync.TCPMaster
 
 	// Obs is the observability bundle the deployment records into (nil
 	// when deployed without one — every hook is then a no-op).
@@ -135,32 +166,64 @@ func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg 
 		d.replicated[name] = true
 	}
 
-	mgr, err := statesync.NewManager(clock,
-		&statesync.Endpoint{Name: "cloud", State: cloudState, Binding: cloudBinding},
-		cfg.SyncInterval)
-	if err != nil {
+	// cleanup releases TCP transport resources on a partial deployment
+	// failure; it is a no-op under TransportVirtual.
+	cleanup := func(err error) (*Deployment, error) {
+		for _, e := range d.Edges {
+			if e.TCP != nil {
+				_ = e.TCP.Close()
+			}
+		}
+		if d.TCPMaster != nil {
+			_ = d.TCPMaster.Close()
+		}
 		return nil, err
 	}
-	mgr.SetObs(o)
-	d.Sync = mgr
+
+	masterEP := &statesync.Endpoint{Name: "cloud", State: cloudState, Binding: cloudBinding}
+	var mgr *statesync.Manager
+	var tcpCfg statesync.TCPConfig
+	if cfg.Transport == TransportTCP {
+		tcpCfg = cfg.TCP
+		if tcpCfg.Interval == 0 {
+			tcpCfg.Interval = cfg.SyncInterval
+		}
+		tcpCfg = tcpCfg.WithDefaults()
+		master, err := statesync.ServeMasterConfig("127.0.0.1:0", masterEP, tcpCfg)
+		if err != nil {
+			return nil, err
+		}
+		master.SetObs(o)
+		// Application invocations on the cloud mutate the same replicated
+		// state the transport goroutines read: serialize them.
+		cloudServer.WrapInvoke = master.Do
+		d.TCPMaster = master
+	} else {
+		mgr, err = statesync.NewManager(clock, masterEP, cfg.SyncInterval)
+		if err != nil {
+			return nil, err
+		}
+		mgr.SetObs(o)
+		d.Sync = mgr
+	}
 
 	servers := make([]*cluster.Server, 0, len(cfg.EdgeSpecs))
 	for i, spec := range cfg.EdgeSpecs {
 		name := fmt.Sprintf("edge-%d(%s)", i+1, spec.Name)
 		replicaApp, err := httpapp.New(res.Name+"-replica", res.ReplicaSource, res.Routes)
 		if err != nil {
-			return nil, fmt.Errorf("core: replica app %s: %w", name, err)
+			return cleanup(fmt.Errorf("core: replica app %s: %w", name, err))
 		}
 		edgeState, err := cloudState.Fork(crdt.ActorID(fmt.Sprintf("edge%d", i+1)))
 		if err != nil {
-			return nil, err
+			return cleanup(err)
 		}
 		// BindReplica loads the snapshot state into the replica app —
 		// the paper's "initializes its CRDT data structure with a
 		// passed state snapshot".
 		binding, err := statesync.BindReplica(replicaApp, edgeState, res.Units)
 		if err != nil {
-			return nil, fmt.Errorf("core: replica binding %s: %w", name, err)
+			return cleanup(fmt.Errorf("core: replica binding %s: %w", name, err))
 		}
 		node := cluster.NewNode(clock, spec)
 		server := cluster.NewServer(name, node, replicaApp)
@@ -169,7 +232,7 @@ func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg 
 
 		wan, err := netem.NewDuplex(clock, cfg.WAN, int64(1000+i))
 		if err != nil {
-			return nil, err
+			return cleanup(err)
 		}
 		edge := &EdgeReplica{
 			Name:    name,
@@ -178,7 +241,16 @@ func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg 
 			State:   edgeState,
 			WAN:     wan,
 		}
-		if err := mgr.AddEdge(&statesync.Endpoint{Name: name, State: edgeState, Binding: binding}, wan); err != nil {
+		ep := &statesync.Endpoint{Name: name, State: edgeState, Binding: binding}
+		if cfg.Transport == TransportTCP {
+			tcpEdge, err := statesync.DialEdgeConfig(d.TCPMaster.Addr(), ep, tcpCfg)
+			if err != nil {
+				return cleanup(fmt.Errorf("core: edge transport %s: %w", name, err))
+			}
+			tcpEdge.SetObs(o)
+			server.WrapInvoke = tcpEdge.Do
+			edge.TCP = tcpEdge
+		} else if err := mgr.AddEdge(ep, wan); err != nil {
 			return nil, err
 		}
 		d.Edges = append(d.Edges, edge)
@@ -186,7 +258,9 @@ func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg 
 	}
 	d.Balancer = cluster.NewBalancer(cfg.Policy, servers...)
 	o.Gauge("deploy.edges").Set(float64(len(d.Edges)))
-	mgr.Start()
+	if mgr != nil {
+		mgr.Start()
+	}
 	return d, nil
 }
 
@@ -328,11 +402,43 @@ func (d *Deployment) forwardToCloud(edge *EdgeReplica, req *httpapp.Request, don
 }
 
 // Converged reports whether every replica matches the cloud state.
-func (d *Deployment) Converged() bool { return d.Sync.Converged() }
+func (d *Deployment) Converged() bool {
+	if d.TCPMaster != nil {
+		ok := true
+		// Lock order master → edge matches the transport's; nothing locks
+		// the other way around.
+		d.TCPMaster.Do(func() {
+			for _, e := range d.Edges {
+				e.TCP.Do(func() {
+					if !d.CloudState.Converged(e.State) {
+						ok = false
+					}
+				})
+				if !ok {
+					return
+				}
+			}
+		})
+		return ok
+	}
+	return d.Sync.Converged()
+}
 
-// SettleSync runs the clock forward until synchronization quiesces (or
-// the budget elapses).
+// SettleSync runs until synchronization quiesces (or the budget
+// elapses): virtual clock stepping under TransportVirtual, real-time
+// polling under TransportTCP (the budget is then wall-clock).
 func (d *Deployment) SettleSync(budget time.Duration) {
+	if d.TCPMaster != nil {
+		deadline := time.Now().Add(budget)
+		for time.Now().Before(deadline) {
+			d.Clock.Run() // flush pending request completions
+			if d.Converged() {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return
+	}
 	deadline := d.Clock.Now() + budget
 	for d.Clock.Now() < deadline {
 		d.Clock.RunUntil(d.Clock.Now() + 200*time.Millisecond)
@@ -342,8 +448,19 @@ func (d *Deployment) SettleSync(budget time.Duration) {
 	}
 }
 
-// Stop halts background synchronization.
+// Stop halts background synchronization, tearing down every TCP session
+// under TransportTCP.
 func (d *Deployment) Stop() {
+	if d.TCPMaster != nil {
+		for _, e := range d.Edges {
+			if e.TCP != nil {
+				_ = e.TCP.Close()
+			}
+		}
+		_ = d.TCPMaster.Close()
+		d.Clock.Run()
+		return
+	}
 	d.Sync.Stop()
 	d.Clock.Run()
 }

@@ -17,12 +17,36 @@ type Observation struct {
 	// nil when the deployment runs without an Obs.
 	Observability *obs.Snapshot `json:"observability,omitempty"`
 	// StateSync is the synchronization runtime's traffic accounting
-	// (statesync.Manager.Stats), surfaced through the public facade.
+	// (statesync.Manager.Stats), surfaced through the public facade. It
+	// stays zero under TransportTCP, where the Transport section carries
+	// the accounting instead.
 	StateSync statesync.Stats `json:"statesync"`
 	// Converged reports whether every edge currently matches the cloud.
 	Converged bool `json:"converged"`
 	// Edges lists per-edge-node serving counters.
 	Edges []EdgeObservation `json:"edges"`
+	// Transport lists per-edge TCP connection supervision state; present
+	// only when the deployment runs the TCP transport.
+	Transport []TransportObservation `json:"transport,omitempty"`
+}
+
+// TransportObservation is one edge's TCP connection supervision record.
+type TransportObservation struct {
+	Name string `json:"name"`
+	// State is the link's lifecycle phase: connected, reconnecting, or
+	// disconnected.
+	State string `json:"state"`
+	// Reconnects counts successful re-handshakes after a connection
+	// loss; DialAttempts counts reconnect dials, successful or not.
+	Reconnects   int64 `json:"reconnects"`
+	DialAttempts int64 `json:"dial_attempts"`
+	// LastError is the most recent connection error ("" when none).
+	LastError string `json:"last_error,omitempty"`
+	// Traffic accounting for this edge's side of the link.
+	BytesSent      int64 `json:"bytes_sent"`
+	BytesReceived  int64 `json:"bytes_received"`
+	HeartbeatsSent int64 `json:"heartbeats_sent"`
+	HeartbeatsRecv int64 `json:"heartbeats_recv"`
 }
 
 // EdgeObservation is one edge node's serving record.
@@ -50,8 +74,10 @@ type EdgeObservation struct {
 func Observe(d *Deployment) Observation {
 	o := Observation{
 		Name:      d.Result.Name,
-		StateSync: d.Sync.Stats(),
 		Converged: d.Converged(),
+	}
+	if d.Sync != nil {
+		o.StateSync = d.Sync.Stats()
 	}
 	if d.Obs != nil {
 		o.Observability = d.Obs.Snapshot()
@@ -65,6 +91,20 @@ func Observe(d *Deployment) Observation {
 			Utilization:   e.Server.Node.Utilization(),
 			Active:        e.Server.Node.Active(),
 		})
+		if e.TCP != nil {
+			st, ts := e.TCP.Status(), e.TCP.Stats()
+			o.Transport = append(o.Transport, TransportObservation{
+				Name:           e.Name,
+				State:          string(st.State),
+				Reconnects:     st.Reconnects,
+				DialAttempts:   st.DialAttempts,
+				LastError:      st.LastError,
+				BytesSent:      ts.BytesSent,
+				BytesReceived:  ts.BytesReceived,
+				HeartbeatsSent: ts.HeartbeatsSent,
+				HeartbeatsRecv: ts.HeartbeatsRecv,
+			})
+		}
 	}
 	return o
 }

@@ -1,0 +1,219 @@
+// Package faultnet injects deterministic network faults into net.Conn
+// streams, for exercising the transport robustness the paper's edge
+// deployments need (edge↔cloud links that drop, stall, and heal). A
+// Controller governs every connection created through its Dialer (or
+// wrapped explicitly with Wrap) and can, on command:
+//
+//   - Sever()          — close every live connection now (a crashed link:
+//     the peer sees an immediate read/write error);
+//   - SetBlackhole     — silently swallow all writes while letting reads
+//     through (a half-open connection: the classic failure mode that
+//     only heartbeats plus read deadlines can detect);
+//   - SetRefuseDials   — fail new dials (the network stays partitioned,
+//     so reconnect attempts exercise the backoff schedule);
+//   - SetDelay         — add a fixed latency to every read and write.
+//
+// Partition() combines Sever with SetRefuseDials(true); Heal() clears
+// every fault. All faults are flag-driven and contain no randomness, so
+// tests drive exact failure schedules.
+package faultnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Stats counts the faults the controller has injected.
+type Stats struct {
+	// Dials counts dial attempts through Dialer (including refused ones).
+	Dials int64
+	// RefusedDials counts dials rejected while SetRefuseDials was on.
+	RefusedDials int64
+	// Severed counts connections closed by Sever.
+	Severed int64
+	// DroppedWrites counts Write calls swallowed while blackholed.
+	DroppedWrites int64
+}
+
+// Controller governs a set of wrapped connections.
+type Controller struct {
+	mu          sync.Mutex
+	blackhole   bool
+	refuseDials bool
+	delay       time.Duration
+	conns       map[*Conn]struct{}
+	stats       Stats
+}
+
+// NewController returns a controller with no faults active.
+func NewController() *Controller {
+	return &Controller{conns: map[*Conn]struct{}{}}
+}
+
+// SetDelay adds a fixed delay to every subsequent read and write on the
+// controller's connections (0 disables).
+func (c *Controller) SetDelay(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.delay = d
+}
+
+// SetBlackhole toggles write swallowing: while on, Write calls report
+// success but the bytes never reach the peer. Reads still pass through,
+// modeling the half-open connection a silently dead peer leaves behind.
+func (c *Controller) SetBlackhole(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.blackhole = on
+}
+
+// SetRefuseDials toggles dial rejection for the controller's Dialer.
+func (c *Controller) SetRefuseDials(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.refuseDials = on
+}
+
+// Sever closes every live wrapped connection. New dials stay allowed
+// unless SetRefuseDials is on.
+func (c *Controller) Sever() {
+	c.mu.Lock()
+	victims := make([]*Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		victims = append(victims, conn)
+	}
+	c.stats.Severed += int64(len(victims))
+	c.mu.Unlock()
+	for _, conn := range victims {
+		_ = conn.Close()
+	}
+}
+
+// Partition severs every live connection and refuses new dials until
+// Heal — a full network partition.
+func (c *Controller) Partition() {
+	c.SetRefuseDials(true)
+	c.Sever()
+}
+
+// Heal clears every active fault (blackhole, refused dials, delay).
+// Connections already severed stay closed; the transport's reconnect
+// path is expected to re-establish them.
+func (c *Controller) Heal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.blackhole = false
+	c.refuseDials = false
+	c.delay = 0
+}
+
+// Stats returns a snapshot of the fault counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Live returns the number of currently tracked connections.
+func (c *Controller) Live() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.conns)
+}
+
+// Wrap registers nc with the controller and returns the fault-injecting
+// connection.
+func (c *Controller) Wrap(nc net.Conn) *Conn {
+	w := &Conn{Conn: nc, ctl: c}
+	c.mu.Lock()
+	c.conns[w] = struct{}{}
+	c.mu.Unlock()
+	return w
+}
+
+// Dialer returns a dial function (matching statesync.TCPConfig.Dialer)
+// that dials TCP and wraps the result. A zero timeout dials without a
+// deadline.
+func (c *Controller) Dialer() func(addr string, timeout time.Duration) (net.Conn, error) {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		c.mu.Lock()
+		c.stats.Dials++
+		refused := c.refuseDials
+		if refused {
+			c.stats.RefusedDials++
+		}
+		c.mu.Unlock()
+		if refused {
+			return nil, fmt.Errorf("faultnet: dial %s refused (partitioned)", addr)
+		}
+		nc, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return c.Wrap(nc), nil
+	}
+}
+
+// remove drops a closed connection from the registry.
+func (c *Controller) remove(w *Conn) {
+	c.mu.Lock()
+	delete(c.conns, w)
+	c.mu.Unlock()
+}
+
+// readFaults returns the delay to apply before a read.
+func (c *Controller) readFaults() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.delay
+}
+
+// writeFaults returns the delay and blackhole decision for a write,
+// counting swallowed writes.
+func (c *Controller) writeFaults() (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.blackhole {
+		c.stats.DroppedWrites++
+	}
+	return c.delay, c.blackhole
+}
+
+// Conn is a net.Conn whose traffic is subject to the controller's
+// faults. Deadlines, addresses, and Close pass through to the wrapped
+// connection.
+type Conn struct {
+	net.Conn
+	ctl  *Controller
+	once sync.Once
+}
+
+// Read applies the configured delay, then reads from the wrapped
+// connection (honoring its deadlines).
+func (w *Conn) Read(p []byte) (int, error) {
+	if d := w.ctl.readFaults(); d > 0 {
+		time.Sleep(d)
+	}
+	return w.Conn.Read(p)
+}
+
+// Write applies the configured delay; while blackholed it reports
+// success without transmitting, otherwise it writes through.
+func (w *Conn) Write(p []byte) (int, error) {
+	d, swallow := w.ctl.writeFaults()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	if swallow {
+		return len(p), nil
+	}
+	return w.Conn.Write(p)
+}
+
+// Close closes the wrapped connection and deregisters it.
+func (w *Conn) Close() error {
+	w.once.Do(func() { w.ctl.remove(w) })
+	return w.Conn.Close()
+}

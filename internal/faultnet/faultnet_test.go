@@ -1,0 +1,165 @@
+package faultnet
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pipe returns a wrapped client connection talking to an accepted raw
+// server connection over loopback TCP.
+func pipe(t *testing.T, ctl *Controller) (client net.Conn, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			close(accepted)
+			return
+		}
+		accepted <- c
+	}()
+	raw, err := ctl.Dialer()(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ok := <-accepted
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() {
+		_ = raw.Close()
+		_ = srv.Close()
+	})
+	return raw, srv
+}
+
+func TestPassThrough(t *testing.T) {
+	ctl := NewController()
+	client, server := pipe(t, ctl)
+	if _, err := client.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	_ = server.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := server.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("got %q", buf)
+	}
+	if got := ctl.Live(); got != 1 {
+		t.Fatalf("live conns = %d, want 1", got)
+	}
+}
+
+func TestBlackholeSwallowsWrites(t *testing.T) {
+	ctl := NewController()
+	client, server := pipe(t, ctl)
+	ctl.SetBlackhole(true)
+	n, err := client.Write([]byte("lost"))
+	if err != nil || n != 4 {
+		t.Fatalf("blackholed write = (%d, %v), want (4, nil)", n, err)
+	}
+	_ = server.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := server.Read(make([]byte, 4)); err == nil {
+		t.Fatal("blackholed bytes reached the peer")
+	}
+	// Reads still pass through (half-open semantics).
+	if _, err := server.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	_ = client.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 4)
+	if _, err := client.Read(buf); err != nil || string(buf) != "back" {
+		t.Fatalf("read through blackhole = %q, %v", buf, err)
+	}
+	ctl.SetBlackhole(false)
+	if _, err := client.Write([]byte("live")); err != nil {
+		t.Fatal(err)
+	}
+	_ = server.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := server.Read(buf); err != nil || string(buf) != "live" {
+		t.Fatalf("post-heal read = %q, %v", buf, err)
+	}
+	if got := ctl.Stats().DroppedWrites; got != 1 {
+		t.Fatalf("DroppedWrites = %d, want 1", got)
+	}
+}
+
+func TestSeverClosesConnections(t *testing.T) {
+	ctl := NewController()
+	client, _ := pipe(t, ctl)
+	ctl.Sever()
+	if _, err := client.Write([]byte("x")); err == nil {
+		// A first write after close may be buffered by the kernel; the
+		// read must fail regardless.
+		_ = client.SetReadDeadline(time.Now().Add(time.Second))
+		if _, err := client.Read(make([]byte, 1)); err == nil {
+			t.Fatal("severed connection still alive")
+		}
+	}
+	if got := ctl.Stats().Severed; got != 1 {
+		t.Fatalf("Severed = %d, want 1", got)
+	}
+	if got := ctl.Live(); got != 0 {
+		t.Fatalf("live conns after sever = %d, want 0", got)
+	}
+}
+
+func TestRefuseDialsAndHeal(t *testing.T) {
+	ctl := NewController()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = c.Close()
+		}
+	}()
+	ctl.SetRefuseDials(true)
+	if _, err := ctl.Dialer()(ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("refused dial succeeded")
+	} else if !strings.Contains(err.Error(), "refused") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	ctl.Heal()
+	conn, err := ctl.Dialer()(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	_ = conn.Close()
+	st := ctl.Stats()
+	if st.Dials != 2 || st.RefusedDials != 1 {
+		t.Fatalf("stats = %+v, want Dials 2 RefusedDials 1", st)
+	}
+}
+
+func TestDelayAddsLatency(t *testing.T) {
+	ctl := NewController()
+	client, server := pipe(t, ctl)
+	ctl.SetDelay(30 * time.Millisecond)
+	start := time.Now()
+	if _, err := client.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("delayed write took %v, want ≥ 30ms", elapsed)
+	}
+	_ = server.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := server.Read(make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+}

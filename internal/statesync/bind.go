@@ -220,10 +220,18 @@ func putGlobal(state *ReplicaState, name string, v any) error {
 // ApplyRemote integrates a delta and pushes the resulting state into the
 // running app, with mutation hooks muted.
 func (b *Binding) ApplyRemote(d Delta) error {
-	if err := b.state.Apply(d); err != nil {
-		return err
+	_, err := b.ApplyRemoteCount(d)
+	return err
+}
+
+// ApplyRemoteCount is ApplyRemote reporting how many changes the CRDT
+// layer actually integrated (duplicates are ignored and not counted).
+func (b *Binding) ApplyRemoteCount(d Delta) (int, error) {
+	n, err := b.state.ApplyCount(d)
+	if err != nil {
+		return n, err
 	}
-	return b.PushIntoApp()
+	return n, b.PushIntoApp()
 }
 
 // PushIntoApp materializes the CRDT state into the live database,

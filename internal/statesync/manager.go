@@ -20,10 +20,17 @@ type Endpoint struct {
 
 // apply integrates an inbound delta, through the binding when present.
 func (e *Endpoint) apply(d Delta) error {
+	_, err := e.applyCount(d)
+	return err
+}
+
+// applyCount is apply reporting how many changes were actually
+// integrated — the TCP transport uses it to account duplicates.
+func (e *Endpoint) applyCount(d Delta) (int, error) {
 	if e.Binding != nil {
-		return e.Binding.ApplyRemote(d)
+		return e.Binding.ApplyRemoteCount(d)
 	}
-	return e.State.Apply(d)
+	return e.State.ApplyCount(d)
 }
 
 // refresh mirrors pending local changes (globals) before computing a

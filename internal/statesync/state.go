@@ -132,16 +132,54 @@ func (s *ReplicaState) Delta(since Heads) Delta {
 
 // Apply integrates a delta received from a peer.
 func (s *ReplicaState) Apply(d Delta) error {
-	if _, err := s.JSON.ApplyChanges(d[CompJSON]); err != nil {
-		return fmt.Errorf("statesync: json: %w", err)
+	_, err := s.ApplyCount(d)
+	return err
+}
+
+// ApplyCount integrates a delta and reports how many changes were
+// actually applied. The CRDT layer ignores changes the replica already
+// holds, so a count below d.Changes() means the peer resent known
+// operations — the transport's duplicate-free re-handshake tests pin
+// the two equal.
+func (s *ReplicaState) ApplyCount(d Delta) (int, error) {
+	nj, err := s.JSON.ApplyChanges(d[CompJSON])
+	if err != nil {
+		return nj, fmt.Errorf("statesync: json: %w", err)
 	}
-	if _, err := s.Tables.ApplyChanges(d[CompTables]); err != nil {
-		return fmt.Errorf("statesync: tables: %w", err)
+	nt, err := s.Tables.ApplyChanges(d[CompTables])
+	if err != nil {
+		return nj + nt, fmt.Errorf("statesync: tables: %w", err)
 	}
-	if _, err := s.Files.ApplyChanges(d[CompFiles]); err != nil {
-		return fmt.Errorf("statesync: files: %w", err)
+	nf, err := s.Files.ApplyChanges(d[CompFiles])
+	if err != nil {
+		return nj + nt + nf, fmt.Errorf("statesync: files: %w", err)
 	}
-	return nil
+	return nj + nt + nf, nil
+}
+
+// advanceHeads merges a received delta's change positions into a
+// peer-knowledge summary, mutating and returning h (allocating when
+// nil). Operations a peer shipped to us are by definition already known
+// to that peer, so the transport advances its send cursor past them on
+// receive — otherwise the next push would echo the peer's own changes
+// straight back at it.
+func advanceHeads(h Heads, d Delta) Heads {
+	if h == nil {
+		h = Heads{}
+	}
+	for comp, chs := range d {
+		vv := h[comp]
+		if vv == nil {
+			vv = crdt.VersionVector{}
+			h[comp] = vv
+		}
+		for _, ch := range chs {
+			if ch.Seq > vv[ch.Actor] {
+				vv[ch.Actor] = ch.Seq
+			}
+		}
+	}
+	return h
 }
 
 // Compact truncates each component's change log through the given
