@@ -25,6 +25,13 @@
 // heartbeats) instead of the virtual-time manager; -tcp-heartbeat and
 // -tcp-max-retries tune it, and the snapshot gains a per-edge
 // "transport" section.
+//
+// With -data-dir the observed deployment persists every replica's CRDT
+// state under the given directory (write-ahead log + snapshots, see
+// DESIGN.md §10); -fsync picks the WAL sync policy and -snapshot-every
+// the compaction cadence. Running the same command twice over one
+// directory exercises crash recovery: the second run's snapshot gains a
+// "durability" section with recovered=true per node.
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/httpapp"
 	"repro/internal/obs"
 	"repro/internal/simclock"
@@ -53,6 +61,9 @@ func main() {
 	tcp := flag.Bool("tcp", false, "synchronize over the supervised TCP transport (with -trace/-metrics)")
 	tcpHeartbeat := flag.Duration("tcp-heartbeat", 0, "TCP transport heartbeat period (0 = default)")
 	tcpMaxRetries := flag.Int("tcp-max-retries", 0, "TCP reconnect attempts before giving up (0 = unlimited)")
+	dataDir := flag.String("data-dir", "", "persist replica state under this directory (with -trace/-metrics); reuse it to recover")
+	fsync := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always, interval, or never")
+	snapshotEvery := flag.Int("snapshot-every", 0, "compact a node's WAL after this many persisted changes (0 = never)")
 	flag.Parse()
 
 	if *list {
@@ -72,8 +83,17 @@ func main() {
 	defer stop()
 	var err error
 	if *trace || *metrics {
+		var dur durOptions
+		if *dataDir != "" {
+			policy, perr := durable.ParseFsyncPolicy(*fsync)
+			if perr != nil {
+				fmt.Fprintln(os.Stderr, "edgstr:", perr)
+				os.Exit(1)
+			}
+			dur = durOptions{dir: *dataDir, fsync: policy, snapshotEvery: *snapshotEvery}
+		}
 		err = runObserved(ctx, *subject, *workers, *trace, *metrics,
-			tcpOptions{enabled: *tcp, heartbeat: *tcpHeartbeat, maxRetries: *tcpMaxRetries})
+			tcpOptions{enabled: *tcp, heartbeat: *tcpHeartbeat, maxRetries: *tcpMaxRetries}, dur)
 	} else {
 		err = run(ctx, *subject, *replica, *workers)
 	}
@@ -137,10 +157,18 @@ type tcpOptions struct {
 	maxRetries int
 }
 
+// durOptions carries the -data-dir/-fsync/-snapshot-every flags into
+// the observed run. A zero dir leaves the deployment in-memory.
+type durOptions struct {
+	dir           string
+	fsync         durable.FsyncPolicy
+	snapshotEvery int
+}
+
 // runObserved runs the full observed lifecycle — capture, transform,
 // deploy, serve the regression traffic at the edge, synchronize — and
 // prints the introspection snapshot as indented JSON on stdout.
-func runObserved(ctx context.Context, name string, workers int, wantTrace, wantMetrics bool, tcp tcpOptions) error {
+func runObserved(ctx context.Context, name string, workers int, wantTrace, wantMetrics bool, tcp tcpOptions, dur durOptions) error {
 	sub, err := workload.ByName(name)
 	if err != nil {
 		return err
@@ -164,6 +192,13 @@ func runObserved(ctx context.Context, name string, workers int, wantTrace, wantM
 		cfg.TCP.Interval = 50 * time.Millisecond
 		cfg.TCP.Heartbeat = tcp.heartbeat
 		cfg.TCP.MaxRetries = tcp.maxRetries
+	}
+	if dur.dir != "" {
+		cfg.Durability = core.DurabilityConfig{
+			Dir:           dur.dir,
+			Fsync:         dur.fsync,
+			SnapshotEvery: dur.snapshotEvery,
+		}
 	}
 	dep, err := core.DeployContext(ctx, clock, res, cfg)
 	if err != nil {

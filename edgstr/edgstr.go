@@ -34,6 +34,7 @@ import (
 	"repro/internal/capture"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/httpapp"
 	"repro/internal/netem"
 	"repro/internal/obs"
@@ -140,6 +141,38 @@ type (
 // settings at the given synchronization interval.
 func DefaultTCPConfig(interval time.Duration) TCPConfig {
 	return statesync.DefaultTCPConfig(interval)
+}
+
+// Durability types (DeployConfig.Durability). See DESIGN.md §10 for the
+// durability model: per-node write-ahead log, snapshot compaction, and
+// crash recovery with delta-only resync.
+type (
+	// DurabilityConfig persists every replica's CRDT state under a data
+	// directory and recovers it on the next deployment over the same
+	// directory. The zero value keeps the deployment in-memory only.
+	DurabilityConfig = core.DurabilityConfig
+	// FsyncPolicy selects the WAL durability/throughput trade-off.
+	FsyncPolicy = durable.FsyncPolicy
+	// DurabilityObservation is one node's persistence record in the
+	// introspection snapshot (recovery outcome plus WAL I/O counters).
+	DurabilityObservation = core.DurabilityObservation
+)
+
+// WAL fsync policies.
+const (
+	// FsyncAlways syncs after every append: a change is on disk before
+	// it is acknowledged (the default).
+	FsyncAlways = durable.FsyncAlways
+	// FsyncInterval syncs lazily on a time interval, bounding the loss
+	// window instead of eliminating it.
+	FsyncInterval = durable.FsyncInterval
+	// FsyncNever leaves syncing to the OS page cache.
+	FsyncNever = durable.FsyncNever
+)
+
+// ParseFsyncPolicy parses "always", "interval", or "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	return durable.ParseFsyncPolicy(s)
 }
 
 // NewObs returns an enabled observability bundle. All instrumentation

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/crdt"
+	"repro/internal/durable"
 	"repro/internal/httpapp"
 	"repro/internal/netem"
 	"repro/internal/obs"
@@ -49,6 +50,10 @@ type DeployConfig struct {
 	// Interval inherits SyncInterval; other zero fields take the
 	// DefaultTCPConfig fault-tolerance settings.
 	TCP statesync.TCPConfig
+	// Durability persists each node's CRDT state (WAL + snapshots) under
+	// a per-node data directory and recovers it on redeploy. The zero
+	// value keeps the deployment in-memory only.
+	Durability DurabilityConfig
 }
 
 // DefaultDeployConfig returns the evaluation's standard topology: one
@@ -108,6 +113,12 @@ type Deployment struct {
 	// when deployed without one — every hook is then a no-op).
 	Obs *obs.Obs
 
+	// Stores maps node name ("cloud", "edge-1", …) to its durable store;
+	// empty when the deployment runs without durability. Stop closes
+	// every store.
+	Stores     map[string]*durable.Store
+	storeOrder []string
+
 	replicated map[string]bool // "METHOD /pattern" served at the edge
 }
 
@@ -140,34 +151,20 @@ func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg 
 		return nil, fmt.Errorf("core: cloud app: %w", err)
 	}
 	res.InitState.Restore(cloudApp)
-	cloudState, err := statesync.NewReplicaState("cloud")
-	if err != nil {
-		return nil, err
-	}
-	cloudBinding, err := statesync.Bind(cloudApp, cloudState, res.Units)
-	if err != nil {
-		return nil, fmt.Errorf("core: cloud binding: %w", err)
-	}
-	cloudNode := cluster.NewNode(clock, cfg.CloudSpec)
-	cloudServer := cluster.NewServer("cloud", cloudNode, cloudApp)
-	cloudServer.AfterInvoke = func() { _ = cloudBinding.MirrorGlobals() }
-	cloudServer.SetObs(o)
 
 	d := &Deployment{
-		Clock:        clock,
-		Result:       res,
-		Cloud:        cloudServer,
-		CloudBinding: cloudBinding,
-		CloudState:   cloudState,
-		Obs:          o,
-		replicated:   map[string]bool{},
+		Clock:      clock,
+		Result:     res,
+		Obs:        o,
+		Stores:     map[string]*durable.Store{},
+		replicated: map[string]bool{},
 	}
 	for _, name := range res.ReplicatedServiceNames() {
 		d.replicated[name] = true
 	}
 
-	// cleanup releases TCP transport resources on a partial deployment
-	// failure; it is a no-op under TransportVirtual.
+	// cleanup releases TCP transport resources and durable stores on a
+	// partial deployment failure.
 	cleanup := func(err error) (*Deployment, error) {
 		for _, e := range d.Edges {
 			if e.TCP != nil {
@@ -177,10 +174,51 @@ func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg 
 		if d.TCPMaster != nil {
 			_ = d.TCPMaster.Close()
 		}
+		for _, s := range d.Stores {
+			_ = s.Close()
+		}
 		return nil, err
 	}
 
-	masterEP := &statesync.Endpoint{Name: "cloud", State: cloudState, Binding: cloudBinding}
+	cloudState, cloudPersist, cloudRecovered, err := d.nodeState(cfg.Durability, "cloud", "cloud",
+		func() (*statesync.ReplicaState, error) { return statesync.NewReplicaState("cloud") })
+	if err != nil {
+		return cleanup(err)
+	}
+	// A fresh cloud seeds the CRDT from the app's contents; a recovered
+	// one holds the authoritative state on disk and pushes it into the
+	// app instead.
+	var cloudBinding *statesync.Binding
+	if cloudRecovered {
+		cloudBinding, err = statesync.BindReplica(cloudApp, cloudState, res.Units)
+	} else {
+		cloudBinding, err = statesync.Bind(cloudApp, cloudState, res.Units)
+	}
+	if err != nil {
+		return cleanup(fmt.Errorf("core: cloud binding: %w", err))
+	}
+	if cloudPersist != nil {
+		if err := cloudPersist.Sync(cloudState); err != nil {
+			return cleanup(err)
+		}
+	}
+	cloudNode := cluster.NewNode(clock, cfg.CloudSpec)
+	cloudServer := cluster.NewServer("cloud", cloudNode, cloudApp)
+	cloudServer.AfterInvoke = func() {
+		_ = cloudBinding.MirrorGlobals()
+		if cloudPersist != nil {
+			_ = cloudPersist.Sync(cloudState)
+		}
+	}
+	cloudServer.SetObs(o)
+	d.Cloud = cloudServer
+	d.CloudBinding = cloudBinding
+	d.CloudState = cloudState
+
+	masterEP := &statesync.Endpoint{Name: "cloud", State: cloudState, Binding: cloudBinding, Persist: cloudPersist}
+	if cloudPersist != nil {
+		masterEP.HeadsSource = cloudPersist.Heads
+	}
 	var mgr *statesync.Manager
 	var tcpCfg statesync.TCPConfig
 	if cfg.Transport == TransportTCP {
@@ -191,7 +229,7 @@ func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg 
 		tcpCfg = tcpCfg.WithDefaults()
 		master, err := statesync.ServeMasterConfig("127.0.0.1:0", masterEP, tcpCfg)
 		if err != nil {
-			return nil, err
+			return cleanup(err)
 		}
 		master.SetObs(o)
 		// Application invocations on the cloud mutate the same replicated
@@ -201,7 +239,7 @@ func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg 
 	} else {
 		mgr, err = statesync.NewManager(clock, masterEP, cfg.SyncInterval)
 		if err != nil {
-			return nil, err
+			return cleanup(err)
 		}
 		mgr.SetObs(o)
 		d.Sync = mgr
@@ -214,7 +252,11 @@ func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg 
 		if err != nil {
 			return cleanup(fmt.Errorf("core: replica app %s: %w", name, err))
 		}
-		edgeState, err := cloudState.Fork(crdt.ActorID(fmt.Sprintf("edge%d", i+1)))
+		actor := crdt.ActorID(fmt.Sprintf("edge%d", i+1))
+		// A fresh edge forks the cloud snapshot; a restarted one recovers
+		// its own persisted replica and re-handshakes for the delta.
+		edgeState, edgePersist, _, err := d.nodeState(cfg.Durability, fmt.Sprintf("edge-%d", i+1), actor,
+			func() (*statesync.ReplicaState, error) { return cloudState.Fork(actor) })
 		if err != nil {
 			return cleanup(err)
 		}
@@ -225,9 +267,19 @@ func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg 
 		if err != nil {
 			return cleanup(fmt.Errorf("core: replica binding %s: %w", name, err))
 		}
+		if edgePersist != nil {
+			if err := edgePersist.Sync(edgeState); err != nil {
+				return cleanup(err)
+			}
+		}
 		node := cluster.NewNode(clock, spec)
 		server := cluster.NewServer(name, node, replicaApp)
-		server.AfterInvoke = func() { _ = binding.MirrorGlobals() }
+		server.AfterInvoke = func() {
+			_ = binding.MirrorGlobals()
+			if edgePersist != nil {
+				_ = edgePersist.Sync(edgeState)
+			}
+		}
 		server.SetObs(o)
 
 		wan, err := netem.NewDuplex(clock, cfg.WAN, int64(1000+i))
@@ -241,7 +293,10 @@ func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg 
 			State:   edgeState,
 			WAN:     wan,
 		}
-		ep := &statesync.Endpoint{Name: name, State: edgeState, Binding: binding}
+		ep := &statesync.Endpoint{Name: name, State: edgeState, Binding: binding, Persist: edgePersist}
+		if edgePersist != nil {
+			ep.HeadsSource = edgePersist.Heads
+		}
 		if cfg.Transport == TransportTCP {
 			tcpEdge, err := statesync.DialEdgeConfig(d.TCPMaster.Addr(), ep, tcpCfg)
 			if err != nil {
@@ -251,7 +306,7 @@ func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg 
 			server.WrapInvoke = tcpEdge.Do
 			edge.TCP = tcpEdge
 		} else if err := mgr.AddEdge(ep, wan); err != nil {
-			return nil, err
+			return cleanup(err)
 		}
 		d.Edges = append(d.Edges, edge)
 		servers = append(servers, server)
@@ -449,7 +504,8 @@ func (d *Deployment) SettleSync(budget time.Duration) {
 }
 
 // Stop halts background synchronization, tearing down every TCP session
-// under TransportTCP.
+// under TransportTCP, and seals every durable store (pending WAL
+// appends are synced to disk regardless of fsync policy).
 func (d *Deployment) Stop() {
 	if d.TCPMaster != nil {
 		for _, e := range d.Edges {
@@ -459,8 +515,11 @@ func (d *Deployment) Stop() {
 		}
 		_ = d.TCPMaster.Close()
 		d.Clock.Run()
-		return
+	} else {
+		d.Sync.Stop()
+		d.Clock.Run()
 	}
-	d.Sync.Stop()
-	d.Clock.Run()
+	for _, s := range d.Stores {
+		_ = s.Close()
+	}
 }

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/httpapp"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// TestDeployDurableRestartRecovers is the end-to-end durability
+// scenario: deploy with persistence, serve traffic that mutates the
+// replicated state, stop, then deploy again over the same data
+// directory and verify the second incarnation comes up with the state
+// recovered from disk — without replaying the workload.
+func TestDeployDurableRestartRecovers(t *testing.T) {
+	res := transformSubject(t, "sensor-hub")
+	sub, err := workload.ByName("sensor-hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataDir := t.TempDir()
+
+	cfg := DefaultDeployConfig()
+	cfg.EdgeSpecs = cfg.EdgeSpecs[:2]
+	cfg.Durability = DurabilityConfig{Dir: dataDir, Fsync: durable.FsyncAlways}
+
+	clock := simclock.New()
+	d, err := Deploy(clock, res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Stores) != 3 {
+		t.Fatalf("stores = %d, want 3 (cloud + 2 edges)", len(d.Stores))
+	}
+	served := 0
+	for i := 0; i < 6; i++ {
+		d.HandleAtEdge(sub.SampleRequest(0, i, 9), func(_ *httpapp.Response, err error) {
+			if err == nil {
+				served++
+			}
+		})
+		clock.RunUntil(clock.Now() + time.Second)
+	}
+	if served != 6 {
+		t.Fatalf("served %d of 6", served)
+	}
+	d.SettleSync(60 * time.Second)
+	if !d.Converged() {
+		t.Fatal("first deployment did not converge")
+	}
+	var wantRows int
+	if wantRows, err = d.Cloud.App.DB().RowCount("readings"); err != nil || wantRows == 0 {
+		t.Fatalf("cloud rows = %d, %v", wantRows, err)
+	}
+	d.Stop()
+	if d.Stores["cloud"].Stats().Appends == 0 {
+		t.Fatal("cloud store recorded no WAL appends")
+	}
+
+	// Second incarnation over the same directory: every node must
+	// recover rather than start fresh, and the recovered cloud app must
+	// hold the rows without any traffic being replayed.
+	d2, err := Deploy(simclock.New(), res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Stop()
+	for node, store := range d2.Stores {
+		if store.Recovery().Empty() {
+			t.Fatalf("node %s recovered nothing", node)
+		}
+		if store.Recovery().Torn {
+			t.Fatalf("node %s reports a torn log after a clean stop", node)
+		}
+	}
+	rows, err := d2.Cloud.App.DB().RowCount("readings")
+	if err != nil || rows != wantRows {
+		t.Fatalf("recovered cloud rows = %d, %v; want %d", rows, err, wantRows)
+	}
+	d2.SettleSync(60 * time.Second)
+	if !d2.Converged() {
+		t.Fatal("recovered deployment did not converge")
+	}
+	ob := Observe(d2)
+	if len(ob.Durability) != 3 {
+		t.Fatalf("durability observations = %d, want 3", len(ob.Durability))
+	}
+	for _, rec := range ob.Durability {
+		if !rec.Recovered {
+			t.Fatalf("node %s not marked recovered: %+v", rec.Node, rec)
+		}
+	}
+}
+
+// TestDeployDurableSnapshotCadence verifies the automatic compaction
+// path end to end: with a tiny SnapshotEvery the stores must have
+// written snapshots by the time traffic settles.
+func TestDeployDurableSnapshotCadence(t *testing.T) {
+	res := transformSubject(t, "sensor-hub")
+	sub, err := workload.ByName("sensor-hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultDeployConfig()
+	cfg.EdgeSpecs = cfg.EdgeSpecs[:1]
+	cfg.Durability = DurabilityConfig{
+		Dir:           t.TempDir(),
+		Fsync:         durable.FsyncNever,
+		SnapshotEvery: 4,
+	}
+	clock := simclock.New()
+	d, err := Deploy(clock, res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	for i := 0; i < 8; i++ {
+		d.HandleAtEdge(sub.SampleRequest(0, i, 3), nil)
+		clock.RunUntil(clock.Now() + time.Second)
+	}
+	d.SettleSync(60 * time.Second)
+	var snapshots int64
+	for _, store := range d.Stores {
+		snapshots += store.Stats().Snapshots
+	}
+	if snapshots == 0 {
+		t.Fatal("no automatic snapshots despite SnapshotEvery=4")
+	}
+}
+
+// TestDeployDurableTCPRestart runs the restart scenario over the real
+// TCP transport: after a clean stop, the second deployment recovers
+// each replica from disk, re-handshakes from durable heads, and
+// converges with zero duplicate applies.
+func TestDeployDurableTCPRestart(t *testing.T) {
+	res := transformSubject(t, "sensor-hub")
+	sub, err := workload.ByName("sensor-hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataDir := t.TempDir()
+	cfg := DefaultDeployConfig()
+	cfg.EdgeSpecs = cfg.EdgeSpecs[:1]
+	cfg.Transport = TransportTCP
+	cfg.TCP.Interval = 10 * time.Millisecond
+	cfg.Durability = DurabilityConfig{Dir: dataDir, Fsync: durable.FsyncAlways}
+
+	clock := simclock.New()
+	d, err := Deploy(clock, res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		d.HandleAtEdge(sub.SampleRequest(0, i, 5), nil)
+		clock.RunUntil(clock.Now() + time.Second)
+	}
+	d.SettleSync(15 * time.Second)
+	if !d.Converged() {
+		t.Fatal("first TCP deployment did not converge")
+	}
+	d.Stop()
+
+	d2, err := Deploy(simclock.New(), res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Stop()
+	d2.SettleSync(15 * time.Second)
+	if !d2.Converged() {
+		t.Fatal("recovered TCP deployment did not converge")
+	}
+	// Recovery declared durable heads at the handshake, so nothing the
+	// disk already held crossed the wire twice.
+	ms := d2.TCPMaster.Stats()
+	if ms.ChangesRecv != ms.ChangesApplied {
+		t.Fatalf("master received %d changes but applied %d after restart",
+			ms.ChangesRecv, ms.ChangesApplied)
+	}
+	es := d2.Edges[0].TCP.Stats()
+	if es.ChangesRecv != es.ChangesApplied {
+		t.Fatalf("edge received %d changes but applied %d after restart",
+			es.ChangesRecv, es.ChangesApplied)
+	}
+}

@@ -28,6 +28,9 @@ type Observation struct {
 	// Transport lists per-edge TCP connection supervision state; present
 	// only when the deployment runs the TCP transport.
 	Transport []TransportObservation `json:"transport,omitempty"`
+	// Durability lists per-node persistence records (recovery outcome
+	// and WAL I/O); present only when the deployment persists state.
+	Durability []DurabilityObservation `json:"durability,omitempty"`
 }
 
 // TransportObservation is one edge's TCP connection supervision record.
@@ -82,6 +85,7 @@ func Observe(d *Deployment) Observation {
 	if d.Obs != nil {
 		o.Observability = d.Obs.Snapshot()
 	}
+	o.Durability = d.observeDurability()
 	for _, e := range d.Edges {
 		o.Edges = append(o.Edges, EdgeObservation{
 			Name:          e.Name,

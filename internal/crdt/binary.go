@@ -1,0 +1,396 @@
+package crdt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file defines the stable binary wire/disk format for changes and
+// version vectors. Unlike the JSON forms (EncodeChanges), which exist
+// for the paper's traffic-volume accounting and may evolve freely, the
+// binary format is pinned: every encoding starts with a format-version
+// byte, the golden tests in binary_test.go lock the byte layout, and
+// decoders reject versions they do not understand. internal/durable
+// builds its on-disk WAL frames and snapshots on this format, so any
+// layout change requires a new version byte plus a decoder for the old
+// one.
+//
+// Layout (version 1), all integers unsigned varints unless noted:
+//
+//	changes   := version(1B) count change*
+//	change    := string(actor) uvarint(seq) vv string(msg) count op*
+//	vv        := count (string(actor) uvarint(seq))*   — actors sorted
+//	op        := byte(type) uvarint(ts.counter) string(ts.actor)
+//	             string(obj) string(key) string(elem) value
+//	             byte(kind) varint(delta — zigzag)
+//	value     := byte(kind) payload
+//	             payload: str/obj → string; num → 8B LE float bits;
+//	             bool → 1B; bytes → bytes; null/zero → empty
+//	string    := uvarint(len) len bytes
+//	vector    := version(1B) vv
+//
+// Determinism: version-vector actors are emitted in sorted order, so
+// equal inputs always produce identical bytes (the golden tests depend
+// on this).
+
+// BinaryFormatVersion is the current on-disk/on-wire format version.
+// Decoders accept exactly this version; bump it together with a
+// migration path when the layout changes.
+const BinaryFormatVersion byte = 1
+
+// ErrBinaryFormat is wrapped by every binary decoding failure.
+var ErrBinaryFormat = fmt.Errorf("crdt: malformed binary encoding")
+
+// EncodeChangesBinary serializes changes in the stable binary format.
+func EncodeChangesBinary(chs []Change) []byte {
+	buf := make([]byte, 0, 64*len(chs)+2)
+	buf = append(buf, BinaryFormatVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(chs)))
+	for _, ch := range chs {
+		buf = appendChange(buf, ch)
+	}
+	return buf
+}
+
+// DecodeChangesBinary reverses EncodeChangesBinary, rejecting unknown
+// format versions and truncated or oversized input.
+func DecodeChangesBinary(b []byte) ([]Change, error) {
+	d, err := newBinDecoder(b)
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	chs := make([]Change, 0, min(int(n), 1024))
+	for i := uint64(0); i < n; i++ {
+		ch, err := d.change()
+		if err != nil {
+			return nil, err
+		}
+		chs = append(chs, ch)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return chs, nil
+}
+
+// EncodeVersionVectorBinary serializes a version vector in the stable
+// binary format (actors sorted, so equal vectors encode identically).
+func EncodeVersionVectorBinary(vv VersionVector) []byte {
+	buf := make([]byte, 0, 16*len(vv)+2)
+	buf = append(buf, BinaryFormatVersion)
+	return appendVV(buf, vv)
+}
+
+// DecodeVersionVectorBinary reverses EncodeVersionVectorBinary.
+func DecodeVersionVectorBinary(b []byte) (VersionVector, error) {
+	d, err := newBinDecoder(b)
+	if err != nil {
+		return nil, err
+	}
+	vv, err := d.vv()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return vv, nil
+}
+
+// ---- encoding ----
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func appendVV(buf []byte, vv VersionVector) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(vv)))
+	actors := make([]string, 0, len(vv))
+	for a := range vv {
+		actors = append(actors, string(a))
+	}
+	sort.Strings(actors)
+	for _, a := range actors {
+		buf = appendString(buf, a)
+		buf = binary.AppendUvarint(buf, vv[ActorID(a)])
+	}
+	return buf
+}
+
+func appendChange(buf []byte, ch Change) []byte {
+	buf = appendString(buf, string(ch.Actor))
+	buf = binary.AppendUvarint(buf, ch.Seq)
+	buf = appendVV(buf, ch.Deps)
+	buf = appendString(buf, ch.Msg)
+	buf = binary.AppendUvarint(buf, uint64(len(ch.Ops)))
+	for _, op := range ch.Ops {
+		buf = appendOp(buf, op)
+	}
+	return buf
+}
+
+func appendOp(buf []byte, op Op) []byte {
+	buf = append(buf, byte(op.Type))
+	buf = binary.AppendUvarint(buf, op.TS.Counter)
+	buf = appendString(buf, string(op.TS.Actor))
+	buf = appendString(buf, string(op.Obj))
+	buf = appendString(buf, op.Key)
+	buf = appendString(buf, op.Elem)
+	buf = appendValue(buf, op.Val)
+	buf = append(buf, byte(op.Kind))
+	buf = binary.AppendVarint(buf, op.Delta)
+	return buf
+}
+
+func appendValue(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.Kind))
+	switch v.Kind {
+	case ValStr:
+		buf = appendString(buf, v.Str)
+	case ValNum:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Num))
+	case ValBool:
+		if v.Bool {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case ValBytes:
+		buf = appendBytes(buf, v.Bytes)
+	case ValObj:
+		buf = appendString(buf, string(v.Obj))
+	}
+	return buf
+}
+
+// ---- decoding ----
+
+// binDecoder is a cursor over a binary-encoded buffer. Every read
+// validates bounds, so corrupt input yields ErrBinaryFormat rather than
+// a panic or an over-allocation.
+type binDecoder struct {
+	b   []byte
+	pos int
+}
+
+func newBinDecoder(b []byte) (*binDecoder, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrBinaryFormat)
+	}
+	if b[0] != BinaryFormatVersion {
+		return nil, fmt.Errorf("%w: unsupported format version %d (want %d)",
+			ErrBinaryFormat, b[0], BinaryFormatVersion)
+	}
+	return &binDecoder{b: b, pos: 1}, nil
+}
+
+func (d *binDecoder) done() error {
+	if d.pos != len(d.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBinaryFormat, len(d.b)-d.pos)
+	}
+	return nil
+}
+
+func (d *binDecoder) byte() (byte, error) {
+	if d.pos >= len(d.b) {
+		return 0, fmt.Errorf("%w: truncated", ErrBinaryFormat)
+	}
+	c := d.b[d.pos]
+	d.pos++
+	return c, nil
+}
+
+func (d *binDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint", ErrBinaryFormat)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *binDecoder) varint() (int64, error) {
+	v, n := binary.Varint(d.b[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint", ErrBinaryFormat)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *binDecoder) take(n uint64) ([]byte, error) {
+	if n > uint64(len(d.b)-d.pos) {
+		return nil, fmt.Errorf("%w: length %d exceeds remaining %d", ErrBinaryFormat, n, len(d.b)-d.pos)
+	}
+	out := d.b[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return out, nil
+}
+
+func (d *binDecoder) string() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	b, err := d.take(n)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (d *binDecoder) bytes() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	b, err := d.take(n)
+	if err != nil {
+		return nil, err
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return cp, nil
+}
+
+func (d *binDecoder) vv() (VersionVector, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	vv := make(VersionVector, n)
+	for i := uint64(0); i < n; i++ {
+		a, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		s, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		vv[ActorID(a)] = s
+	}
+	return vv, nil
+}
+
+func (d *binDecoder) change() (Change, error) {
+	var ch Change
+	actor, err := d.string()
+	if err != nil {
+		return ch, err
+	}
+	ch.Actor = ActorID(actor)
+	if ch.Seq, err = d.uvarint(); err != nil {
+		return ch, err
+	}
+	if ch.Deps, err = d.vv(); err != nil {
+		return ch, err
+	}
+	if ch.Msg, err = d.string(); err != nil {
+		return ch, err
+	}
+	nops, err := d.uvarint()
+	if err != nil {
+		return ch, err
+	}
+	ch.Ops = make([]Op, 0, min(int(nops), 1024))
+	for i := uint64(0); i < nops; i++ {
+		op, err := d.op()
+		if err != nil {
+			return ch, err
+		}
+		ch.Ops = append(ch.Ops, op)
+	}
+	return ch, nil
+}
+
+func (d *binDecoder) op() (Op, error) {
+	var op Op
+	t, err := d.byte()
+	if err != nil {
+		return op, err
+	}
+	op.Type = OpType(t)
+	if op.TS.Counter, err = d.uvarint(); err != nil {
+		return op, err
+	}
+	actor, err := d.string()
+	if err != nil {
+		return op, err
+	}
+	op.TS.Actor = ActorID(actor)
+	obj, err := d.string()
+	if err != nil {
+		return op, err
+	}
+	op.Obj = ObjID(obj)
+	if op.Key, err = d.string(); err != nil {
+		return op, err
+	}
+	if op.Elem, err = d.string(); err != nil {
+		return op, err
+	}
+	if op.Val, err = d.value(); err != nil {
+		return op, err
+	}
+	k, err := d.byte()
+	if err != nil {
+		return op, err
+	}
+	op.Kind = ObjKind(k)
+	if op.Delta, err = d.varint(); err != nil {
+		return op, err
+	}
+	return op, nil
+}
+
+func (d *binDecoder) value() (Value, error) {
+	var v Value
+	k, err := d.byte()
+	if err != nil {
+		return v, err
+	}
+	v.Kind = ValKind(k)
+	switch v.Kind {
+	case ValStr:
+		v.Str, err = d.string()
+	case ValNum:
+		b, terr := d.take(8)
+		if terr != nil {
+			return v, terr
+		}
+		v.Num = math.Float64frombits(binary.LittleEndian.Uint64(b))
+	case ValBool:
+		var c byte
+		if c, err = d.byte(); err == nil {
+			v.Bool = c != 0
+		}
+	case ValBytes:
+		v.Bytes, err = d.bytes()
+	case ValObj:
+		var s string
+		if s, err = d.string(); err == nil {
+			v.Obj = ObjID(s)
+		}
+	case ValNull, ValKind(0):
+		// no payload
+	default:
+		return v, fmt.Errorf("%w: unknown value kind %d", ErrBinaryFormat, k)
+	}
+	return v, err
+}

@@ -1,0 +1,187 @@
+package crdt
+
+import (
+	"encoding/hex"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// goldenChanges is a fixed change set exercising every op type and
+// value kind; the golden encoding below pins its byte layout.
+func goldenChanges() []Change {
+	return []Change{
+		{
+			Actor: "alice",
+			Seq:   1,
+			Msg:   "init",
+			Ops: []Op{
+				{Type: OpMake, TS: TS{Counter: 1, Actor: "alice"}, Kind: KindMap},
+				{Type: OpSet, TS: TS{Counter: 2, Actor: "alice"}, Obj: "1@alice", Key: "name", Val: Str("ada")},
+				{Type: OpSet, TS: TS{Counter: 3, Actor: "alice"}, Obj: "1@alice", Key: "score", Val: Num(2.5)},
+				{Type: OpSet, TS: TS{Counter: 4, Actor: "alice"}, Obj: "1@alice", Key: "on", Val: Bool(true)},
+				{Type: OpSet, TS: TS{Counter: 5, Actor: "alice"}, Obj: "1@alice", Key: "blob", Val: Bytes([]byte{0xde, 0xad})},
+				{Type: OpSet, TS: TS{Counter: 6, Actor: "alice"}, Obj: "root", Key: "ref", Val: ObjRef("1@alice")},
+			},
+		},
+		{
+			Actor: "bob",
+			Seq:   1,
+			Deps:  VersionVector{"alice": 1, "zed": 3},
+			Ops: []Op{
+				{Type: OpInsert, TS: TS{Counter: 7, Actor: "bob"}, Obj: "list", Elem: "", Val: Null},
+				{Type: OpUpdate, TS: TS{Counter: 8, Actor: "bob"}, Obj: "list", Elem: "7@bob", Val: Str("x")},
+				{Type: OpRemove, TS: TS{Counter: 9, Actor: "bob"}, Obj: "list", Elem: "7@bob"},
+				{Type: OpAdd, TS: TS{Counter: 10, Actor: "bob"}, Obj: "ctr", Delta: -42},
+				{Type: OpDel, TS: TS{Counter: 11, Actor: "bob"}, Obj: "root", Key: "gone"},
+			},
+		},
+	}
+}
+
+// goldenChangesHex is the pinned version-1 encoding of goldenChanges.
+// If this test fails after an intentional format change, bump
+// BinaryFormatVersion and regenerate — never silently repin under the
+// same version byte.
+const goldenChangesHex = "010205616c696365010004696e697406010105616c696365000000000100020205616c69" +
+	"6365073140616c696365046e616d650002036164610000020305616c696365073140616c6963650573636f726500" +
+	"0300000000000004400000020405616c696365073140616c696365026f6e0004010000020505616c696365073140" +
+	"616c69636504626c6f62000502dead0000020605616c69636504726f6f74037265660006073140616c6963650000" +
+	"03626f62010205616c69636501037a6564030005040703626f62046c6973740000010000050803626f62046c6973" +
+	"7400053740626f620201780000060903626f62046c69737400053740626f62000000070a03626f62036374720000" +
+	"000053030b03626f6204726f6f7404676f6e6500000000"
+
+func TestBinaryGolden(t *testing.T) {
+	got := hex.EncodeToString(EncodeChangesBinary(goldenChanges()))
+	want := strings.NewReplacer(" ", "", "\n", "").Replace(goldenChangesHex)
+	if got != want {
+		t.Fatalf("binary format drifted from golden.\n got: %s\nwant: %s\n"+
+			"If the change is intentional, bump BinaryFormatVersion and repin.", got, want)
+	}
+}
+
+func TestBinaryChangesRoundTrip(t *testing.T) {
+	chs := goldenChanges()
+	enc := EncodeChangesBinary(chs)
+	dec, err := DecodeChangesBinary(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeChanges(chs), normalizeChanges(dec)) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", dec, chs)
+	}
+	// Encoding the decoded form must be byte-identical (determinism).
+	if reenc := EncodeChangesBinary(dec); string(reenc) != string(enc) {
+		t.Fatal("re-encoding decoded changes is not byte-identical")
+	}
+}
+
+// normalizeChanges maps nil and empty slices/maps to a canonical form
+// so DeepEqual compares semantics, not allocation accidents.
+func normalizeChanges(chs []Change) []Change {
+	out := make([]Change, len(chs))
+	for i, ch := range chs {
+		if len(ch.Deps) == 0 {
+			ch.Deps = nil
+		}
+		ops := make([]Op, len(ch.Ops))
+		for j, op := range ch.Ops {
+			if len(op.Val.Bytes) == 0 {
+				op.Val.Bytes = nil
+			}
+			ops[j] = op
+		}
+		ch.Ops = ops
+		out[i] = ch
+	}
+	return out
+}
+
+func TestBinaryVersionVectorRoundTrip(t *testing.T) {
+	vv := VersionVector{"alice": 7, "bob": 0, "edge1/j": 12345678901}
+	enc := EncodeVersionVectorBinary(vv)
+	dec, err := DecodeVersionVectorBinary(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Equal(vv) {
+		t.Fatalf("got %v want %v", dec, vv)
+	}
+	// Determinism: map iteration order must not leak into the bytes.
+	for i := 0; i < 16; i++ {
+		if string(EncodeVersionVectorBinary(vv.Clone())) != string(enc) {
+			t.Fatal("version vector encoding is not deterministic")
+		}
+	}
+	// Empty vector round-trips too.
+	dec, err = DecodeVersionVectorBinary(EncodeVersionVectorBinary(nil))
+	if err != nil || len(dec) != 0 {
+		t.Fatalf("empty vector: got %v, %v", dec, err)
+	}
+}
+
+func TestBinaryRejectsBadInput(t *testing.T) {
+	enc := EncodeChangesBinary(goldenChanges())
+
+	if _, err := DecodeChangesBinary(nil); !errors.Is(err, ErrBinaryFormat) {
+		t.Fatalf("empty input: got %v", err)
+	}
+	// Wrong version byte.
+	bad := append([]byte{BinaryFormatVersion + 1}, enc[1:]...)
+	if _, err := DecodeChangesBinary(bad); !errors.Is(err, ErrBinaryFormat) {
+		t.Fatalf("wrong version: got %v", err)
+	}
+	// Every truncation must error, never panic or succeed.
+	for i := 1; i < len(enc); i++ {
+		if _, err := DecodeChangesBinary(enc[:i]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", i)
+		}
+	}
+	// Trailing garbage is rejected.
+	if _, err := DecodeChangesBinary(append(append([]byte{}, enc...), 0x00)); !errors.Is(err, ErrBinaryFormat) {
+		t.Fatalf("trailing bytes: got %v", err)
+	}
+	// A length prefix pointing past the buffer must not over-allocate.
+	huge := []byte{BinaryFormatVersion, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	if _, err := DecodeChangesBinary(huge); !errors.Is(err, ErrBinaryFormat) {
+		t.Fatalf("huge count: got %v", err)
+	}
+}
+
+func TestBinaryDocStateSurvivesRoundTrip(t *testing.T) {
+	d := NewDoc("a")
+	lst, err := d.PutNewList(RootObj, "l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := d.ListAppend(lst, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctr, err := d.PutNewCounter(RootObj, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CounterAdd(ctr, 9); err != nil {
+		t.Fatal(err)
+	}
+	d.Commit("")
+
+	enc := EncodeChangesBinary(d.GetChanges(nil))
+	chs, err := DecodeChangesBinary(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadChanges("b", chs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d.ToGo(), d2.ToGo()) {
+		t.Fatalf("state mismatch after binary round trip:\n got %v\nwant %v", d2.ToGo(), d.ToGo())
+	}
+	if !d2.Heads().Equal(d.Heads()) {
+		t.Fatalf("heads mismatch: %v vs %v", d2.Heads(), d.Heads())
+	}
+}

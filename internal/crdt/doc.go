@@ -740,6 +740,14 @@ func Load(actor ActorID, data []byte) (*Doc, error) {
 	if err != nil {
 		return nil, err
 	}
+	return LoadChanges(actor, chs)
+}
+
+// LoadChanges reconstructs a document for the given actor from an
+// already-decoded change log — the recovery path the durable WAL uses
+// after replaying its frames. Every change's dependencies must be
+// satisfiable from within the log.
+func LoadChanges(actor ActorID, chs []Change) (*Doc, error) {
 	d := NewDoc(actor)
 	if _, err := d.ApplyChanges(chs); err != nil {
 		return nil, fmt.Errorf("crdt: load: %w", err)

@@ -1,0 +1,404 @@
+// Package durable makes CRDT replicas crash-recoverable: a write-ahead
+// log of change batches plus periodic snapshot compaction, per replica
+// data directory. Kill -9 a node mid-sync and Open replays the latest
+// valid snapshot plus the WAL tail — tolerating a torn or truncated
+// final frame — back into the exact set of changes the replica had
+// persisted, so its CRDT heads let the statesync transport re-handshake
+// for only the missing delta instead of a full resync.
+//
+// Layout of a data directory:
+//
+//	wal-00000001.seg   sealed segment (immutable once rotated)
+//	wal-00000002.seg   active segment (append-only, CRC-framed)
+//	snap-00000002.snap latest snapshot; covers every segment < 2
+//
+// Writes are append-only frames ([len][crc32][payload]); durability is
+// governed by the fsync policy (always | interval | never). Snapshot
+// compaction serializes the full component histories, rotates to a
+// fresh segment, then deletes the covered segments and older snapshots.
+//
+// Relation to internal/checkpoint: checkpoint captures the paper-level
+// state_init (the app state restored between analysis executions);
+// durable persists the runtime CRDT change history of a deployed
+// replica. The former pins what analysis observes, the latter survives
+// crashes of the deployment itself.
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/crdt"
+	"repro/internal/obs"
+)
+
+// Options tunes a Store. The zero value is usable: fsync on every
+// append, 4 MiB segments, no metrics.
+type Options struct {
+	// Fsync selects the durability/throughput trade-off (default
+	// FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncEvery is the lazy sync period under FsyncInterval (default
+	// 100ms).
+	FsyncEvery time.Duration
+	// SegmentBytes rotates the active segment once it reaches this size
+	// (default 4 MiB).
+	SegmentBytes int64
+	// Obs mirrors the store's counters into the durable.* metric family
+	// (see OBSERVABILITY.md); nil disables mirroring.
+	Obs *obs.Obs
+}
+
+func (o Options) withDefaults() Options {
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// Stats counts a store's lifetime I/O.
+type Stats struct {
+	// Appends counts persisted change batches; AppendedBytes the framed
+	// bytes written for them.
+	Appends         int64
+	AppendedBytes   int64
+	Fsyncs          int64
+	Rotations       int64
+	Snapshots       int64
+	SegmentsDeleted int64
+}
+
+// storeObs holds pre-resolved instruments; all nil-safe.
+type storeObs struct {
+	appends, bytes, fsyncs, rotations *obs.Counter
+	snapshots, replayFrames           *obs.Counter
+	recoveryMS                        *obs.Histogram
+}
+
+func newStoreObs(o *obs.Obs) storeObs {
+	return storeObs{
+		appends:      o.Counter("durable.wal.appends"),
+		bytes:        o.Counter("durable.wal.bytes"),
+		fsyncs:       o.Counter("durable.wal.fsyncs"),
+		rotations:    o.Counter("durable.wal.rotations"),
+		snapshots:    o.Counter("durable.snapshot.count"),
+		replayFrames: o.Counter("durable.snapshot.replay_frames"),
+		recoveryMS:   o.Histogram("durable.recovery_ms"),
+	}
+}
+
+// Recovery is the result of the scan Open performs: everything the
+// directory durably held, ready to be replayed into fresh CRDT
+// documents.
+type Recovery struct {
+	// Components maps component name → change log (snapshot history
+	// followed by the replayed WAL tail, in write order).
+	Components map[string][]crdt.Change
+	// SnapshotLoaded reports whether a valid snapshot seeded the
+	// recovery (false = full WAL replay).
+	SnapshotLoaded bool
+	// ReplayedFrames counts WAL frames replayed after the snapshot.
+	ReplayedFrames int
+	// Torn reports that replay stopped at a torn or corrupt frame; the
+	// valid prefix was recovered and the damaged tail discarded.
+	Torn bool
+	// Duration is the wall-clock recovery time.
+	Duration time.Duration
+}
+
+// Empty reports whether the directory held no persisted changes (a
+// fresh deployment rather than a restart).
+func (r *Recovery) Empty() bool {
+	if r == nil {
+		return true
+	}
+	for _, chs := range r.Components {
+		if len(chs) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ComponentHeads summarizes the recovered knowledge per component: the
+// highest sequence recovered from each actor. A recovered replica
+// declares these heads when re-handshaking, so the peer ships only the
+// missing delta.
+func (r *Recovery) ComponentHeads() map[string]crdt.VersionVector {
+	out := make(map[string]crdt.VersionVector, len(r.Components))
+	for name, chs := range r.Components {
+		vv := crdt.VersionVector{}
+		for _, ch := range chs {
+			if ch.Seq > vv[ch.Actor] {
+				vv[ch.Actor] = ch.Seq
+			}
+		}
+		out[name] = vv
+	}
+	return out
+}
+
+// Store is one replica's durable state: an append-only WAL plus
+// snapshot compaction in a private directory. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	wal    *wal
+	stats  Stats
+	o      storeObs
+	rec    *Recovery
+	closed bool
+}
+
+// Open opens (creating as needed) the store at dir and performs crash
+// recovery: load the newest valid snapshot, replay the WAL tail past
+// any torn final frame, and truncate the damaged tail so new appends
+// land after valid data. The recovery result is available via
+// Recovery().
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: mkdir: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, o: newStoreObs(opts.Obs)}
+	s.wal = &wal{
+		dir:      dir,
+		policy:   opts.Fsync,
+		every:    opts.FsyncEvery,
+		segBytes: opts.SegmentBytes,
+		onFsync: func() {
+			s.stats.Fsyncs++
+			s.o.fsyncs.Add(1)
+		},
+		onRotation: func() {
+			s.stats.Rotations++
+			s.o.rotations.Add(1)
+		},
+	}
+	start := time.Now()
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	s.rec.Duration = time.Since(start)
+	s.o.recoveryMS.ObserveDuration(s.rec.Duration)
+	s.o.replayFrames.Add(int64(s.rec.ReplayedFrames))
+	return s, nil
+}
+
+// Recovery returns what Open recovered from the directory.
+func (s *Store) Recovery() *Recovery { return s.rec }
+
+// Dir returns the store's data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// recover scans the directory: newest valid snapshot first, then WAL
+// replay from the snapshot's coverage boundary. It leaves the WAL open
+// for appending on the last valid segment, truncated past any torn
+// frame, with later (untrusted) segments removed.
+func (s *Store) recover() error {
+	rec := &Recovery{Components: map[string][]crdt.Change{}}
+	s.rec = rec
+
+	// Newest valid snapshot wins; corrupt ones fall back to older, and
+	// ultimately to full WAL replay.
+	snapSeqs, err := listSeqs(s.dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return err
+	}
+	var snapSeq uint64
+	for i := len(snapSeqs) - 1; i >= 0; i-- {
+		components, err := loadSnapshotFile(filepath.Join(s.dir, snapName(snapSeqs[i])))
+		if err != nil {
+			if errors.Is(err, errBadFrame) {
+				rec.Torn = true
+				continue
+			}
+			return err
+		}
+		rec.Components = components
+		rec.SnapshotLoaded = true
+		snapSeq = snapSeqs[i]
+		break
+	}
+
+	segSeqs, err := listSeqs(s.dir, segPrefix, segSuffix)
+	if err != nil {
+		return err
+	}
+	// Replay segments the snapshot does not cover, oldest first. Replay
+	// stops at the first torn/corrupt frame: frames beyond it cannot be
+	// located reliably, so the tail is truncated and any later segments
+	// (which a sane writer never produced past a torn frame) dropped.
+	activeSeq := snapSeq
+	if activeSeq == 0 {
+		activeSeq = 1
+	}
+	damaged := false
+	for _, seq := range segSeqs {
+		if seq < snapSeq {
+			continue // covered by the snapshot; deleted lazily at next compaction
+		}
+		if damaged {
+			if err := os.Remove(filepath.Join(s.dir, segName(seq))); err != nil {
+				return fmt.Errorf("durable: drop untrusted segment: %w", err)
+			}
+			continue
+		}
+		activeSeq = seq
+		valid, frames, torn, err := s.replaySegment(filepath.Join(s.dir, segName(seq)), rec)
+		if err != nil {
+			return err
+		}
+		rec.ReplayedFrames += frames
+		if torn {
+			rec.Torn = true
+			damaged = true
+			if err := os.Truncate(filepath.Join(s.dir, segName(seq)), valid); err != nil {
+				return fmt.Errorf("durable: truncate torn tail: %w", err)
+			}
+		}
+	}
+	return s.wal.openSegment(activeSeq)
+}
+
+// replaySegment replays one segment file into rec, returning the byte
+// offset of the last valid frame boundary, the number of frames
+// replayed, and whether a torn/corrupt frame terminated the scan.
+func (s *Store) replaySegment(path string, rec *Recovery) (valid int64, frames int, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("durable: open segment: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	for {
+		payload, rerr := readFrame(f)
+		if rerr == io.EOF {
+			return valid, frames, false, nil
+		}
+		if rerr != nil {
+			if errors.Is(rerr, errBadFrame) {
+				return valid, frames, true, nil
+			}
+			return valid, frames, false, rerr
+		}
+		component, chs, derr := decodeRecord(payload)
+		if derr != nil {
+			// The frame checksummed but does not decode — treat as
+			// corruption and stop, same as a torn frame.
+			return valid, frames, true, nil
+		}
+		rec.Components[component] = append(rec.Components[component], chs...)
+		valid += int64(8 + len(payload))
+		frames++
+	}
+}
+
+// Append persists one batch of changes for the named component. Under
+// FsyncAlways the batch is on stable storage when Append returns —
+// this is what persist-before-ack in the sync runtime relies on.
+func (s *Store) Append(component string, chs []crdt.Change) error {
+	if len(chs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("durable: store is closed")
+	}
+	n, err := s.wal.append(encodeRecord(component, chs))
+	s.stats.Appends++
+	s.stats.AppendedBytes += int64(n)
+	s.o.appends.Add(1)
+	s.o.bytes.Add(int64(n))
+	return err
+}
+
+// Snapshot compacts the log: it writes the given full component
+// histories as a snapshot, rotates to a fresh segment, and deletes the
+// covered segments and superseded snapshots. After a successful
+// Snapshot, recovery cost is proportional to traffic since the
+// snapshot, not deployment lifetime.
+func (s *Store) Snapshot(components map[string][]crdt.Change) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("durable: store is closed")
+	}
+	// Seal the active segment first so the snapshot's coverage boundary
+	// (the new active segment) holds nothing the snapshot misses.
+	if err := s.wal.rotate(); err != nil {
+		return err
+	}
+	boundary := s.wal.seq
+	if err := writeSnapshotFile(s.dir, boundary, components); err != nil {
+		return err
+	}
+	s.stats.Snapshots++
+	s.o.snapshots.Add(1)
+
+	// Drop everything the snapshot supersedes.
+	segSeqs, err := listSeqs(s.dir, segPrefix, segSuffix)
+	if err != nil {
+		return err
+	}
+	for _, seq := range segSeqs {
+		if seq < boundary {
+			if err := os.Remove(filepath.Join(s.dir, segName(seq))); err != nil {
+				return fmt.Errorf("durable: remove covered segment: %w", err)
+			}
+			s.stats.SegmentsDeleted++
+		}
+	}
+	snapSeqs, err := listSeqs(s.dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return err
+	}
+	for _, seq := range snapSeqs {
+		if seq < boundary {
+			if err := os.Remove(filepath.Join(s.dir, snapName(seq))); err != nil {
+				return fmt.Errorf("durable: remove old snapshot: %w", err)
+			}
+		}
+	}
+	return syncDir(s.dir)
+}
+
+// Sync forces pending appends to stable storage regardless of policy.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	return s.wal.sync()
+}
+
+// Stats returns a snapshot of the store's I/O counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close seals the active segment (synced) and releases the store. It is
+// idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.close()
+}

@@ -11,11 +11,30 @@ import (
 )
 
 // Endpoint is one synchronization participant: a replica's state, with
-// an optional binding into a live app.
+// an optional binding into a live app and optional durability.
 type Endpoint struct {
 	Name    string
 	State   *ReplicaState
 	Binding *Binding
+	// Persist, when set, write-ahead-logs every change that reaches this
+	// endpoint — inbound deltas before they are acknowledged, local
+	// changes at each refresh — so a crash never loses acknowledged
+	// state.
+	Persist *Persister
+	// HeadsSource overrides the heads this endpoint declares when
+	// (re)handshaking. A durable deployment points it at the persister's
+	// watermark: a restarted replica then claims only what disk holds,
+	// and the peer reships exactly the missing delta.
+	HeadsSource func() Heads
+}
+
+// declaredHeads returns the knowledge this endpoint advertises to a
+// handshaking peer.
+func (e *Endpoint) declaredHeads() Heads {
+	if e.HeadsSource != nil {
+		return e.HeadsSource()
+	}
+	return e.State.Heads()
 }
 
 // apply integrates an inbound delta, through the binding when present.
@@ -25,19 +44,39 @@ func (e *Endpoint) apply(d Delta) error {
 }
 
 // applyCount is apply reporting how many changes were actually
-// integrated — the TCP transport uses it to account duplicates.
+// integrated — the TCP transport uses it to account duplicates. The
+// delta is persisted before applyCount returns (persist-before-ack):
+// the transport acknowledges only after this, so the peer never
+// advances past state the replica could lose in a crash.
 func (e *Endpoint) applyCount(d Delta) (int, error) {
-	if e.Binding != nil {
-		return e.Binding.ApplyRemoteCount(d)
+	n, err := func() (int, error) {
+		if e.Binding != nil {
+			return e.Binding.ApplyRemoteCount(d)
+		}
+		return e.State.ApplyCount(d)
+	}()
+	if err != nil {
+		return n, err
 	}
-	return e.State.ApplyCount(d)
+	if e.Persist != nil {
+		if perr := e.Persist.Sync(e.State); perr != nil {
+			return n, perr
+		}
+	}
+	return n, nil
 }
 
 // refresh mirrors pending local changes (globals) before computing a
-// delta.
+// delta, and logs them durably so locally originated state survives a
+// crash too.
 func (e *Endpoint) refresh() error {
 	if e.Binding != nil {
-		return e.Binding.MirrorGlobals()
+		if err := e.Binding.MirrorGlobals(); err != nil {
+			return err
+		}
+	}
+	if e.Persist != nil {
+		return e.Persist.Sync(e.State)
 	}
 	return nil
 }
@@ -135,10 +174,13 @@ func (m *Manager) AddEdge(edge *Endpoint, link *netem.Duplex) error {
 	if link == nil {
 		return fmt.Errorf("statesync: nil link")
 	}
-	// The edge was initialized by forking the master's snapshot, so both
-	// sides already share the edge's current history: synchronization
-	// starts from the fork point, not from scratch.
-	start := edge.State.Heads()
+	// A freshly forked edge and the master share the fork-point history,
+	// so synchronization starts there, not from scratch. A recovered
+	// edge may hold changes the master never saw (or vice versa): the
+	// intersection of both sides' declared knowledge is exactly what
+	// both provably share, and everything beyond it flows in the first
+	// rounds.
+	start := intersectHeads(edge.declaredHeads(), m.master.declaredHeads())
 	m.conns = append(m.conns, &conn{edge: edge, link: link, ackedByMaster: start, ackedByEdge: start})
 	return nil
 }

@@ -389,7 +389,7 @@ func (m *TCPMaster) serveConn(conn net.Conn) {
 	m.stats.BytesReceived += int64(n)
 	m.stats.FramesRecv++
 	m.o.bytesRecv.Add(int64(n))
-	reply := &frame{Kind: frameHello, Heads: m.ep.State.Heads()}
+	reply := &frame{Kind: frameHello, Heads: m.ep.declaredHeads()}
 	sent, err := writeFrame(conn, reply)
 	m.stats.BytesSent += int64(sent)
 	m.stats.FramesSent++
@@ -673,7 +673,10 @@ func (e *TCPEdge) connect() (net.Conn, *bufio.Reader, error) {
 		_ = conn.SetDeadline(time.Now().Add(e.cfg.DialTimeout))
 	}
 	e.mu.Lock()
-	heads := e.ep.State.Heads()
+	// Declare durable heads, not in-memory ones: after a crash-restart
+	// the in-memory doc may hold unfsynced state the disk never saw, and
+	// claiming it would make the master skip the delta forever.
+	heads := e.ep.declaredHeads()
 	name := e.ep.Name
 	e.mu.Unlock()
 	n, err := writeFrame(conn, &frame{Kind: frameHello, From: name, Heads: heads})
