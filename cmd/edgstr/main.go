@@ -18,6 +18,7 @@
 //	edgstr -subject fobojet -replica   # print generated replica source
 //	edgstr -subject notes -trace -metrics | jq .   # observed quickstart run
 //	edgstr -subject notes -metrics -tcp            # sync over real TCP sockets
+//	edgstr -subject notes -metrics -tcp -pprof localhost:6060   # with live profiling
 //	edgstr -list                       # list subjects
 //
 // With -tcp the observed deployment synchronizes over the supervised
@@ -39,6 +40,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
@@ -64,7 +67,20 @@ func main() {
 	dataDir := flag.String("data-dir", "", "persist replica state under this directory (with -trace/-metrics); reuse it to recover")
 	fsync := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always, interval, or never")
 	snapshotEvery := flag.Int("snapshot-every", 0, "compact a node's WAL after this many persisted changes (0 = never)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the life of the run")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The profiling endpoint lives for the whole process; runs are
+		// short, so profile with e.g.
+		//   go tool pprof http://localhost:6060/debug/pprof/profile?seconds=5
+		// while a -tcp run settles.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "edgstr: pprof:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, s := range workload.Subjects() {

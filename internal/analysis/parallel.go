@@ -54,6 +54,13 @@ func (a *Analyzer) AnalyzeAppContext(ctx context.Context, services []capture.Ser
 	if workers > len(services) {
 		workers = len(services)
 	}
+	// On a single-CPU host the fan-out cannot run anything concurrently:
+	// forking per-worker app instances only adds clone cost on top of
+	// the same serial execution. Fall back to the sequential path even
+	// when callers explicitly requested more workers.
+	if runtime.GOMAXPROCS(0) == 1 {
+		workers = 1
+	}
 	// The "analyze" span parents every per-service span: workers receive
 	// this ctx, so spans they open from their goroutines attach under it.
 	// The span tree is lock-protected, which keeps the fan-out race-free

@@ -3,12 +3,14 @@ package analysis_test
 import (
 	"context"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/analysis"
 	"repro/internal/capture"
 	"repro/internal/core"
 	"repro/internal/httpapp"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -76,6 +78,63 @@ func TestAnalyzeAppParallelMatchesSequential(t *testing.T) {
 		if !reflect.DeepEqual(seqUnits, parUnits) {
 			t.Errorf("%s: merged units diverge:\nsequential: %+v\nparallel:   %+v", name, seqUnits, parUnits)
 		}
+	}
+}
+
+// findSpan walks a span tree depth-first for the named span.
+func findSpan(spans []*obs.SpanSnapshot, name string) *obs.SpanSnapshot {
+	for _, sp := range spans {
+		if sp.Name == name {
+			return sp
+		}
+		if found := findSpan(sp.Children, name); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// TestAnalyzeAppSingleCPUFallsBackSequential pins the GOMAXPROCS==1
+// fallback: on a single-CPU host an explicit Workers: 4 request must
+// not fan out (forking per-worker app instances only adds clone cost
+// with no concurrency to pay for it), and the analyze span must record
+// the effective worker count of 1.
+func TestAnalyzeAppSingleCPUFallsBackSequential(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+
+	sub, err := workload.ByName("fobojet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	services := subjectServices(t, sub)
+
+	o := obs.New()
+	ctx := obs.With(context.Background(), o)
+	parRes, parUnits, err := newAnalyzer(t, sub).AnalyzeAppContext(
+		ctx, services, analysis.Parallelism{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	span := findSpan(o.Snapshot().Trace, "analyze")
+	if span == nil {
+		t.Fatal("no analyze span recorded")
+	}
+	if got := span.Attrs["workers"]; got != "1" {
+		t.Errorf("analyze span workers = %q on GOMAXPROCS=1, want \"1\"", got)
+	}
+
+	seqRes, seqUnits, err := newAnalyzer(t, sub).AnalyzeAppContext(
+		context.Background(), services, analysis.Parallelism{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqRes, parRes) {
+		t.Errorf("fallback results diverge from sequential")
+	}
+	if !reflect.DeepEqual(seqUnits, parUnits) {
+		t.Errorf("fallback merged units diverge from sequential")
 	}
 }
 

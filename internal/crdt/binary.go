@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
 )
 
 // This file defines the stable binary wire/disk format for changes and
@@ -44,14 +43,11 @@ const BinaryFormatVersion byte = 1
 var ErrBinaryFormat = fmt.Errorf("crdt: malformed binary encoding")
 
 // EncodeChangesBinary serializes changes in the stable binary format.
+// The size-hinted allocation means the result is built in one allocation;
+// EncodeChangesInto (encode.go) is the zero-copy variant for callers
+// that reuse a buffer.
 func EncodeChangesBinary(chs []Change) []byte {
-	buf := make([]byte, 0, 64*len(chs)+2)
-	buf = append(buf, BinaryFormatVersion)
-	buf = binary.AppendUvarint(buf, uint64(len(chs)))
-	for _, ch := range chs {
-		buf = appendChange(buf, ch)
-	}
-	return buf
+	return EncodeChangesInto(make([]byte, 0, ChangesSizeHint(chs)), chs)
 }
 
 // DecodeChangesBinary reverses EncodeChangesBinary, rejecting unknown
@@ -117,14 +113,28 @@ func appendBytes(buf, b []byte) []byte {
 
 func appendVV(buf []byte, vv VersionVector) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(vv)))
-	actors := make([]string, 0, len(vv))
-	for a := range vv {
-		actors = append(actors, string(a))
+	if len(vv) == 0 {
+		return buf
 	}
-	sort.Strings(actors)
+	// Version vectors are tiny (one entry per actor), and this runs once
+	// per change on the encode hot path: sort on a stack array with
+	// insertion sort so the common case allocates nothing.
+	var arr [16]ActorID
+	actors := arr[:0]
+	if len(vv) > len(arr) {
+		actors = make([]ActorID, 0, len(vv))
+	}
+	for a := range vv {
+		actors = append(actors, a)
+	}
+	for i := 1; i < len(actors); i++ {
+		for j := i; j > 0 && actors[j] < actors[j-1]; j-- {
+			actors[j], actors[j-1] = actors[j-1], actors[j]
+		}
+	}
 	for _, a := range actors {
-		buf = appendString(buf, a)
-		buf = binary.AppendUvarint(buf, vv[ActorID(a)])
+		buf = appendString(buf, string(a))
+		buf = binary.AppendUvarint(buf, vv[a])
 	}
 	return buf
 }

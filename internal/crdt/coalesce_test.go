@@ -1,0 +1,167 @@
+package crdt
+
+import (
+	"reflect"
+	"testing"
+)
+
+// coalesceWorkload builds a doc whose pending batch has heavy per-key
+// overwrite traffic: counters, list churn, and n overwrites of two map
+// keys across n commits.
+func coalesceWorkload(t testing.TB, n int) *Doc {
+	t.Helper()
+	d := NewDoc("w")
+	lst, err := d.PutNewList(RootObj, "log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := d.PutNewCounter(RootObj, "hits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Commit("init")
+	for i := 0; i < n; i++ {
+		if err := d.PutScalar(RootObj, "hot", float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.PutScalar(RootObj, "warm", "v"); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.ListAppend(lst, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.CounterAdd(ctr, 1); err != nil {
+			t.Fatal(err)
+		}
+		d.Commit("")
+	}
+	return d
+}
+
+func TestCoalesceChangesEquivalence(t *testing.T) {
+	d := coalesceWorkload(t, 20)
+	full := d.GetChanges(nil)
+	coalesced, dropped := CoalesceChanges(full)
+	if dropped == 0 {
+		t.Fatal("expected overwrite traffic to coalesce")
+	}
+	if len(coalesced) != len(full) {
+		t.Fatalf("coalescing dropped changes: %d → %d (only ops may be elided)", len(full), len(coalesced))
+	}
+	a := NewDoc("a")
+	if _, err := a.ApplyChanges(full); err != nil {
+		t.Fatal(err)
+	}
+	b := NewDoc("b")
+	if _, err := b.ApplyChanges(coalesced); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.ToGo(), b.ToGo()) {
+		t.Fatalf("coalesced batch diverged:\n full: %v\ncoal: %v", a.ToGo(), b.ToGo())
+	}
+	if !a.Heads().Equal(b.Heads()) {
+		t.Fatal("coalesced batch left different heads")
+	}
+}
+
+func TestCoalesceChangesNoElisionReturnsSameSlice(t *testing.T) {
+	d := NewDoc("x")
+	if err := d.PutScalar(RootObj, "a", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	d.Commit("")
+	chs := d.GetChanges(nil)
+	out, dropped := CoalesceChanges(chs)
+	if dropped != 0 {
+		t.Fatalf("nothing to elide, dropped %d", dropped)
+	}
+	if &out[0] != &chs[0] {
+		t.Fatal("no-elision path should return the input slice unchanged")
+	}
+}
+
+func TestCoalesceChangesDoesNotMutateInput(t *testing.T) {
+	d := coalesceWorkload(t, 5)
+	full := d.GetChanges(nil)
+	opCounts := make([]int, len(full))
+	for i, ch := range full {
+		opCounts[i] = len(ch.Ops)
+	}
+	_, dropped := CoalesceChanges(full)
+	if dropped == 0 {
+		t.Fatal("expected elisions")
+	}
+	for i, ch := range full {
+		if len(ch.Ops) != opCounts[i] {
+			t.Fatalf("input change %d mutated: %d ops, had %d", i, len(ch.Ops), opCounts[i])
+		}
+	}
+}
+
+func TestCoalesceKeepsLargerTimestampRegardlessOfOrder(t *testing.T) {
+	// A batch where an earlier-positioned op has the LWW-winning (larger)
+	// timestamp: the later, smaller-TS op must not eclipse it.
+	chs := []Change{
+		{Actor: "a", Seq: 1, Ops: []Op{
+			{Type: OpSet, TS: TS{Counter: 9, Actor: "a"}, Obj: RootObj, Key: "k", Val: Str("winner")},
+		}},
+		{Actor: "b", Seq: 1, Ops: []Op{
+			{Type: OpSet, TS: TS{Counter: 3, Actor: "b"}, Obj: RootObj, Key: "k", Val: Str("loser")},
+		}},
+	}
+	out, dropped := CoalesceChanges(chs)
+	if dropped != 0 {
+		t.Fatalf("dropped %d ops; the earlier op wins by timestamp and the later must survive (it is the doc's job to ignore it)", dropped)
+	}
+	if len(out[0].Ops) != 1 || out[0].Ops[0].Val.Str != "winner" {
+		t.Fatal("winning op was altered")
+	}
+}
+
+func TestCoalesceUpdateEclipsedByRemove(t *testing.T) {
+	// insert x, update x, remove x in one batch: the update is dead
+	// weight (removal tombstones regardless of timestamps); the insert
+	// and remove must both survive.
+	d := NewDoc("l")
+	lst, err := d.PutNewList(RootObj, "xs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Commit("")
+	if err := d.ListAppend(lst, "v0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ListSet(lst, 0, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ListDelete(lst, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.Commit("")
+	full := d.GetChanges(nil)
+	coalesced, dropped := CoalesceChanges(full)
+	if dropped != 1 {
+		t.Fatalf("want exactly the eclipsed update elided, dropped %d", dropped)
+	}
+	a, b := NewDoc("ra"), NewDoc("rb")
+	if _, err := a.ApplyChanges(full); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ApplyChanges(coalesced); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.ToGo(), b.ToGo()) {
+		t.Fatal("coalesced list batch diverged")
+	}
+}
+
+func BenchmarkCoalesceChanges(b *testing.B) {
+	d := coalesceWorkload(b, 50)
+	chs := d.GetChanges(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, dropped := CoalesceChanges(chs); dropped == 0 {
+			b.Fatal("expected elisions")
+		}
+	}
+}

@@ -30,7 +30,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/crdt"
@@ -74,6 +76,14 @@ type Stats struct {
 	Rotations       int64
 	Snapshots       int64
 	SegmentsDeleted int64
+	// GroupCommits counts commit rounds: disk writes that flushed the
+	// append queue. Appends/GroupCommits is the mean commit batch size —
+	// under concurrent writers with FsyncAlways it exceeds 1 because
+	// queued appends share the leader's fsync.
+	GroupCommits int64
+	// MaxCommitBatch is the largest number of appends committed by a
+	// single round.
+	MaxCommitBatch int64
 }
 
 // storeObs holds pre-resolved instruments; all nil-safe.
@@ -81,6 +91,8 @@ type storeObs struct {
 	appends, bytes, fsyncs, rotations *obs.Counter
 	snapshots, replayFrames           *obs.Counter
 	recoveryMS                        *obs.Histogram
+	gcBatches, gcBatchedAppends       *obs.Counter
+	gcBatchSize                       *obs.Histogram
 }
 
 func newStoreObs(o *obs.Obs) storeObs {
@@ -92,6 +104,13 @@ func newStoreObs(o *obs.Obs) storeObs {
 		snapshots:    o.Counter("durable.snapshot.count"),
 		replayFrames: o.Counter("durable.snapshot.replay_frames"),
 		recoveryMS:   o.Histogram("durable.recovery_ms"),
+		// durable.groupcommit.*: batches counts commit rounds,
+		// batched_appends counts appends that rode a round with more than
+		// one (i.e. shared another writer's fsync), batch_size is the
+		// per-round batch size distribution (see OBSERVABILITY.md).
+		gcBatches:        o.Counter("durable.groupcommit.batches"),
+		gcBatchedAppends: o.Counter("durable.groupcommit.batched_appends"),
+		gcBatchSize:      o.Histogram("durable.groupcommit.batch_size"),
 	}
 }
 
@@ -149,16 +168,51 @@ func (r *Recovery) ComponentHeads() map[string]crdt.VersionVector {
 // Store is one replica's durable state: an append-only WAL plus
 // snapshot compaction in a private directory. All methods are safe for
 // concurrent use.
+//
+// Concurrent Appends group-commit: each caller frames its record into a
+// shared queue, and the first to find no commit in progress becomes the
+// round's leader — it drains the queue with one write and one
+// (policy-dependent) fsync while followers wait on the round. Appends
+// arriving during that fsync accumulate into the next round, so under
+// FsyncAlways the append rate scales with the number of concurrent
+// writers instead of serializing on disk latency. Durability semantics
+// are unchanged: every Append still returns only after its frame is on
+// stable storage (per policy), and frames remain individually
+// CRC-framed, so torn-write recovery is identical.
 type Store struct {
 	dir  string
 	opts Options
 
 	mu     sync.Mutex
+	cond   *sync.Cond // signals the end of a commit round
 	wal    *wal
 	stats  Stats
 	o      storeObs
 	rec    *Recovery
 	closed bool
+
+	// Group-commit state, guarded by mu: queue holds the framed records
+	// of the accumulating round, round is the handle its waiters share,
+	// committing marks a leader mid-write, and spare recycles the drained
+	// queue buffer.
+	queue      []byte
+	round      *commitRound
+	committing bool
+	spare      []byte
+
+	// fsyncs and rotations are updated from WAL callbacks, which run
+	// both under mu (Sync/Snapshot/Close) and outside it (a group-commit
+	// leader's write) — atomics keep them race-free in both contexts.
+	fsyncs    atomic.Int64
+	rotations atomic.Int64
+}
+
+// commitRound is one group-commit batch: every Append that queued into
+// it waits on done and shares err.
+type commitRound struct {
+	done chan struct{}
+	err  error
+	n    int // appends in the round
 }
 
 // Open opens (creating as needed) the store at dir and performs crash
@@ -172,17 +226,18 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("durable: mkdir: %w", err)
 	}
 	s := &Store{dir: dir, opts: opts, o: newStoreObs(opts.Obs)}
+	s.cond = sync.NewCond(&s.mu)
 	s.wal = &wal{
 		dir:      dir,
 		policy:   opts.Fsync,
 		every:    opts.FsyncEvery,
 		segBytes: opts.SegmentBytes,
 		onFsync: func() {
-			s.stats.Fsyncs++
+			s.fsyncs.Add(1)
 			s.o.fsyncs.Add(1)
 		},
 		onRotation: func() {
-			s.stats.Rotations++
+			s.rotations.Add(1)
 			s.o.rotations.Add(1)
 		},
 	}
@@ -307,21 +362,95 @@ func (s *Store) replaySegment(path string, rec *Recovery) (valid int64, frames i
 // Append persists one batch of changes for the named component. Under
 // FsyncAlways the batch is on stable storage when Append returns —
 // this is what persist-before-ack in the sync runtime relies on.
+//
+// Concurrent Appends on the same store form commit batches that share a
+// single write and fsync (see the Store doc comment); the call still
+// blocks until this record's round is durable per the fsync policy.
 func (s *Store) Append(component string, chs []crdt.Change) error {
 	if len(chs) == 0 {
 		return nil
 	}
+	// Encode outside the lock into a pooled buffer: framing copies the
+	// payload into the shared queue, so the buffer is recycled
+	// immediately.
+	ebuf := crdt.GetEncodeBuffer()
+	if hint := crdt.ChangesSizeHint(chs) + 16 + len(component); cap(ebuf.B) < hint {
+		ebuf.B = make([]byte, 0, hint)
+	}
+	ebuf.B = encodeRecordInto(ebuf.B[:0], component, chs)
+
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
+		ebuf.Release()
 		return fmt.Errorf("durable: store is closed")
 	}
-	n, err := s.wal.append(encodeRecord(component, chs))
-	s.stats.Appends++
-	s.stats.AppendedBytes += int64(n)
-	s.o.appends.Add(1)
-	s.o.bytes.Add(int64(n))
-	return err
+	if s.queue == nil && s.spare != nil {
+		s.queue, s.spare = s.spare[:0], nil
+	}
+	s.queue = appendFrame(s.queue, ebuf.B)
+	ebuf.Release()
+	if s.round == nil {
+		s.round = &commitRound{done: make(chan struct{})}
+	}
+	round := s.round
+	round.n++
+	if s.committing {
+		// A leader is mid-write; it will pick this round up next.
+		s.mu.Unlock()
+		<-round.done
+		return round.err
+	}
+	// Become the leader: drain rounds until the queue stays empty, so
+	// every append enqueued while we fsync still commits promptly.
+	s.committing = true
+	for s.round != nil {
+		// Commit window: yield once before sealing the round so runnable
+		// writers can enqueue and share this fsync. On GOMAXPROCS=1 the
+		// fsync syscall does not reliably hand off the P (sysmon retake
+		// latency), so without this yield concurrent writers serialize to
+		// one append per fsync. Arrivals during the window see round !=
+		// nil and join it; committing==true keeps them followers.
+		s.mu.Unlock()
+		runtime.Gosched()
+		s.mu.Lock()
+		cur := s.round
+		frames := s.queue
+		s.round, s.queue = nil, nil
+		s.mu.Unlock()
+		n, err := s.wal.appendFrames(frames)
+		s.mu.Lock()
+		s.stats.Appends += int64(cur.n)
+		s.stats.AppendedBytes += int64(n)
+		s.stats.GroupCommits++
+		if int64(cur.n) > s.stats.MaxCommitBatch {
+			s.stats.MaxCommitBatch = int64(cur.n)
+		}
+		s.o.appends.Add(int64(cur.n))
+		s.o.bytes.Add(int64(n))
+		s.o.gcBatches.Add(1)
+		s.o.gcBatchSize.Observe(float64(cur.n))
+		if cur.n > 1 {
+			s.o.gcBatchedAppends.Add(int64(cur.n))
+		}
+		if s.spare == nil && cap(frames) <= maxFrameBytes {
+			s.spare = frames[:0]
+		}
+		cur.err = err
+		close(cur.done)
+	}
+	s.committing = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return round.err
+}
+
+// quiesceLocked waits until no commit round is in flight; callers hold
+// s.mu and may then touch the WAL directly.
+func (s *Store) quiesceLocked() {
+	for s.committing {
+		s.cond.Wait()
+	}
 }
 
 // Snapshot compacts the log: it writes the given full component
@@ -332,6 +461,7 @@ func (s *Store) Append(component string, chs []crdt.Change) error {
 func (s *Store) Snapshot(components map[string][]crdt.Change) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.quiesceLocked()
 	if s.closed {
 		return fmt.Errorf("durable: store is closed")
 	}
@@ -378,6 +508,7 @@ func (s *Store) Snapshot(components map[string][]crdt.Change) error {
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.quiesceLocked()
 	if s.closed {
 		return nil
 	}
@@ -388,7 +519,10 @@ func (s *Store) Sync() error {
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.Fsyncs = s.fsyncs.Load()
+	st.Rotations = s.rotations.Load()
+	return st
 }
 
 // Close seals the active segment (synced) and releases the store. It is
@@ -396,6 +530,7 @@ func (s *Store) Stats() Stats {
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.quiesceLocked()
 	if s.closed {
 		return nil
 	}

@@ -142,9 +142,15 @@ func readFrame(r io.Reader) ([]byte, error) {
 // The change encoding carries its own format-version byte (see
 // crdt.BinaryFormatVersion), so the record format is pinned with it.
 func encodeRecord(component string, chs []crdt.Change) []byte {
-	buf := binary.AppendUvarint(nil, uint64(len(component)))
-	buf = append(buf, component...)
-	return append(buf, crdt.EncodeChangesBinary(chs)...)
+	return encodeRecordInto(nil, component, chs)
+}
+
+// encodeRecordInto is the zero-copy variant: it appends the record to
+// dst, letting the append hot path encode into a pooled buffer.
+func encodeRecordInto(dst []byte, component string, chs []crdt.Change) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(component)))
+	dst = append(dst, component...)
+	return crdt.EncodeChangesInto(dst, chs)
 }
 
 func decodeRecord(payload []byte) (string, []crdt.Change, error) {
@@ -195,11 +201,13 @@ func (w *wal) openSegment(seq uint64) error {
 	return nil
 }
 
-// append writes one framed payload to the active segment, applying the
-// fsync policy and rotating when the segment exceeds its size budget.
-func (w *wal) append(payload []byte) (int, error) {
-	frame := appendFrame(make([]byte, 0, 8+len(payload)), payload)
-	n, err := w.f.Write(frame)
+// appendFrames writes pre-framed bytes (one or more complete frames) to
+// the active segment in a single write syscall, applying the fsync
+// policy once for the whole batch and rotating when the segment exceeds
+// its size budget. This is the group-commit write: every frame in the
+// batch shares the one fsync.
+func (w *wal) appendFrames(frames []byte) (int, error) {
+	n, err := w.f.Write(frames)
 	w.size += int64(n)
 	if err != nil {
 		return n, fmt.Errorf("durable: append: %w", err)

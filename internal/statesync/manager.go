@@ -2,6 +2,7 @@ package statesync
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/crdt"
@@ -140,9 +141,21 @@ type Manager struct {
 	conns    []*conn
 	interval time.Duration
 	stats    Stats
-	running  bool
-	onError  func(error)
-	obs      obsCounters
+	// runMu guards running and runGen. The clock itself is still
+	// single-threaded (see simclock): scheduling and SyncRound stay on
+	// the simulation goroutine, but Stop may be called from another
+	// goroutine (e.g. a controller reacting to an error), so the
+	// run-state flag needs its own lock.
+	runMu   sync.Mutex
+	running bool
+	// runGen distinguishes tick chains. Each Start bumps it, and a
+	// pending tick only reschedules when its generation is still
+	// current — otherwise a Stop immediately followed by a Start would
+	// leave the old chain's pending tick alive, and when it fired it
+	// would see running==true and reschedule, doubling the sync rate.
+	runGen  uint64
+	onError func(error)
+	obs     obsCounters
 }
 
 // NewManager returns a manager for the given cloud master endpoint.
@@ -192,25 +205,39 @@ func (m *Manager) Stats() Stats { return m.stats }
 func (m *Manager) ResetStats() { m.stats = Stats{} }
 
 // Start schedules the periodic synchronization. It keeps rescheduling
-// itself until Stop.
+// itself until Stop. Start must run on the simulation goroutine (it
+// schedules on the clock); a second Start while running is a no-op.
 func (m *Manager) Start() {
+	m.runMu.Lock()
 	if m.running {
+		m.runMu.Unlock()
 		return
 	}
 	m.running = true
-	m.scheduleTick()
+	m.runGen++
+	gen := m.runGen
+	m.runMu.Unlock()
+	m.scheduleTick(gen)
 }
 
-// Stop halts future rounds (in-flight messages still deliver).
-func (m *Manager) Stop() { m.running = false }
+// Stop halts future rounds (in-flight messages still deliver). Unlike
+// Start, Stop is safe to call from any goroutine.
+func (m *Manager) Stop() {
+	m.runMu.Lock()
+	m.running = false
+	m.runMu.Unlock()
+}
 
-func (m *Manager) scheduleTick() {
+func (m *Manager) scheduleTick(gen uint64) {
 	m.clock.After(m.interval, func() {
-		if !m.running {
+		m.runMu.Lock()
+		live := m.running && m.runGen == gen
+		m.runMu.Unlock()
+		if !live {
 			return
 		}
 		m.SyncRound()
-		m.scheduleTick()
+		m.scheduleTick(gen)
 	})
 }
 

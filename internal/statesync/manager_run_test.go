@@ -1,0 +1,209 @@
+package statesync
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/crdt"
+	"repro/internal/netem"
+	"repro/internal/simclock"
+)
+
+// TestManagerStopStartSingleTickChain pins the generation counter: a
+// Stop immediately followed by a Start within one interval must not
+// leave the old chain's pending tick alive, or every interval would run
+// two sync rounds.
+func TestManagerStopStartSingleTickChain(t *testing.T) {
+	clock := simclock.New()
+	mgr, err := NewManager(clock, &Endpoint{Name: "cloud", State: newState(t, "cloud")}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Start() // schedules the gen-1 tick
+	mgr.Stop()
+	mgr.Start() // gen 2: a second tick is pending at the same instant
+
+	// Both pending ticks fire; the stale one must die without
+	// rescheduling, leaving exactly one live chain.
+	clock.Advance(time.Second)
+	before := clock.EventsFired()
+	clock.Advance(time.Second)
+	if fired := clock.EventsFired() - before; fired != 1 {
+		t.Fatalf("%d tick events fired in one interval after Stop/Start, want 1", fired)
+	}
+	mgr.Stop()
+	clock.Run()
+}
+
+// TestManagerStopRaceWithTicks hammers Stop from several goroutines
+// while the simulation goroutine runs ticks and restarts the chain.
+// Under -race this pins that the run-state flag is properly
+// synchronized against scheduleTick's callback; the clock itself stays
+// single-threaded as simclock requires.
+func TestManagerStopRaceWithTicks(t *testing.T) {
+	clock := simclock.New()
+	mgr, err := NewManager(clock, &Endpoint{Name: "cloud", State: newState(t, "cloud")}, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					mgr.Stop()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		mgr.Start() // no-op while running, new generation after a Stop landed
+		clock.Advance(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	mgr.Stop()
+	clock.Run()
+}
+
+// TestIntersectHeadsEdgeCases covers the knowledge-intersection corner
+// cases: empty summaries, disjoint components, disjoint actors, and
+// the componentwise/actorwise minimum on overlap.
+func TestIntersectHeadsEdgeCases(t *testing.T) {
+	a := Heads{CompJSON: crdt.VersionVector{"x": 5, "y": 2}}
+
+	if got := intersectHeads(Heads{}, a); len(got) != 0 {
+		t.Errorf("intersect(empty, a) = %v, want empty", got)
+	}
+	if got := intersectHeads(a, Heads{}); len(got) != 0 {
+		t.Errorf("intersect(a, empty) = %v, want empty", got)
+	}
+
+	disjointComp := Heads{CompFiles: crdt.VersionVector{"x": 5}}
+	if got := intersectHeads(a, disjointComp); len(got) != 0 {
+		t.Errorf("disjoint components intersect to %v, want empty", got)
+	}
+
+	disjointActors := Heads{CompJSON: crdt.VersionVector{"z": 9}}
+	if got := intersectHeads(a, disjointActors); len(got[CompJSON]) != 0 {
+		t.Errorf("disjoint actors intersect to %v, want no shared knowledge", got)
+	}
+
+	overlap := Heads{CompJSON: crdt.VersionVector{"x": 3, "z": 1}}
+	want := Heads{CompJSON: crdt.VersionVector{"x": 3}}
+	if got := intersectHeads(a, overlap); !reflect.DeepEqual(got, want) {
+		t.Errorf("intersect(a, overlap) = %v, want %v", got, want)
+	}
+}
+
+// TestCompactAcknowledgedPartialAck checks that compaction after a
+// partial acknowledgment keeps exactly the unacknowledged tail: changes
+// every peer acked are dropped, changes written after the last sync
+// round survive and still replicate afterwards.
+func TestCompactAcknowledgedPartialAck(t *testing.T) {
+	clock := simclock.New()
+	master := newState(t, "cloud")
+	mgr, err := NewManager(clock, &Endpoint{Name: "cloud", State: master}, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges []*ReplicaState
+	for i := 0; i < 2; i++ {
+		edge, err := master.Fork(crdtActor("edge" + string(rune('0'+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges = append(edges, edge)
+		link, err := netem.NewDuplex(clock, netem.LimitedWAN(500, 100), int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mgr.AddEdge(&Endpoint{Name: "edge", State: edge}, link); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// With no rounds run, acknowledged knowledge is exactly the fork
+	// point: compaction may drop the pre-fork history both sides
+	// provably share, but must keep the fresh post-fork change.
+	if err := master.JSON.PutScalar("root", "acked", 1); err != nil {
+		t.Fatal(err)
+	}
+	mgr.CompactAcknowledged()
+	if master.HistoryLen() == 0 {
+		t.Fatal("compaction through the fork point dropped the unacknowledged change")
+	}
+
+	// Replicate and acknowledge the first batch.
+	mgr.Start()
+	clock.RunUntil(10 * time.Second)
+	mgr.Stop()
+	clock.Run()
+	if !mgr.Converged() {
+		t.Fatal("replicas did not converge before compaction")
+	}
+
+	// New changes on both sides that no peer has acknowledged yet.
+	if err := master.JSON.PutScalar("root", "pending-cloud", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := edges[0].JSON.PutScalar("root", "pending-edge", 3); err != nil {
+		t.Fatal(err)
+	}
+
+	ackedLen := master.HistoryLen()
+	dropped := mgr.CompactAcknowledged()
+	if dropped == 0 {
+		t.Fatal("no acknowledged history compacted")
+	}
+	if master.HistoryLen() >= ackedLen {
+		t.Fatalf("master history %d not reduced from %d", master.HistoryLen(), ackedLen)
+	}
+	if master.HistoryLen() == 0 {
+		t.Fatal("master compacted its unacknowledged tail away")
+	}
+
+	// The unacknowledged tail must still replicate after compaction.
+	mgr.Start()
+	clock.RunUntil(20 * time.Second)
+	mgr.Stop()
+	clock.Run()
+	if !mgr.Converged() {
+		t.Fatal("replicas did not converge after compaction")
+	}
+	for i, e := range edges {
+		if v, ok := e.JSON.MapGet("root", "acked"); !ok || v.Num != 1 {
+			t.Fatalf("edge%d acked = %v, %v", i, v, ok)
+		}
+		if v, ok := e.JSON.MapGet("root", "pending-cloud"); !ok || v.Num != 2 {
+			t.Fatalf("edge%d pending-cloud = %v, %v", i, v, ok)
+		}
+		if v, ok := e.JSON.MapGet("root", "pending-edge"); !ok || v.Num != 3 {
+			t.Fatalf("edge%d pending-edge = %v, %v", i, v, ok)
+		}
+	}
+}
+
+// TestCompactAcknowledgedNoEdges pins the degenerate case: with no
+// connections there is no acknowledged knowledge to compact through.
+func TestCompactAcknowledgedNoEdges(t *testing.T) {
+	master := newState(t, "cloud")
+	mgr, err := NewManager(simclock.New(), &Endpoint{Name: "cloud", State: master}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := master.JSON.PutScalar("root", "k", 1); err != nil {
+		t.Fatal(err)
+	}
+	if dropped := mgr.CompactAcknowledged(); dropped != 0 {
+		t.Fatalf("compacted %d changes with no edges", dropped)
+	}
+}

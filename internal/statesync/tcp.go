@@ -2,8 +2,6 @@ package statesync
 
 import (
 	"bufio"
-	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -35,66 +33,8 @@ import (
 // The virtual-time Manager remains the evaluation vehicle; this
 // transport is for deployments that span real processes.
 
-// frameKind tags wire frames.
-type frameKind string
-
-const (
-	frameHello     frameKind = "hello"
-	frameState     frameKind = "state"
-	frameHeartbeat frameKind = "heartbeat"
-)
-
-// frame is the wire message.
-type frame struct {
-	Kind  frameKind `json:"kind"`
-	From  string    `json:"from,omitempty"`
-	Heads Heads     `json:"heads,omitempty"`
-	Delta Delta     `json:"delta,omitempty"`
-}
-
-// maxFrameBytes bounds a frame to keep a misbehaving peer from forcing
-// unbounded allocation.
-const maxFrameBytes = 64 << 20
-
-// writeFrame encodes f as one length-prefixed write and returns the
-// bytes actually written — on a partial write the count reflects what
-// reached the wire, so traffic accounting stays truthful. Framing the
-// header and payload into a single Write also keeps a frame atomic with
-// respect to fault injection (a swallowed write loses a whole frame,
-// never half of one).
-func writeFrame(w io.Writer, f *frame) (int, error) {
-	payload, err := json.Marshal(f)
-	if err != nil {
-		return 0, fmt.Errorf("statesync: encoding frame: %w", err)
-	}
-	if len(payload) > maxFrameBytes {
-		return 0, fmt.Errorf("statesync: frame of %d bytes exceeds limit", len(payload))
-	}
-	buf := make([]byte, 4+len(payload))
-	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
-	copy(buf[4:], payload)
-	return w.Write(buf)
-}
-
-func readFrame(r io.Reader) (*frame, int, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, 0, err
-	}
-	size := binary.BigEndian.Uint32(hdr[:])
-	if size > maxFrameBytes {
-		return nil, 0, fmt.Errorf("statesync: frame of %d bytes exceeds limit", size)
-	}
-	payload := make([]byte, size)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, 0, err
-	}
-	var f frame
-	if err := json.Unmarshal(payload, &f); err != nil {
-		return nil, 0, fmt.Errorf("statesync: decoding frame: %w", err)
-	}
-	return &f, int(size) + 4, nil
-}
+// Wire-level framing — the frame type, compression, vectored writes,
+// and the in-flight window — lives in wire.go.
 
 // badHelloErr describes a failed hello exchange without ever wrapping a
 // nil error: when the frame decoded but carried the wrong kind, the
@@ -124,6 +64,18 @@ type TCPStats struct {
 	// teardowns.
 	Connects    int64
 	Disconnects int64
+	// AcksSent/AcksRecv count state frames acknowledged via watermark
+	// acks (sent only between windowing-capable peers).
+	AcksSent int64
+	AcksRecv int64
+	// OpsElided counts CRDT ops dropped by pre-send coalescing — ops a
+	// later op in the same batch provably eclipsed.
+	OpsElided int64
+	// WindowStalls counts pusher ticks skipped because the in-flight
+	// window was full (backpressure from a slow peer).
+	WindowStalls int64
+	// CompressedFrames counts outbound frames shipped flate-compressed.
+	CompressedFrames int64
 }
 
 // ConnState is an edge link's lifecycle phase.
@@ -159,22 +111,37 @@ type tcpObs struct {
 	// the edge's lifecycle gauge (0 disconnected, 1 reconnecting, 2
 	// connected).
 	edgesConnected, connState *obs.Gauge
+	// The statesync.batch family (mounted under the endpoint prefix)
+	// tracks the high-throughput send path: frames per vectored write,
+	// ops elided by coalescing, watermark acks, window backpressure,
+	// and compression.
+	batchAcksSent, batchAcksRecv          *obs.Counter
+	batchOpsElided, batchWindowStalls     *obs.Counter
+	batchCompressedFrames                 *obs.Counter
+	batchFramesPerWrite, batchChangesSent *obs.Histogram
 }
 
 func newTCPObs(o *obs.Obs, prefix string) tcpObs {
 	return tcpObs{
-		connects:       o.Counter(prefix + ".connects"),
-		disconnects:    o.Counter(prefix + ".disconnects"),
-		reconnects:     o.Counter(prefix + ".reconnects"),
-		dialErrors:     o.Counter(prefix + ".dial_errors"),
-		heartbeatsSent: o.Counter(prefix + ".heartbeats_sent"),
-		heartbeatsRecv: o.Counter(prefix + ".heartbeats_recv"),
-		bytesSent:      o.Counter(prefix + ".bytes_sent"),
-		bytesRecv:      o.Counter(prefix + ".bytes_recv"),
-		changesRecv:    o.Counter(prefix + ".changes_recv"),
-		changesApplied: o.Counter(prefix + ".changes_applied"),
-		edgesConnected: o.Gauge(prefix + ".edges_connected"),
-		connState:      o.Gauge(prefix + ".conn_state"),
+		connects:              o.Counter(prefix + ".connects"),
+		disconnects:           o.Counter(prefix + ".disconnects"),
+		reconnects:            o.Counter(prefix + ".reconnects"),
+		dialErrors:            o.Counter(prefix + ".dial_errors"),
+		heartbeatsSent:        o.Counter(prefix + ".heartbeats_sent"),
+		heartbeatsRecv:        o.Counter(prefix + ".heartbeats_recv"),
+		bytesSent:             o.Counter(prefix + ".bytes_sent"),
+		bytesRecv:             o.Counter(prefix + ".bytes_recv"),
+		changesRecv:           o.Counter(prefix + ".changes_recv"),
+		changesApplied:        o.Counter(prefix + ".changes_applied"),
+		edgesConnected:        o.Gauge(prefix + ".edges_connected"),
+		connState:             o.Gauge(prefix + ".conn_state"),
+		batchAcksSent:         o.Counter(prefix + ".batch.acks_sent"),
+		batchAcksRecv:         o.Counter(prefix + ".batch.acks_recv"),
+		batchOpsElided:        o.Counter(prefix + ".batch.ops_elided"),
+		batchWindowStalls:     o.Counter(prefix + ".batch.window_stalls"),
+		batchCompressedFrames: o.Counter(prefix + ".batch.compressed_frames"),
+		batchFramesPerWrite:   o.Histogram(prefix + ".batch.frames_per_write"),
+		batchChangesSent:      o.Histogram(prefix + ".batch.changes_per_push"),
 	}
 }
 
@@ -389,7 +356,14 @@ func (m *TCPMaster) serveConn(conn net.Conn) {
 	m.stats.BytesReceived += int64(n)
 	m.stats.FramesRecv++
 	m.o.bytesRecv.Add(int64(n))
-	reply := &frame{Kind: frameHello, Heads: m.ep.declaredHeads()}
+	reply := &frame{
+		Kind:  frameHello,
+		Heads: m.ep.declaredHeads(),
+		// Declare our window (asking the edge for acks) and accept
+		// compression only if both sides want it.
+		Window:   m.cfg.window(),
+		Compress: m.cfg.Compression && hello.Compress,
+	}
 	sent, err := writeFrame(conn, reply)
 	m.stats.BytesSent += int64(sent)
 	m.stats.FramesSent++
@@ -409,6 +383,7 @@ func (m *TCPMaster) serveConn(conn net.Conn) {
 		m.fail(err)
 		return
 	}
+	wc := newWireConn(conn, m.cfg, hello)
 
 	stop := make(chan struct{})
 	var once sync.Once
@@ -434,7 +409,7 @@ func (m *TCPMaster) serveConn(conn net.Conn) {
 			case <-stop:
 				return
 			case <-hbC:
-				n, err := writeFrame(conn, &frame{Kind: frameHeartbeat})
+				n, _, err := wc.writeFrames(&frame{Kind: frameHeartbeat})
 				m.mu.Lock()
 				m.stats.BytesSent += int64(n)
 				m.stats.FramesSent++
@@ -460,13 +435,41 @@ func (m *TCPMaster) serveConn(conn net.Conn) {
 				if delta.Empty() {
 					continue
 				}
-				n, err := writeFrame(conn, &frame{Kind: frameState, Delta: delta})
+				frames, elided := buildStateFrames(delta, m.cfg.batchChanges(), true)
+				granted := wc.reserveUpTo(len(frames))
+				if granted < len(frames) {
+					// Window backpressure: the edge has not acked enough of
+					// what we already pipelined. Ship what fits (possibly
+					// nothing); the cursor only advances past what was
+					// sent, so the rest retries next tick.
+					m.mu.Lock()
+					m.stats.WindowStalls++
+					m.o.batchWindowStalls.Add(1)
+					m.mu.Unlock()
+					if granted == 0 {
+						continue
+					}
+				}
+				sent := frames[:granted]
+				n, comp, err := wc.writeFrames(sent...)
 				m.mu.Lock()
 				m.stats.BytesSent += int64(n)
-				m.stats.FramesSent++
+				m.stats.FramesSent += int64(len(sent))
+				m.stats.OpsElided += int64(elided)
+				m.stats.CompressedFrames += int64(comp)
 				m.o.bytesSent.Add(int64(n))
+				m.o.batchOpsElided.Add(int64(elided))
+				m.o.batchCompressedFrames.Add(int64(comp))
+				m.o.batchFramesPerWrite.Observe(float64(len(sent)))
+				m.o.batchChangesSent.Observe(float64(delta.Changes()))
 				if err == nil {
-					peerKnown = heads
+					if granted == len(frames) {
+						peerKnown = heads
+					} else {
+						for _, f := range sent {
+							peerKnown = advanceHeads(peerKnown, f.Delta)
+						}
+					}
 				}
 				m.mu.Unlock()
 				if err != nil {
@@ -477,8 +480,8 @@ func (m *TCPMaster) serveConn(conn net.Conn) {
 		}
 	}()
 
-	// Reader: apply inbound edge_state, count heartbeats, and treat a
-	// silent peer as dead once the read deadline lapses.
+	// Reader: apply inbound edge_state, count heartbeats and acks, and
+	// treat a silent peer as dead once the read deadline lapses.
 	for {
 		if m.cfg.ReadTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(m.cfg.ReadTimeout))
@@ -490,6 +493,7 @@ func (m *TCPMaster) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		ackNow := 0
 		m.mu.Lock()
 		m.stats.BytesReceived += int64(n)
 		m.stats.FramesRecv++
@@ -499,6 +503,10 @@ func (m *TCPMaster) serveConn(conn net.Conn) {
 		case frameHeartbeat:
 			m.stats.HeartbeatsRecv++
 			m.o.heartbeatsRecv.Add(1)
+		case frameAck:
+			wc.ackRecv(f.Acked)
+			m.stats.AcksRecv += int64(f.Acked)
+			m.o.batchAcksRecv.Add(int64(f.Acked))
 		case frameState:
 			recv := int64(f.Delta.Changes())
 			m.stats.ChangesRecv += recv
@@ -510,11 +518,30 @@ func (m *TCPMaster) serveConn(conn net.Conn) {
 			// The edge evidently knows these operations — advance the
 			// send cursor past them so they are not echoed back.
 			peerKnown = advanceHeads(peerKnown, f.Delta)
+			if applyErr == nil {
+				// The delta is applied and persisted (persist-before-ack
+				// inside applyCount) — safe to acknowledge.
+				ackNow = wc.noteState(r.Buffered() == 0)
+			}
 		}
 		m.mu.Unlock()
 		if applyErr != nil {
 			m.fail(applyErr)
 			return
+		}
+		if ackNow > 0 {
+			n, _, err := wc.writeFrames(&frame{Kind: frameAck, Acked: ackNow})
+			m.mu.Lock()
+			m.stats.BytesSent += int64(n)
+			m.stats.FramesSent++
+			m.stats.AcksSent += int64(ackNow)
+			m.o.bytesSent.Add(int64(n))
+			m.o.batchAcksSent.Add(int64(ackNow))
+			m.mu.Unlock()
+			if err != nil {
+				m.fail(err)
+				return
+			}
 		}
 	}
 }
@@ -572,13 +599,13 @@ func DialEdgeConfig(addr string, ep *Endpoint, cfg TCPConfig) (*TCPEdge, error) 
 		stop: make(chan struct{}),
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 	}
-	conn, r, err := e.connect()
+	conn, r, wc, err := e.connect()
 	if err != nil {
 		return nil, err
 	}
 	e.setState(ConnConnected, nil)
 	e.wg.Add(1)
-	go e.supervise(conn, r)
+	go e.supervise(conn, r, wc)
 	return e, nil
 }
 
@@ -664,10 +691,10 @@ func (e *TCPEdge) setState(s ConnState, err error) {
 // declares its current heads, the master replies with its own, and both
 // sides resume delta exchange from exactly that knowledge — the
 // re-handshake that makes a partition lossless and duplicate-free.
-func (e *TCPEdge) connect() (net.Conn, *bufio.Reader, error) {
+func (e *TCPEdge) connect() (net.Conn, *bufio.Reader, *wireConn, error) {
 	conn, err := e.cfg.dial(e.addr)
 	if err != nil {
-		return nil, nil, fmt.Errorf("statesync: dial: %w", err)
+		return nil, nil, nil, fmt.Errorf("statesync: dial: %w", err)
 	}
 	if e.cfg.DialTimeout > 0 {
 		_ = conn.SetDeadline(time.Now().Add(e.cfg.DialTimeout))
@@ -679,7 +706,13 @@ func (e *TCPEdge) connect() (net.Conn, *bufio.Reader, error) {
 	heads := e.ep.declaredHeads()
 	name := e.ep.Name
 	e.mu.Unlock()
-	n, err := writeFrame(conn, &frame{Kind: frameHello, From: name, Heads: heads})
+	n, err := writeFrame(conn, &frame{
+		Kind: frameHello, From: name, Heads: heads,
+		// Declare our window (asking the master for acks) and offer
+		// compression; the master's reply carries the conjunction.
+		Window:   e.cfg.window(),
+		Compress: e.cfg.Compression,
+	})
 	e.mu.Lock()
 	e.stats.BytesSent += int64(n)
 	e.stats.FramesSent++
@@ -687,13 +720,13 @@ func (e *TCPEdge) connect() (net.Conn, *bufio.Reader, error) {
 	e.mu.Unlock()
 	if err != nil {
 		_ = conn.Close()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	r := bufio.NewReader(conn)
 	hello, hn, err := readFrame(r)
 	if err != nil || hello.Kind != frameHello {
 		_ = conn.Close()
-		return nil, nil, badHelloErr("master hello", hello, err)
+		return nil, nil, nil, badHelloErr("master hello", hello, err)
 	}
 	_ = conn.SetDeadline(time.Time{})
 	e.mu.Lock()
@@ -707,18 +740,18 @@ func (e *TCPEdge) connect() (net.Conn, *bufio.Reader, error) {
 	e.mu.Unlock()
 	if e.stopped() {
 		_ = conn.Close()
-		return nil, nil, net.ErrClosed
+		return nil, nil, nil, net.ErrClosed
 	}
-	return conn, r, nil
+	return conn, r, newWireConn(conn, e.cfg, hello), nil
 }
 
 // supervise owns the edge's connection lifecycle: run a session until
 // the link fails, then reconnect with backoff and repeat, until Close
 // or (with MaxRetries set) the retry budget is exhausted.
-func (e *TCPEdge) supervise(conn net.Conn, r *bufio.Reader) {
+func (e *TCPEdge) supervise(conn net.Conn, r *bufio.Reader, wc *wireConn) {
 	defer e.wg.Done()
 	for {
-		e.runSession(conn, r)
+		e.runSession(conn, r, wc)
 		e.mu.Lock()
 		e.conn = nil
 		e.stats.Disconnects++
@@ -730,7 +763,7 @@ func (e *TCPEdge) supervise(conn net.Conn, r *bufio.Reader) {
 		}
 		e.setState(ConnReconnecting, nil)
 		var ok bool
-		conn, r, ok = e.reconnect()
+		conn, r, wc, ok = e.reconnect()
 		if !ok {
 			return
 		}
@@ -745,33 +778,33 @@ func (e *TCPEdge) supervise(conn net.Conn, r *bufio.Reader) {
 // reconnect retries connect under the backoff schedule. It returns
 // ok=false when Close intervened or MaxRetries was exhausted (the
 // terminal state is recorded before returning).
-func (e *TCPEdge) reconnect() (net.Conn, *bufio.Reader, bool) {
+func (e *TCPEdge) reconnect() (net.Conn, *bufio.Reader, *wireConn, bool) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if e.cfg.MaxRetries > 0 && attempt >= e.cfg.MaxRetries {
 			err := fmt.Errorf("statesync: giving up after %d reconnect attempts: %w", attempt, lastErr)
 			e.setState(ConnDisconnected, err)
 			e.fail(err)
-			return nil, nil, false
+			return nil, nil, nil, false
 		}
 		delay := e.cfg.Backoff.Delay(attempt, e.rng)
 		select {
 		case <-e.stop:
 			e.setState(ConnDisconnected, nil)
-			return nil, nil, false
+			return nil, nil, nil, false
 		case <-time.After(delay):
 		}
 		e.mu.Lock()
 		e.status.DialAttempts++
 		e.mu.Unlock()
-		conn, r, err := e.connect()
+		conn, r, wc, err := e.connect()
 		if err != nil {
 			lastErr = err
 			e.o.dialErrors.Add(1)
 			e.setState(ConnReconnecting, err)
 			continue
 		}
-		return conn, r, true
+		return conn, r, wc, true
 	}
 }
 
@@ -779,7 +812,7 @@ func (e *TCPEdge) reconnect() (net.Conn, *bufio.Reader, bool) {
 // deltas and heartbeats while the reader (this goroutine) applies
 // inbound cloud_state under a dead-peer read deadline. It returns once
 // the connection is unusable; the connection is closed on return.
-func (e *TCPEdge) runSession(conn net.Conn, r *bufio.Reader) {
+func (e *TCPEdge) runSession(conn net.Conn, r *bufio.Reader, wc *wireConn) {
 	stop := make(chan struct{})
 	var once sync.Once
 	shutdown := func() { once.Do(func() { close(stop); _ = conn.Close() }) }
@@ -804,7 +837,7 @@ func (e *TCPEdge) runSession(conn net.Conn, r *bufio.Reader) {
 			case <-e.stop:
 				return
 			case <-hbC:
-				n, err := writeFrame(conn, &frame{Kind: frameHeartbeat})
+				n, _, err := wc.writeFrames(&frame{Kind: frameHeartbeat})
 				e.mu.Lock()
 				e.stats.BytesSent += int64(n)
 				e.stats.FramesSent++
@@ -830,13 +863,40 @@ func (e *TCPEdge) runSession(conn net.Conn, r *bufio.Reader) {
 				if delta.Empty() {
 					continue
 				}
-				n, err := writeFrame(conn, &frame{Kind: frameState, Delta: delta})
+				frames, elided := buildStateFrames(delta, e.cfg.batchChanges(), true)
+				granted := wc.reserveUpTo(len(frames))
+				if granted < len(frames) {
+					// Window backpressure: ship what fits (possibly
+					// nothing); the cursor only advances past what was
+					// sent, so the rest retries next tick.
+					e.mu.Lock()
+					e.stats.WindowStalls++
+					e.o.batchWindowStalls.Add(1)
+					e.mu.Unlock()
+					if granted == 0 {
+						continue
+					}
+				}
+				sent := frames[:granted]
+				n, comp, err := wc.writeFrames(sent...)
 				e.mu.Lock()
 				e.stats.BytesSent += int64(n)
-				e.stats.FramesSent++
+				e.stats.FramesSent += int64(len(sent))
+				e.stats.OpsElided += int64(elided)
+				e.stats.CompressedFrames += int64(comp)
 				e.o.bytesSent.Add(int64(n))
+				e.o.batchOpsElided.Add(int64(elided))
+				e.o.batchCompressedFrames.Add(int64(comp))
+				e.o.batchFramesPerWrite.Observe(float64(len(sent)))
+				e.o.batchChangesSent.Observe(float64(delta.Changes()))
 				if err == nil {
-					e.peerKnown = heads
+					if granted == len(frames) {
+						e.peerKnown = heads
+					} else {
+						for _, f := range sent {
+							e.peerKnown = advanceHeads(e.peerKnown, f.Delta)
+						}
+					}
 				}
 				e.mu.Unlock()
 				if err != nil {
@@ -858,6 +918,7 @@ func (e *TCPEdge) runSession(conn net.Conn, r *bufio.Reader) {
 			}
 			return
 		}
+		ackNow := 0
 		e.mu.Lock()
 		e.stats.BytesReceived += int64(n)
 		e.stats.FramesRecv++
@@ -867,6 +928,10 @@ func (e *TCPEdge) runSession(conn net.Conn, r *bufio.Reader) {
 		case frameHeartbeat:
 			e.stats.HeartbeatsRecv++
 			e.o.heartbeatsRecv.Add(1)
+		case frameAck:
+			wc.ackRecv(f.Acked)
+			e.stats.AcksRecv += int64(f.Acked)
+			e.o.batchAcksRecv.Add(int64(f.Acked))
 		case frameState:
 			recv := int64(f.Delta.Changes())
 			e.stats.ChangesRecv += recv
@@ -878,11 +943,30 @@ func (e *TCPEdge) runSession(conn net.Conn, r *bufio.Reader) {
 			// The master evidently knows these operations — advance the
 			// send cursor past them so they are not echoed back.
 			e.peerKnown = advanceHeads(e.peerKnown, f.Delta)
+			if applyErr == nil {
+				// Applied and persisted (persist-before-ack inside
+				// applyCount) — safe to acknowledge.
+				ackNow = wc.noteState(r.Buffered() == 0)
+			}
 		}
 		e.mu.Unlock()
 		if applyErr != nil {
 			e.fail(applyErr)
 			return
+		}
+		if ackNow > 0 {
+			n, _, err := wc.writeFrames(&frame{Kind: frameAck, Acked: ackNow})
+			e.mu.Lock()
+			e.stats.BytesSent += int64(n)
+			e.stats.FramesSent++
+			e.stats.AcksSent += int64(ackNow)
+			e.o.bytesSent.Add(int64(n))
+			e.o.batchAcksSent.Add(int64(ackNow))
+			e.mu.Unlock()
+			if err != nil {
+				e.fail(err)
+				return
+			}
 		}
 	}
 }

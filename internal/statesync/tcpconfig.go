@@ -65,6 +65,58 @@ type TCPConfig struct {
 	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
 	// Seed makes the backoff jitter deterministic (0 is a valid seed).
 	Seed int64
+
+	// Compression enables per-frame flate (level 1) compression for
+	// frames of at least MinCompressBytes. It takes effect only when
+	// both peers enable it — the hello exchange negotiates — so it is
+	// safe to roll out one side at a time.
+	Compression bool
+	// MinCompressBytes is the smallest frame payload worth compressing
+	// (0 = default 512). Small frames skip compression: the flate
+	// header overhead exceeds the win.
+	MinCompressBytes int
+	// MaxBatchChanges caps the CRDT changes carried by one state frame;
+	// a larger delta is chunked into several frames shipped in a single
+	// vectored write (0 = default 64, negative = unlimited).
+	MaxBatchChanges int
+	// MaxInFlight bounds unacknowledged outbound state frames; when the
+	// window is full the pusher skips ticks until watermark acks drain
+	// it, so a slow peer never accumulates an unbounded backlog
+	// (0 = default 32, negative = windowing disabled). Windowing also
+	// disables itself toward peers that predate acks.
+	MaxInFlight int
+}
+
+// minCompressBytes resolves the effective compression threshold.
+func (c TCPConfig) minCompressBytes() int {
+	if c.MinCompressBytes > 0 {
+		return c.MinCompressBytes
+	}
+	return 512
+}
+
+// batchChanges resolves the effective per-frame change cap.
+func (c TCPConfig) batchChanges() int {
+	switch {
+	case c.MaxBatchChanges > 0:
+		return c.MaxBatchChanges
+	case c.MaxBatchChanges < 0:
+		return int(^uint(0) >> 1) // unlimited
+	default:
+		return 64
+	}
+}
+
+// window resolves the effective in-flight window (0 = disabled).
+func (c TCPConfig) window() int {
+	switch {
+	case c.MaxInFlight > 0:
+		return c.MaxInFlight
+	case c.MaxInFlight < 0:
+		return 0
+	default:
+		return 32
+	}
 }
 
 // DefaultTCPConfig returns the supervision-grade defaults at the given

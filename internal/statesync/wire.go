@@ -1,0 +1,344 @@
+package statesync
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/crdt"
+)
+
+// This file is the TCP transport's wire layer: frame encoding (with
+// optional per-frame flate compression negotiated in the hello
+// exchange), vectored multi-frame writes, and the bounded in-flight
+// window with watermark acknowledgements that lets the pusher pipeline
+// state frames without ever buffering an unbounded backlog at a slow
+// peer. tcp.go owns connection lifecycle and drives this layer.
+
+// frameKind tags wire frames.
+type frameKind string
+
+const (
+	frameHello     frameKind = "hello"
+	frameState     frameKind = "state"
+	frameHeartbeat frameKind = "heartbeat"
+	// frameAck acknowledges Acked state frames (watermark acks, sent
+	// only to peers that declared a window in their hello). Peers that
+	// predate it ignore unknown kinds, so it is backward compatible.
+	frameAck frameKind = "ack"
+)
+
+// frame is the wire message.
+type frame struct {
+	Kind  frameKind `json:"kind"`
+	From  string    `json:"from,omitempty"`
+	Heads Heads     `json:"heads,omitempty"`
+	Delta Delta     `json:"delta,omitempty"`
+	// Window (hello only) declares the sender's in-flight state-frame
+	// cap; a nonzero value asks the receiver for watermark acks. Old
+	// peers leave it zero, which disables windowing toward them.
+	Window int `json:"window,omitempty"`
+	// Compress (hello only) offers/accepts per-frame compression. The
+	// edge offers its configured preference; the master replies with
+	// the conjunction, so both sides agree.
+	Compress bool `json:"compress,omitempty"`
+	// Acked (ack only) is the number of state frames acknowledged.
+	Acked int `json:"acked,omitempty"`
+}
+
+// maxFrameBytes bounds a frame to keep a misbehaving peer from forcing
+// unbounded allocation. It must stay below 1<<31 because the length
+// word's top bit is the compression flag.
+const maxFrameBytes = 64 << 20
+
+// frameCompressed marks a compressed payload in the length prefix. The
+// payload length of an uncompressed frame can never have this bit set
+// (maxFrameBytes < 1<<31), so old decoders reject compressed frames as
+// oversized instead of misparsing them — and compression is negotiated,
+// so they never see one.
+const frameCompressed = 1 << 31
+
+// writeFrame encodes f as one length-prefixed write and returns the
+// bytes actually written — on a partial write the count reflects what
+// reached the wire, so traffic accounting stays truthful. Framing the
+// header and payload into a single Write also keeps a frame atomic with
+// respect to fault injection (a swallowed write loses a whole frame,
+// never half of one). Handshake frames use it directly; established
+// sessions write through a wireConn.
+func writeFrame(w io.Writer, f *frame) (int, error) {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return 0, fmt.Errorf("statesync: encoding frame: %w", err)
+	}
+	if len(payload) > maxFrameBytes {
+		return 0, fmt.Errorf("statesync: frame of %d bytes exceeds limit", len(payload))
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	return w.Write(buf)
+}
+
+// readFrame reads one frame, transparently inflating compressed
+// payloads. The returned byte count is wire bytes (compressed size), so
+// traffic accounting reflects what actually crossed the network.
+func readFrame(r io.Reader) (*frame, int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	word := binary.BigEndian.Uint32(hdr[:])
+	compressed := word&frameCompressed != 0
+	size := word &^ frameCompressed
+	if size > maxFrameBytes {
+		return nil, 0, fmt.Errorf("statesync: frame of %d bytes exceeds limit", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, err
+	}
+	if compressed {
+		fr := flate.NewReader(bytes.NewReader(payload))
+		inflated, err := io.ReadAll(io.LimitReader(fr, maxFrameBytes+1))
+		if cerr := fr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("statesync: inflating frame: %w", err)
+		}
+		if len(inflated) > maxFrameBytes {
+			return nil, 0, fmt.Errorf("statesync: inflated frame exceeds limit")
+		}
+		payload = inflated
+	}
+	var f frame
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return nil, 0, fmt.Errorf("statesync: decoding frame: %w", err)
+	}
+	return &f, int(size) + 4, nil
+}
+
+// wireConn wraps an established (post-hello) connection with the
+// negotiated session features: a write mutex so the pusher's state
+// frames and the reader's acks never interleave mid-frame, optional
+// outbound compression, and the send-side in-flight window plus
+// receive-side ack watermark.
+type wireConn struct {
+	c net.Conn
+
+	// wmu serializes whole writes; fw and cbuf (the reusable flate
+	// writer and its output buffer) are guarded by it.
+	wmu  sync.Mutex
+	fw   *flate.Writer
+	cbuf bytes.Buffer
+
+	// compress enables outbound compression for payloads of at least
+	// minCompress bytes; immutable after negotiation.
+	compress    bool
+	minCompress int
+
+	// sendWindow caps unacknowledged outbound state frames (0 = peer
+	// does not ack, windowing off). ackWatermark is the receive-side
+	// threshold at which pending inbound state frames are acknowledged
+	// (0 = peer does not window, never ack). Immutable after
+	// negotiation.
+	sendWindow   int
+	ackWatermark int
+
+	mu          sync.Mutex
+	inflight    int // state frames written, not yet acked
+	pendingAcks int // state frames applied, not yet acked
+}
+
+// newWireConn negotiates session features from the local config and the
+// peer's hello: compression iff both sides enabled it, send windowing
+// iff the peer declared a window (it promises acks), and watermark acks
+// toward any peer that windows.
+func newWireConn(c net.Conn, cfg TCPConfig, peer *frame) *wireConn {
+	w := &wireConn{
+		c:           c,
+		compress:    cfg.Compression && peer.Compress,
+		minCompress: cfg.minCompressBytes(),
+	}
+	if peer.Window > 0 {
+		w.sendWindow = cfg.window()
+		w.ackWatermark = max(1, peer.Window/4)
+	}
+	return w
+}
+
+// encodeWireFrame serializes f into one wire blob (length word +
+// payload), compressing when negotiated and worthwhile. Callers hold
+// w.wmu. It reports whether the frame went out compressed.
+func (w *wireConn) encodeWireFrame(f *frame) ([]byte, bool, error) {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return nil, false, fmt.Errorf("statesync: encoding frame: %w", err)
+	}
+	if len(payload) > maxFrameBytes {
+		return nil, false, fmt.Errorf("statesync: frame of %d bytes exceeds limit", len(payload))
+	}
+	compressed := false
+	if w.compress && len(payload) >= w.minCompress {
+		if w.fw == nil {
+			// BestSpeed: the goal is shipping fewer bytes per syscall on
+			// large CRDT-Files payloads, not maximal ratio.
+			w.fw, _ = flate.NewWriter(nil, flate.BestSpeed)
+		}
+		w.cbuf.Reset()
+		w.fw.Reset(&w.cbuf)
+		if _, err := w.fw.Write(payload); err == nil && w.fw.Close() == nil {
+			if w.cbuf.Len() < len(payload) {
+				payload = append([]byte(nil), w.cbuf.Bytes()...)
+				compressed = true
+			}
+		}
+	}
+	buf := make([]byte, 4+len(payload))
+	word := uint32(len(payload))
+	if compressed {
+		word |= frameCompressed
+	}
+	binary.BigEndian.PutUint32(buf, word)
+	copy(buf[4:], payload)
+	return buf, compressed, nil
+}
+
+// writeFrames ships the given frames in one vectored write (writev on a
+// real TCP conn via net.Buffers; per-frame writes on wrapped conns, so
+// fault injection still drops whole frames). It returns total bytes
+// written and how many frames went out compressed.
+func (w *wireConn) writeFrames(frames ...*frame) (int, int, error) {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	bufs := make(net.Buffers, 0, len(frames))
+	compressed := 0
+	for _, f := range frames {
+		blob, comp, err := w.encodeWireFrame(f)
+		if err != nil {
+			return 0, 0, err
+		}
+		if comp {
+			compressed++
+		}
+		bufs = append(bufs, blob)
+	}
+	n, err := bufs.WriteTo(w.c)
+	return int(n), compressed, err
+}
+
+// reserveUpTo claims as many of k requested window slots as fit,
+// returning the number granted (possibly 0). A push larger than the
+// free window goes out truncated — the caller ships the granted prefix
+// and retries the rest next tick — so in-flight data stays bounded no
+// matter how large a delta gets.
+func (w *wireConn) reserveUpTo(k int) int {
+	if w.sendWindow == 0 {
+		return k
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	avail := w.sendWindow - w.inflight
+	if avail <= 0 {
+		return 0
+	}
+	if avail < k {
+		k = avail
+	}
+	w.inflight += k
+	return k
+}
+
+// ackRecv releases k window slots on an inbound ack.
+func (w *wireConn) ackRecv(k int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.inflight -= k
+	if w.inflight < 0 {
+		w.inflight = 0
+	}
+}
+
+// noteState records one applied inbound state frame and returns how
+// many to acknowledge now: pending reaches the watermark, or drained
+// reports the read buffer is empty (the burst is over, flush so the
+// sender's window frees promptly). Returns 0 toward peers that do not
+// window.
+func (w *wireConn) noteState(drained bool) int {
+	if w.ackWatermark == 0 {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pendingAcks++
+	if w.pendingAcks >= w.ackWatermark || drained {
+		k := w.pendingAcks
+		w.pendingAcks = 0
+		return k
+	}
+	return 0
+}
+
+// stateFrameOrder fixes the component emission order so chunked deltas
+// are deterministic; unknown components follow in map order.
+var stateFrameOrder = []string{CompJSON, CompTables, CompFiles}
+
+// buildStateFrames coalesces a delta (dropping ops that later ops in
+// the same batch provably eclipse — see crdt.CoalesceChanges) and
+// chunks it into state frames of at most maxChanges changes each,
+// preserving per-component change order. It returns the frames plus the
+// number of ops elided. The delta map is mutated (its slices are not).
+func buildStateFrames(delta Delta, maxChanges int, coalesce bool) ([]*frame, int) {
+	elided := 0
+	if coalesce {
+		for comp, chs := range delta {
+			cc, dropped := crdt.CoalesceChanges(chs)
+			delta[comp] = cc
+			elided += dropped
+		}
+	}
+	comps := make([]string, 0, len(delta))
+	seen := map[string]bool{}
+	for _, c := range stateFrameOrder {
+		if len(delta[c]) > 0 {
+			comps = append(comps, c)
+			seen[c] = true
+		}
+	}
+	for c, chs := range delta {
+		if !seen[c] && len(chs) > 0 {
+			comps = append(comps, c)
+		}
+	}
+	var frames []*frame
+	cur := Delta{}
+	count := 0
+	flush := func() {
+		if count > 0 {
+			frames = append(frames, &frame{Kind: frameState, Delta: cur})
+			cur, count = Delta{}, 0
+		}
+	}
+	for _, comp := range comps {
+		chs := delta[comp]
+		for len(chs) > 0 {
+			take := maxChanges - count
+			if take > len(chs) {
+				take = len(chs)
+			}
+			cur[comp] = append(cur[comp], chs[:take]...)
+			count += take
+			chs = chs[take:]
+			if count >= maxChanges {
+				flush()
+			}
+		}
+	}
+	flush()
+	return frames, elided
+}
