@@ -50,6 +50,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/httpapp"
 	"repro/internal/obs"
+	"repro/internal/script"
 	"repro/internal/simclock"
 	"repro/internal/workload"
 )
@@ -68,7 +69,12 @@ func main() {
 	fsync := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always, interval, or never")
 	snapshotEvery := flag.Int("snapshot-every", 0, "compact a node's WAL after this many persisted changes (0 = never)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the life of the run")
+	treeWalk := flag.Bool("tree-walk", false, "run service scripts on the tree-walking reference evaluator instead of the bytecode VM")
 	flag.Parse()
+
+	if *treeWalk {
+		script.SetReferenceEvalDefault(true)
+	}
 
 	if *pprofAddr != "" {
 		// The profiling endpoint lives for the whole process; runs are

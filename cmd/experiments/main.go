@@ -6,7 +6,7 @@
 //	experiments -exp all
 //	experiments -exp table2
 //	experiments -exp rtt|fig6b|fig7|fig8|fig9|fig10a|fig10b|accuracy|ablations
-//	experiments -exp bench -benchout BENCH_pipeline.json -durableout BENCH_durable.json -statesyncout BENCH_statesync.json
+//	experiments -exp bench -benchout BENCH_pipeline.json -durableout BENCH_durable.json -statesyncout BENCH_statesync.json -serveout BENCH_serve.json
 package main
 
 import (
@@ -22,6 +22,7 @@ func main() {
 	benchOut := flag.String("benchout", "BENCH_pipeline.json", "output path for the -exp bench perf report")
 	durableOut := flag.String("durableout", "BENCH_durable.json", "output path for the -exp bench durability report")
 	statesyncOut := flag.String("statesyncout", "BENCH_statesync.json", "output path for the -exp bench replication report")
+	serveOut := flag.String("serveout", "BENCH_serve.json", "output path for the -exp bench serve-path report")
 	flag.Parse()
 	if *exp == "bench" {
 		if err := runBench(*benchOut); err != nil {
@@ -33,6 +34,10 @@ func main() {
 			os.Exit(1)
 		}
 		if err := runBenchStatesync(*statesyncOut); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := runBenchServe(*serveOut); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/script"
+	"repro/internal/workload"
+)
+
+// TestTraceParityAcrossEvaluators re-collects the RW-LOG traces that
+// feed the whole analysis pipeline under both evaluators — the bytecode
+// VM and the tree-walking reference — and requires identical statement
+// order, RW facts, invoke records, and DB shadow-mutations. The
+// downstream analyses (dependence facts, SQL/file detection, extract
+// candidates) are pure functions of these traces, so trace equality
+// pins pipeline equality.
+func TestTraceParityAcrossEvaluators(t *testing.T) {
+	for _, name := range []string{"notes", "bookworm", "sensor-hub"} {
+		t.Run(name, func(t *testing.T) {
+			subj, err := workload.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vmApp, err := subj.NewApp()
+			if err != nil {
+				t.Fatal(err)
+			}
+			refApp, err := subj.NewApp()
+			if err != nil {
+				t.Fatal(err)
+			}
+			refApp.Interp().SetReferenceEval(true)
+
+			for ri, req := range subj.RegressionVectors() {
+				vmTr := Collect(vmApp, req)
+				refTr := Collect(refApp, req)
+				if got, want := renderTrace(vmTr), renderTrace(refTr); got != want {
+					t.Fatalf("request %d (%s %s): trace diverged:\n--- vm ---\n%s\n--- ref ---\n%s",
+						ri, req.Method, req.Path, got, want)
+				}
+			}
+		})
+	}
+}
+
+// renderTrace flattens a trace into a canonical text form for
+// comparison (values via script.ToString, which sorts map keys).
+func renderTrace(tr *Trace) string {
+	out := "stmts:"
+	for _, id := range tr.StmtOrder {
+		out += fmt.Sprintf(" %d", id)
+	}
+	out += "\nrw:\n"
+	for _, ev := range tr.RW {
+		kind := "R"
+		if ev.Write {
+			kind = "W"
+		}
+		out += fmt.Sprintf("  %d %s %d %s %s\n", ev.Step, kind, ev.Stmt, ev.Var, script.ToString(ev.Val))
+	}
+	out += "invokes:\n"
+	for _, iv := range tr.Invokes {
+		out += fmt.Sprintf("  %d %d %s/%d %s\n", iv.Step, iv.Stmt, iv.Fn, len(iv.Args), script.ToString(iv.Result))
+	}
+	out += "db:\n"
+	for _, dm := range tr.DBMutations {
+		out += fmt.Sprintf("  %d %+v\n", dm.Stmt, dm.Mutation)
+	}
+	if tr.Err != nil {
+		out += "err: " + tr.Err.Error() + "\n"
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/httpapp"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// newServeStack builds one edge serving stack (clock, node, server)
+// over a fresh instance of the sensor-hub subject, optionally pinned to
+// the tree-walking reference evaluator, with the store warmed by a few
+// ingest requests so read services have data to chew on.
+func newServeStack(tb testing.TB, refEval bool) (*Server, *simclock.Clock, workload.Subject) {
+	tb.Helper()
+	subj, err := workload.ByName("sensor-hub")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	app, err := subj.NewApp()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	app.Interp().SetReferenceEval(refEval)
+	clock := simclock.New()
+	server := NewServer("edge0", NewNode(clock, RPi4Spec), app)
+	for i := 0; i < 32; i++ {
+		server.Handle(subj.SampleRequest(0, i, 42), func(*httpapp.Response, time.Duration, error) {})
+		clock.Run()
+	}
+	return server, clock, subj
+}
+
+// benchmarkServe measures the edge serve path end to end — balancer-side
+// Handle, handler execution in the script interpreter, simulated node
+// latency — on the subject's primary ingest service, whose summarize
+// loop over the posted samples makes it the interpreter-bound service
+// class the paper targets. refEval selects the tree-walking reference
+// evaluator instead of the bytecode VM.
+func benchmarkServe(b *testing.B, refEval bool) {
+	server, clock, subj := newServeStack(b, refEval)
+	req := subj.SampleRequest(subj.Primary, 0, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		server.Handle(req, func(*httpapp.Response, time.Duration, error) {})
+		clock.Run()
+	}
+}
+
+func BenchmarkServeCompiled(b *testing.B) { benchmarkServe(b, false) }
+func BenchmarkServeTreeWalk(b *testing.B) { benchmarkServe(b, true) }
+
+// benchmarkServeMixed drives a request mix over every service (writes
+// included), so the interpreter share of the serve path is smaller and
+// the speedup is correspondingly more modest than the primary-service
+// numbers.
+func benchmarkServeMixed(b *testing.B, refEval bool) {
+	server, clock, subj := newServeStack(b, refEval)
+	const nreqs = 64
+	reqs := make([]*httpapp.Request, 0, nreqs)
+	for i := 0; i < nreqs; i++ {
+		reqs = append(reqs, subj.SampleRequest(i%len(subj.Services), i, 42))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		server.Handle(reqs[i%nreqs], func(*httpapp.Response, time.Duration, error) {})
+		clock.Run()
+	}
+}
+
+func BenchmarkServeMixedCompiled(b *testing.B) { benchmarkServeMixed(b, false) }
+func BenchmarkServeMixedTreeWalk(b *testing.B) { benchmarkServeMixed(b, true) }
+
+// TestConcurrentServeCompiled pins the concurrency contract of the
+// compiled interpreter under the race detector: one interpreter per
+// service instance, invocations serialized per instance — while the
+// process-wide machine pool and per-program bytecode caches are shared
+// by all instances. Each goroutine owns a full serving stack (clock,
+// node, server, app instance) over the same subject source.
+func TestConcurrentServeCompiled(t *testing.T) {
+	subj, err := workload.ByName("sensor-hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const requests = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			app, err := subj.NewApp()
+			if err != nil {
+				errs <- err
+				return
+			}
+			clock := simclock.New()
+			server := NewServer(fmt.Sprintf("edge%d", g), NewNode(clock, RPi4Spec), app)
+			for i := 0; i < requests; i++ {
+				req := subj.SampleRequest(i%len(subj.Services), i, int64(g))
+				var handleErr error
+				server.Handle(req, func(resp *httpapp.Response, lat time.Duration, err error) {
+					handleErr = err
+				})
+				clock.Run()
+				if handleErr != nil {
+					errs <- fmt.Errorf("edge%d request %d: %w", g, i, handleErr)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

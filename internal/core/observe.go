@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/obs"
+	"repro/internal/script"
 	"repro/internal/statesync"
 )
 
@@ -69,6 +70,20 @@ type EdgeObservation struct {
 	Active bool `json:"active"`
 }
 
+// observeVM copies the script interpreter's process-wide VM counters
+// (script.ReadVMStats) into the metrics registry as `script.*` gauges,
+// so the snapshot records the bytecode compiler/cache/frame-pool state
+// at observe time alongside the deployment's own metrics.
+func observeVM(o *obs.Obs) {
+	vs := script.ReadVMStats()
+	o.Gauge("script.programs_compiled").Set(float64(vs.ProgramsCompiled))
+	o.Gauge("script.funcs_compiled").Set(float64(vs.FuncsCompiled))
+	o.Gauge("script.compile_ms").Set(float64(vs.CompileNs) / 1e6)
+	o.Gauge("script.bytecode_cache_hits").Set(float64(vs.BytecodeCacheHits))
+	o.Gauge("script.frames_pooled").Set(float64(vs.FramesPooled))
+	o.Gauge("script.frames_allocated").Set(float64(vs.FramesAllocated))
+}
+
 // Observe captures an introspection snapshot of the deployment. It is
 // safe to call at any point in the deployment's lifetime, repeatedly,
 // and on a deployment created without observability (the trace/metrics
@@ -83,6 +98,7 @@ func Observe(d *Deployment) Observation {
 		o.StateSync = d.Sync.Stats()
 	}
 	if d.Obs != nil {
+		observeVM(d.Obs)
 		o.Observability = d.Obs.Snapshot()
 	}
 	o.Durability = d.observeDurability()

@@ -1,0 +1,817 @@
+package script
+
+// compile.go lowers parsed functions to a compact stack bytecode: a flat
+// instruction slice plus a constant pool per function, with variable
+// references resolved at compile time to frame-slot indices and all
+// string keys (locals, selector names, global references) interned into
+// small integer IDs. The VM in vm.go executes this bytecode with the
+// exact observable contract of the tree-walking reference evaluator in
+// interp.go: identical Hooks events (EnterStmt/Read/Write/Invoke with
+// the same StmtIDs and names), identical Meter accounting, the same
+// maxDepth and maxLoopIters limits, and identical error text.
+//
+// Compilation is total: unsupported constructs and statically bad
+// literals do not fail compilation — they lower to opErr instructions
+// carrying the exact runtime error the tree-walker would produce, so a
+// program only fails when (and exactly where) execution reaches the bad
+// construct.
+//
+// Slot resolution relies on a source-order argument: within one
+// instance of a block, any use of a local that executes after its
+// declaration also appears after it in source, so resolving names
+// against bindings declared earlier in source reproduces the dynamic
+// env-chain semantics (a use before the declaring `:=` falls through to
+// the outer scope or to the globals, exactly like a fresh map scope).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"time"
+)
+
+type opcode uint8
+
+const (
+	opInvalid     opcode = iota
+	opStmt               // a=stmt ID: meter++, cur=a, EnterStmt hook
+	opMeter              // meter++ only (bare nested blocks)
+	opCur                // a=stmt ID: restore cur (loop cond/post, range binds)
+	opConst              // a=const index: push consts[a]
+	opLoadLocal          // a=slot, b=name index: push frame[a], Read hook
+	opStoreLocal         // a=slot, b=name index (-1: no hook): frame[a]=pop
+	opLoadGlobal         // a=gref index, b=const index of miss error
+	opStoreGlobal        // a=gref index, b=const index of miss error
+	opPop                // drop top
+	opSwap               // swap the top two values
+	opJump               // a=target pc
+	opJumpFalsy          // a=target pc: pop, jump unless Truthy
+	opJumpTruthy         // a=target pc: pop, jump if Truthy
+	opAnd                // a=target pc: pop l; if !Truthy(l) push false, jump
+	opOr                 // a=target pc: pop l; if Truthy(l) push true, jump
+	opTruthy             // replace top with Truthy(top)
+	opNot                // replace top with !Truthy(top)
+	opNeg                // arithmetic negation with ToNumber check
+	opBinop              // a=token.Token: pop r, l; push l op r
+	opIndexGet           // pop idx, base; push base[idx]
+	opSliceCheck         // verify top is sliceable before bound exprs run
+	opSliceGet           // a=bit0 hasLow, bit1 hasHigh: pop bounds, base
+	opSelectGet          // a=sel-name index: pop base; push base.sel
+	opIndexSet           // a=base-name index: pop idx, base, v; Write hook
+	opSelectSet          // a=sel-name index, b=base-name index: pop base, v
+	opCaseMatch          // a=tag slot, b=1 tagless: pop v, push match bool
+	opMakeList           // a=n: pop n elems, push *List
+	opMakeMap            // a=n pairs: pop 2n values, push map
+	opCall               // a=gref index, b=nargs, c=local slot or -1
+	opCallMethod         // a=sel-name index, b=nargs: pop base, args
+	opIncDec             // a=+1/-1: ToNumber(top)±1 with error check
+	opReturn             // pop return value, leave function
+	opReturnNil          // leave function with nil
+	opErr                // a=const index of prebuilt error
+	opLoopInit           // a=loop counter index: counter=0
+	opLoopCheck          // a=loop counter index, b=overflow error const
+	opRangeInit          // a=range iterator index: pop collection
+	opRangeNext          // a=range iterator index, b=done target: push v, k
+)
+
+// instr is one bytecode instruction. Operand meanings are per-opcode.
+type instr struct {
+	op      opcode
+	a, b, c int32
+}
+
+// compiledFunc is the bytecode for one declared function.
+type compiledFunc struct {
+	name   string
+	comp   *progComp
+	code   []instr
+	consts []any
+	// paramSlots maps parameter position to frame slot.
+	paramSlots []int32
+	// nslots is the frame size (parameters + every declared local).
+	nslots int
+	// nloops / nranges are the maximum loop-counter / range-iterator
+	// nesting depths, used to window the machine's reusable slices.
+	nloops, nranges int
+	// depthErr is the prebuilt recursion-limit error for this function.
+	depthErr error
+	// escapeErr is the prebuilt break/continue-outside-loop error.
+	escapeErr error
+}
+
+// progComp is the per-Program compilation artifact, shared by every
+// interpreter running the program. It is built once under Program's
+// compile lock and immutable afterwards, so the VM reads it without
+// synchronization.
+type progComp struct {
+	prog  *Program
+	funcs map[string]*compiledFunc
+	// names interns local/selector/base names referenced by bytecode.
+	names   []string
+	nameIdx map[string]int32
+	// grefs interns names resolved outside the frame (globals, builtins,
+	// call targets); grefFns / grefCfs carry the statically known
+	// declared function for the name, if any.
+	grefs   []string
+	grefIdx map[string]int32
+	grefFns []*ast.FuncDecl
+	grefCfs []*compiledFunc
+}
+
+// compiledProg returns the program's bytecode, compiling all functions
+// on first use.
+func (p *Program) compiledProg() *progComp {
+	if c := p.comp.Load(); c != nil {
+		vmStats.cacheHits.Add(1)
+		return c
+	}
+	p.compileMu.Lock()
+	defer p.compileMu.Unlock()
+	if c := p.comp.Load(); c != nil {
+		return c
+	}
+	start := time.Now()
+	c := compileProgram(p)
+	vmStats.programsCompiled.Add(1)
+	vmStats.funcsCompiled.Add(int64(len(c.funcs)))
+	vmStats.compileNs.Add(time.Since(start).Nanoseconds())
+	p.comp.Store(c)
+	return c
+}
+
+func compileProgram(p *Program) *progComp {
+	comp := &progComp{
+		prog:    p,
+		funcs:   make(map[string]*compiledFunc, len(p.Funcs)),
+		nameIdx: map[string]int32{},
+		grefIdx: map[string]int32{},
+	}
+	for _, name := range p.FuncNames() {
+		comp.funcs[name] = compileFunc(comp, name, p.Funcs[name])
+	}
+	// Second pass: link gref entries to compiled functions so calls
+	// dispatch without a map lookup.
+	comp.grefCfs = make([]*compiledFunc, len(comp.grefs))
+	for i, name := range comp.grefs {
+		comp.grefCfs[i] = comp.funcs[name]
+	}
+	return comp
+}
+
+type breakable struct {
+	isLoop bool
+	breaks []int // jump instruction indices patched to the end
+	conts  []int // continue jumps (loops only)
+}
+
+type compiler struct {
+	comp   *progComp
+	fnName string
+	code   []instr
+	consts []any
+	cmap   map[any]int32
+	scopes []map[string]int32
+	nslots int
+	// loopDepth / rangeDepth are the current static nesting levels;
+	// counters and iterators at the same depth reuse the same index.
+	loopDepth, maxLoops   int
+	rangeDepth, maxRanges int
+	brks                  []*breakable
+}
+
+func compileFunc(comp *progComp, name string, fn *ast.FuncDecl) *compiledFunc {
+	c := &compiler{comp: comp, fnName: name, cmap: map[any]int32{}}
+	c.pushScope()
+	var paramSlots []int32
+	for _, field := range fn.Type.Params.List {
+		for _, ident := range field.Names {
+			paramSlots = append(paramSlots, c.defineLocal(ident.Name))
+		}
+	}
+	c.scopedBlock(fn.Body)
+	c.emit(opReturnNil, 0, 0, 0)
+	c.popScope()
+	return &compiledFunc{
+		name:       name,
+		comp:       comp,
+		code:       c.code,
+		consts:     c.consts,
+		paramSlots: paramSlots,
+		nslots:     c.nslots,
+		nloops:     c.maxLoops,
+		nranges:    c.maxRanges,
+		depthErr:   fmt.Errorf("script: call depth exceeds %d in %s", maxDepth, name),
+		escapeErr:  fmt.Errorf("script: break/continue outside loop in %s", name),
+	}
+}
+
+// ---- Emission helpers ----
+
+func (c *compiler) emit(op opcode, a, b, cc int32) int {
+	c.code = append(c.code, instr{op: op, a: a, b: b, c: cc})
+	return len(c.code) - 1
+}
+
+// emitJump emits a branch whose target is patched later.
+func (c *compiler) emitJump(op opcode) int { return c.emit(op, -1, 0, 0) }
+
+// patch points jump i at the next emitted instruction.
+func (c *compiler) patch(i int) { c.code[i].a = int32(len(c.code)) }
+
+func (c *compiler) patchAll(is []int) {
+	for _, i := range is {
+		c.patch(i)
+	}
+}
+
+func (c *compiler) here() int32 { return int32(len(c.code)) }
+
+func (c *compiler) constIdx(v any) int32 {
+	switch v.(type) {
+	case nil, bool, float64, string:
+		if i, ok := c.cmap[v]; ok {
+			return i
+		}
+		c.consts = append(c.consts, v)
+		i := int32(len(c.consts) - 1)
+		c.cmap[v] = i
+		return i
+	}
+	c.consts = append(c.consts, v)
+	return int32(len(c.consts) - 1)
+}
+
+// errConst prebuilds a runtime error with the tree-walker's exact text.
+func (c *compiler) errConst(err error) int32 {
+	c.consts = append(c.consts, err)
+	return int32(len(c.consts) - 1)
+}
+
+func (c *compiler) emitErr(err error) { c.emit(opErr, c.errConst(err), 0, 0) }
+
+func (c *compiler) nameIdx(s string) int32 {
+	if i, ok := c.comp.nameIdx[s]; ok {
+		return i
+	}
+	c.comp.names = append(c.comp.names, s)
+	i := int32(len(c.comp.names) - 1)
+	c.comp.nameIdx[s] = i
+	return i
+}
+
+func (c *compiler) grefIdx(s string) int32 {
+	if i, ok := c.comp.grefIdx[s]; ok {
+		return i
+	}
+	c.comp.grefs = append(c.comp.grefs, s)
+	c.comp.grefFns = append(c.comp.grefFns, c.comp.prog.Funcs[s])
+	i := int32(len(c.comp.grefs) - 1)
+	c.comp.grefIdx[s] = i
+	return i
+}
+
+// ---- Scopes ----
+
+func (c *compiler) pushScope() { c.scopes = append(c.scopes, nil) }
+
+func (c *compiler) popScope() { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+// defineLocal binds name in the innermost scope, reusing the slot when
+// the same scope already declares the name (mirroring map overwrite).
+func (c *compiler) defineLocal(name string) int32 {
+	top := len(c.scopes) - 1
+	if c.scopes[top] == nil {
+		c.scopes[top] = map[string]int32{}
+	}
+	if slot, ok := c.scopes[top][name]; ok {
+		return slot
+	}
+	slot := int32(c.nslots)
+	c.nslots++
+	c.scopes[top][name] = slot
+	return slot
+}
+
+// hiddenSlot allocates an unnamed frame slot (switch tags).
+func (c *compiler) hiddenSlot() int32 {
+	slot := int32(c.nslots)
+	c.nslots++
+	return slot
+}
+
+func (c *compiler) resolveLocal(name string) (int32, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if slot, ok := c.scopes[i][name]; ok {
+			return slot, true
+		}
+	}
+	return 0, false
+}
+
+func (c *compiler) loopSlot() int32 {
+	if c.loopDepth+1 > c.maxLoops {
+		c.maxLoops = c.loopDepth + 1
+	}
+	return int32(c.loopDepth)
+}
+
+func (c *compiler) rangeSlot() int32 {
+	if c.rangeDepth+1 > c.maxRanges {
+		c.maxRanges = c.rangeDepth + 1
+	}
+	return int32(c.rangeDepth)
+}
+
+// ---- Statements ----
+
+// scopedBlock compiles a block's statements in a fresh scope without
+// metering the block itself (function bodies, if/loop/clause bodies).
+func (c *compiler) scopedBlock(b *ast.BlockStmt) {
+	c.pushScope()
+	for _, st := range b.List {
+		c.stmt(st)
+	}
+	c.popScope()
+}
+
+func (c *compiler) stmt(st ast.Stmt) {
+	if b, isBlock := st.(*ast.BlockStmt); isBlock {
+		// Bare nested blocks are unnumbered: the tree-walker still charges
+		// one meter op for executing the block statement itself.
+		c.emit(opMeter, 0, 0, 0)
+		c.scopedBlock(b)
+		return
+	}
+	id := int32(c.comp.prog.IDOf(st))
+	c.emit(opStmt, id, 0, 0)
+	switch s := st.(type) {
+	case *ast.DeclStmt:
+		c.declStmt(s)
+	case *ast.AssignStmt:
+		c.assignStmt(s)
+	case *ast.ExprStmt:
+		c.expr(s.X)
+		c.emit(opPop, 0, 0, 0)
+	case *ast.ReturnStmt:
+		switch {
+		case len(s.Results) == 0:
+			c.emit(opReturnNil, 0, 0, 0)
+		case len(s.Results) > 1:
+			c.emitErr(fmt.Errorf("script: multiple return values are not supported"))
+		default:
+			c.expr(s.Results[0])
+			c.emit(opReturn, 0, 0, 0)
+		}
+	case *ast.IfStmt:
+		c.ifStmt(s, id)
+	case *ast.ForStmt:
+		c.forStmt(s, id)
+	case *ast.RangeStmt:
+		c.rangeStmt(s, id)
+	case *ast.BranchStmt:
+		c.branchStmt(s)
+	case *ast.IncDecStmt:
+		c.expr(s.X)
+		delta := int32(1)
+		if s.Tok == token.DEC {
+			delta = -1
+		}
+		c.emit(opIncDec, delta, 0, 0)
+		c.assignTo(s.X)
+	case *ast.SwitchStmt:
+		c.switchStmt(s, id)
+	case *ast.EmptyStmt:
+		// Nothing beyond the statement entry itself.
+	default:
+		c.emitErr(fmt.Errorf("script: unsupported statement %T", st))
+	}
+}
+
+func (c *compiler) declStmt(s *ast.DeclStmt) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		c.emitErr(fmt.Errorf("script: unsupported declaration"))
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, ident := range vs.Names {
+			if i < len(vs.Values) {
+				c.expr(vs.Values[i])
+			} else {
+				c.emit(opConst, c.constIdx(nil), 0, 0)
+			}
+			// Bind after the initializer so `var x = x` sees the outer x.
+			slot := c.defineLocal(ident.Name)
+			c.emit(opStoreLocal, slot, c.nameIdx(ident.Name), 0)
+		}
+	}
+}
+
+func (c *compiler) assignStmt(s *ast.AssignStmt) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		c.emitErr(fmt.Errorf("script: only single assignment is supported"))
+		return
+	}
+	c.expr(s.Rhs[0])
+	switch s.Tok {
+	case token.DEFINE:
+		ident, ok := s.Lhs[0].(*ast.Ident)
+		if !ok {
+			c.emitErr(fmt.Errorf("script: := target must be an identifier"))
+			return
+		}
+		slot := c.defineLocal(ident.Name)
+		c.emit(opStoreLocal, slot, c.nameIdx(ident.Name), 0)
+	case token.ASSIGN:
+		c.assignTo(s.Lhs[0])
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN, token.REM_ASSIGN:
+		op := map[token.Token]token.Token{
+			token.ADD_ASSIGN: token.ADD,
+			token.SUB_ASSIGN: token.SUB,
+			token.MUL_ASSIGN: token.MUL,
+			token.QUO_ASSIGN: token.QUO,
+			token.REM_ASSIGN: token.REM,
+		}[s.Tok]
+		// The tree-walker evaluates the RHS, then the LHS as an
+		// expression (hooks fire), combines, and re-evaluates the LHS
+		// base/index while storing. Reproduce the double evaluation.
+		c.expr(s.Lhs[0])
+		c.emit(opSwap, 0, 0, 0)
+		c.emit(opBinop, int32(op), 0, 0)
+		c.assignTo(s.Lhs[0])
+	default:
+		c.emitErr(fmt.Errorf("script: unsupported assignment %v", s.Tok))
+	}
+}
+
+// assignTo stores the value on top of the stack through an lvalue.
+func (c *compiler) assignTo(lhs ast.Expr) {
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			c.emit(opPop, 0, 0, 0) // discard
+			return
+		}
+		if slot, ok := c.resolveLocal(l.Name); ok {
+			c.emit(opStoreLocal, slot, c.nameIdx(l.Name), 0)
+			return
+		}
+		missErr := c.errConst(fmt.Errorf("%w: variable %q (declare with := or var)", ErrUndefined, l.Name))
+		c.emit(opStoreGlobal, c.grefIdx(l.Name), missErr, 0)
+	case *ast.IndexExpr:
+		c.expr(l.X)
+		c.expr(l.Index)
+		c.emit(opIndexSet, c.nameIdx(baseName(l.X)), 0, 0)
+	case *ast.SelectorExpr:
+		c.expr(l.X)
+		c.emit(opSelectSet, c.nameIdx(l.Sel.Name), c.nameIdx(baseName(l.X)), 0)
+	default:
+		c.emitErr(fmt.Errorf("script: unsupported assignment target %T", lhs))
+	}
+}
+
+func (c *compiler) ifStmt(s *ast.IfStmt, id int32) {
+	c.pushScope()
+	if s.Init != nil {
+		c.stmt(s.Init)
+		c.emit(opCur, id, 0, 0)
+	}
+	c.expr(s.Cond)
+	jElse := c.emitJump(opJumpFalsy)
+	c.scopedBlock(s.Body)
+	if s.Else != nil {
+		jEnd := c.emitJump(opJump)
+		c.patch(jElse)
+		c.stmt(s.Else)
+		c.patch(jEnd)
+	} else {
+		c.patch(jElse)
+	}
+	c.popScope()
+}
+
+func (c *compiler) forStmt(s *ast.ForStmt, id int32) {
+	c.pushScope()
+	if s.Init != nil {
+		c.stmt(s.Init)
+	}
+	loop := c.loopSlot()
+	iterErr := c.errConst(fmt.Errorf("script: loop exceeded %d iterations", maxLoopIters))
+	c.emit(opLoopInit, loop, 0, 0)
+	start := c.here()
+	c.emit(opLoopCheck, loop, iterErr, 0)
+	var jEnd int
+	hasCond := s.Cond != nil
+	if hasCond {
+		c.emit(opCur, id, 0, 0)
+		c.expr(s.Cond)
+		jEnd = c.emitJump(opJumpFalsy)
+	}
+	br := &breakable{isLoop: true}
+	c.brks = append(c.brks, br)
+	c.loopDepth++
+	c.scopedBlock(s.Body)
+	c.loopDepth--
+	c.brks = c.brks[:len(c.brks)-1]
+	// continue lands on the post statement (or the back-edge).
+	c.patchAll(br.conts)
+	if s.Post != nil {
+		c.stmt(s.Post)
+	}
+	c.emit(opJump, start, 0, 0)
+	if hasCond {
+		c.patch(jEnd)
+	}
+	c.patchAll(br.breaks)
+	c.popScope()
+}
+
+func (c *compiler) rangeStmt(s *ast.RangeStmt, id int32) {
+	c.expr(s.X)
+	it := c.rangeSlot()
+	c.emit(opRangeInit, it, 0, 0)
+	c.pushScope()
+	keyName, valName := rangeVar(s.Key), rangeVar(s.Value)
+	var keySlot, valSlot int32
+	if keyName != "" {
+		keySlot = c.defineLocal(keyName)
+	}
+	if valName != "" {
+		valSlot = c.defineLocal(valName)
+	}
+	start := c.here()
+	c.emit(opCur, id, 0, 0)
+	jDone := c.emit(opRangeNext, it, -1, 0)
+	// opRangeNext pushes value then key, so the key (stored first, like
+	// the tree-walker's bind) is on top.
+	if keyName != "" {
+		c.emit(opStoreLocal, keySlot, c.nameIdx(keyName), 0)
+	} else {
+		c.emit(opPop, 0, 0, 0)
+	}
+	if valName != "" {
+		c.emit(opStoreLocal, valSlot, c.nameIdx(valName), 0)
+	} else {
+		c.emit(opPop, 0, 0, 0)
+	}
+	br := &breakable{isLoop: true}
+	c.brks = append(c.brks, br)
+	c.rangeDepth++
+	c.scopedBlock(s.Body)
+	c.rangeDepth--
+	c.brks = c.brks[:len(c.brks)-1]
+	c.patchAll(br.conts)
+	c.emit(opJump, start, 0, 0)
+	c.code[jDone].b = int32(len(c.code))
+	c.patchAll(br.breaks)
+	c.popScope()
+}
+
+func (c *compiler) branchStmt(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		if len(c.brks) == 0 {
+			c.emit(opErr, c.errConst(fmt.Errorf("script: break/continue outside loop in %s", c.fnName)), 0, 0)
+			return
+		}
+		br := c.brks[len(c.brks)-1]
+		br.breaks = append(br.breaks, c.emitJump(opJump))
+	case token.CONTINUE:
+		// continue passes through enclosing switches to the nearest loop.
+		for i := len(c.brks) - 1; i >= 0; i-- {
+			if c.brks[i].isLoop {
+				c.brks[i].conts = append(c.brks[i].conts, c.emitJump(opJump))
+				return
+			}
+		}
+		c.emit(opErr, c.errConst(fmt.Errorf("script: break/continue outside loop in %s", c.fnName)), 0, 0)
+	default:
+		c.emitErr(fmt.Errorf("script: unsupported branch %v", s.Tok))
+	}
+}
+
+func (c *compiler) switchStmt(s *ast.SwitchStmt, id int32) {
+	c.pushScope()
+	if s.Init != nil {
+		c.stmt(s.Init)
+		c.emit(opCur, id, 0, 0)
+	}
+	tagless := int32(0)
+	if s.Tag != nil {
+		c.expr(s.Tag)
+	} else {
+		tagless = 1
+		c.emit(opConst, c.constIdx(true), 0, 0)
+	}
+	tagSlot := c.hiddenSlot()
+	c.emit(opStoreLocal, tagSlot, -1, 0)
+
+	type clauseJump struct {
+		clause *ast.CaseClause
+		jumps  []int
+	}
+	var clauses []clauseJump
+	var defaultClause *ast.CaseClause
+	for _, raw := range s.Body.List {
+		clause, ok := raw.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			defaultClause = clause
+			continue
+		}
+		cj := clauseJump{clause: clause}
+		for _, ce := range clause.List {
+			c.expr(ce)
+			c.emit(opCaseMatch, tagSlot, tagless, 0)
+			cj.jumps = append(cj.jumps, c.emitJump(opJumpTruthy))
+		}
+		clauses = append(clauses, cj)
+	}
+	jNoMatch := c.emitJump(opJump)
+
+	br := &breakable{isLoop: false}
+	c.brks = append(c.brks, br)
+	var ends []int
+	for _, cj := range clauses {
+		c.patchAll(cj.jumps)
+		c.pushScope()
+		for _, st := range cj.clause.Body {
+			c.stmt(st)
+		}
+		c.popScope()
+		ends = append(ends, c.emitJump(opJump))
+	}
+	c.patch(jNoMatch)
+	if defaultClause != nil {
+		c.pushScope()
+		for _, st := range defaultClause.Body {
+			c.stmt(st)
+		}
+		c.popScope()
+	}
+	c.patchAll(ends)
+	c.patchAll(br.breaks)
+	c.brks = c.brks[:len(c.brks)-1]
+	c.popScope()
+}
+
+// ---- Expressions ----
+
+func (c *compiler) expr(ex ast.Expr) {
+	switch x := ex.(type) {
+	case *ast.BasicLit:
+		v, err := evalLit(x)
+		if err != nil {
+			c.emitErr(err)
+			return
+		}
+		c.emit(opConst, c.constIdx(v), 0, 0)
+	case *ast.Ident:
+		c.identExpr(x)
+	case *ast.ParenExpr:
+		c.expr(x.X)
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			c.expr(x.X)
+			j := c.emitJump(opAnd)
+			c.expr(x.Y)
+			c.emit(opTruthy, 0, 0, 0)
+			c.patch(j)
+		case token.LOR:
+			c.expr(x.X)
+			j := c.emitJump(opOr)
+			c.expr(x.Y)
+			c.emit(opTruthy, 0, 0, 0)
+			c.patch(j)
+		default:
+			c.expr(x.X)
+			c.expr(x.Y)
+			c.emit(opBinop, int32(x.Op), 0, 0)
+		}
+	case *ast.UnaryExpr:
+		c.expr(x.X)
+		switch x.Op {
+		case token.SUB:
+			c.emit(opNeg, 0, 0, 0)
+		case token.NOT:
+			c.emit(opNot, 0, 0, 0)
+		default:
+			c.emitErr(fmt.Errorf("script: unsupported unary op %v", x.Op))
+		}
+	case *ast.CallExpr:
+		c.callExpr(x)
+	case *ast.IndexExpr:
+		c.expr(x.X)
+		c.expr(x.Index)
+		c.emit(opIndexGet, 0, 0, 0)
+	case *ast.SliceExpr:
+		c.expr(x.X)
+		// The tree-walker rejects unsliceable bases before evaluating the
+		// bound expressions; opSliceCheck reproduces that error order.
+		c.emit(opSliceCheck, 0, 0, 0)
+		flags := int32(0)
+		if x.Low != nil {
+			flags |= 1
+			c.expr(x.Low)
+		}
+		if x.High != nil {
+			flags |= 2
+			c.expr(x.High)
+		}
+		c.emit(opSliceGet, flags, 0, 0)
+	case *ast.SelectorExpr:
+		c.expr(x.X)
+		c.emit(opSelectGet, c.nameIdx(x.Sel.Name), 0, 0)
+	case *ast.CompositeLit:
+		c.compositeExpr(x)
+	default:
+		c.emitErr(fmt.Errorf("script: unsupported expression %T", ex))
+	}
+}
+
+func (c *compiler) identExpr(x *ast.Ident) {
+	switch x.Name {
+	case "true":
+		c.emit(opConst, c.constIdx(true), 0, 0)
+		return
+	case "false":
+		c.emit(opConst, c.constIdx(false), 0, 0)
+		return
+	case "nil":
+		c.emit(opConst, c.constIdx(nil), 0, 0)
+		return
+	case "_":
+		c.emitErr(fmt.Errorf("script: cannot read _"))
+		return
+	}
+	if slot, ok := c.resolveLocal(x.Name); ok {
+		c.emit(opLoadLocal, slot, c.nameIdx(x.Name), 0)
+		return
+	}
+	var missErr error
+	if _, isFn := c.comp.prog.Funcs[x.Name]; isFn {
+		missErr = fmt.Errorf("script: function %q used as value", x.Name)
+	} else {
+		missErr = fmt.Errorf("%w: %q", ErrUndefined, x.Name)
+	}
+	c.emit(opLoadGlobal, c.grefIdx(x.Name), c.errConst(missErr), 0)
+}
+
+func (c *compiler) compositeExpr(x *ast.CompositeLit) {
+	switch x.Type.(type) {
+	case *ast.ArrayType:
+		for _, el := range x.Elts {
+			c.expr(el)
+		}
+		c.emit(opMakeList, int32(len(x.Elts)), 0, 0)
+	case *ast.MapType:
+		for i, el := range x.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				// Earlier pairs evaluate (hooks fire) before the error, as
+				// in the tree-walker. Balance the stack first.
+				for j := 0; j < 2*i; j++ {
+					c.emit(opPop, 0, 0, 0)
+				}
+				c.emitErr(fmt.Errorf("script: map literal needs key: value pairs"))
+				return
+			}
+			c.expr(kv.Key)
+			c.expr(kv.Value)
+		}
+		c.emit(opMakeMap, int32(len(x.Elts)), 0, 0)
+	default:
+		c.emitErr(fmt.Errorf("script: unsupported composite literal type %T", x.Type))
+	}
+}
+
+func (c *compiler) callExpr(x *ast.CallExpr) {
+	// Arguments evaluate first (left to right), before the callee is
+	// looked at — exactly like the tree-walker.
+	for _, a := range x.Args {
+		c.expr(a)
+	}
+	switch callee := x.Fun.(type) {
+	case *ast.Ident:
+		slot := int32(-1)
+		if s, ok := c.resolveLocal(callee.Name); ok {
+			slot = s
+		}
+		c.emit(opCall, c.grefIdx(callee.Name), int32(len(x.Args)), slot)
+	case *ast.SelectorExpr:
+		c.expr(callee.X)
+		c.emit(opCallMethod, c.nameIdx(callee.Sel.Name), int32(len(x.Args)), 0)
+	default:
+		for range x.Args {
+			c.emit(opPop, 0, 0, 0)
+		}
+		c.emitErr(fmt.Errorf("script: unsupported call target %T", x.Fun))
+	}
+}

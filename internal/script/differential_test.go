@@ -1,0 +1,440 @@
+package script
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The differential suite drives every program through both evaluators —
+// the bytecode VM (the default) and the tree-walking reference — and
+// asserts that results, error strings, hook event streams, and meter
+// totals are identical. It is the oracle that licenses keeping the VM
+// on the hot path.
+
+// eventLog records hook events as rendered lines so two streams can be
+// compared with a plain string diff.
+type eventLog struct {
+	lines []string
+}
+
+func (l *eventLog) hooks() Hooks {
+	return Hooks{
+		EnterStmt: func(id StmtID) {
+			l.lines = append(l.lines, fmt.Sprintf("S %d", id))
+		},
+		Read: func(id StmtID, name string, v any) {
+			l.lines = append(l.lines, fmt.Sprintf("R %d %s %s", id, name, renderVal(v)))
+		},
+		Write: func(id StmtID, name string, v any) {
+			l.lines = append(l.lines, fmt.Sprintf("W %d %s %s", id, name, renderVal(v)))
+		},
+		Invoke: func(id StmtID, fn string, args []any, res any) {
+			parts := make([]string, len(args))
+			for i, a := range args {
+				parts[i] = renderVal(a)
+			}
+			l.lines = append(l.lines, fmt.Sprintf("I %d %s [%s] -> %s",
+				id, fn, strings.Join(parts, " "), renderVal(res)))
+		},
+	}
+}
+
+// renderVal renders values deterministically (ToString sorts map keys).
+// The %T prefix distinguishes e.g. "5" the string from 5 the number.
+func renderVal(v any) string {
+	return fmt.Sprintf("%T:%s", v, ToString(v))
+}
+
+// diffPair is a VM interpreter and a tree-walking reference interpreter
+// over the same source, each with its own event log.
+type diffPair struct {
+	vm, ref   *Interp
+	vmLog     *eventLog
+	refLog    *eventLog
+	withHooks bool
+}
+
+func newDiffPair(t *testing.T, src string, withHooks bool) *diffPair {
+	t.Helper()
+	prog1, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse (vm): %v", err)
+	}
+	prog2, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse (ref): %v", err)
+	}
+	p := &diffPair{
+		vm:     New(prog1),
+		ref:    New(prog2),
+		vmLog:  &eventLog{},
+		refLog: &eventLog{},
+	}
+	p.vm.SetReferenceEval(false)
+	p.ref.SetReferenceEval(true)
+	if withHooks {
+		p.withHooks = true
+		p.vm.SetHooks(p.vmLog.hooks())
+		p.ref.SetHooks(p.refLog.hooks())
+	}
+	if err := p.vm.RunInit(); err != nil {
+		t.Fatalf("RunInit (vm): %v", err)
+	}
+	if err := p.ref.RunInit(); err != nil {
+		t.Fatalf("RunInit (ref): %v", err)
+	}
+	return p
+}
+
+// call drives one invocation through both evaluators and asserts full
+// observable parity.
+func (p *diffPair) call(t *testing.T, fn string, args ...any) {
+	t.Helper()
+	vmV, vmErr := p.vm.Call(fn, args...)
+	refV, refErr := p.ref.Call(fn, args...)
+
+	label := fmt.Sprintf("%s(%s)", fn, renderArgs(args))
+	if (vmErr == nil) != (refErr == nil) {
+		t.Fatalf("%s: error mismatch: vm=%v ref=%v", label, vmErr, refErr)
+	}
+	if vmErr != nil && vmErr.Error() != refErr.Error() {
+		t.Fatalf("%s: error text mismatch:\n  vm:  %s\n  ref: %s", label, vmErr, refErr)
+	}
+	if got, want := renderVal(vmV), renderVal(refV); got != want {
+		t.Fatalf("%s: result mismatch:\n  vm:  %s\n  ref: %s", label, got, want)
+	}
+	if got, want := p.vm.Meter().Ops(), p.ref.Meter().Ops(); got != want {
+		t.Fatalf("%s: meter mismatch: vm=%v ref=%v", label, got, want)
+	}
+	if p.withHooks {
+		vmEv := strings.Join(p.vmLog.lines, "\n")
+		refEv := strings.Join(p.refLog.lines, "\n")
+		if vmEv != refEv {
+			t.Fatalf("%s: hook stream mismatch:\n%s", label, diffLines(p.vmLog.lines, p.refLog.lines))
+		}
+		p.vmLog.lines = p.vmLog.lines[:0]
+		p.refLog.lines = p.refLog.lines[:0]
+	}
+	// Globals must stay in lockstep too, or later calls diverge for the
+	// wrong reason.
+	if got, want := renderVal(globalsSnapshot(p.vm)), renderVal(globalsSnapshot(p.ref)); got != want {
+		t.Fatalf("%s: globals mismatch:\n  vm:  %s\n  ref: %s", label, got, want)
+	}
+}
+
+func globalsSnapshot(in *Interp) map[string]any {
+	g := in.Globals()
+	out := make(map[string]any, len(g))
+	for k, v := range g {
+		switch v.(type) {
+		case Builtin, *Object:
+			// Registered host objects render identically anyway; skip to
+			// keep snapshots about script state.
+		default:
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func renderArgs(args []any) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = renderVal(a)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// diffLines points at the first divergence between two event streams.
+func diffLines(a, b []string) string {
+	var sb strings.Builder
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		av, bv := "<none>", "<none>"
+		if i < len(a) {
+			av = a[i]
+		}
+		if i < len(b) {
+			bv = b[i]
+		}
+		if av != bv {
+			fmt.Fprintf(&sb, "first divergence at event %d:\n  vm:  %s\n  ref: %s\n", i, av, bv)
+			lo := i - 3
+			if lo < 0 {
+				lo = 0
+			}
+			fmt.Fprintf(&sb, "context (vm):\n")
+			for j := lo; j <= i && j < len(a); j++ {
+				fmt.Fprintf(&sb, "  %s\n", a[j])
+			}
+			fmt.Fprintf(&sb, "context (ref):\n")
+			for j := lo; j <= i && j < len(b); j++ {
+				fmt.Fprintf(&sb, "  %s\n", b[j])
+			}
+			return sb.String()
+		}
+	}
+	return fmt.Sprintf("stream lengths differ: vm=%d ref=%d", len(a), len(b))
+}
+
+// canonicalArgSets is the fixed battery of argument tuples every corpus
+// function is driven with. Errors are fine — both evaluators must
+// produce the same one.
+func canonicalArgSets() [][]any {
+	return [][]any{
+		{},
+		{0.0},
+		{1.0},
+		{2.0},
+		{5.0},
+		{-3.0},
+		{"ab"},
+		{true},
+		{nil},
+		{&List{Elems: []any{1.0, 2.0, 3.0}}},
+		{map[string]any{"k": 1.0, "j": "v"}},
+	}
+}
+
+func corpusSources(t *testing.T) map[string]string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join("testdata", "*.src"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no testdata corpus found: %v", err)
+	}
+	out := make(map[string]string, len(matches))
+	for _, m := range matches {
+		b, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatalf("read %s: %v", m, err)
+		}
+		out[filepath.Base(m)] = string(b)
+	}
+	return out
+}
+
+// TestDifferentialCorpus runs every corpus program through both
+// evaluators, hooked and unhooked (the two paths the runtime uses:
+// analysis traces run hooked, the serving path runs bare).
+func TestDifferentialCorpus(t *testing.T) {
+	for name, src := range corpusSources(t) {
+		for _, hooked := range []bool{false, true} {
+			mode := "bare"
+			if hooked {
+				mode = "hooked"
+			}
+			t.Run(name+"/"+mode, func(t *testing.T) {
+				prog, err := Parse(src)
+				if err != nil {
+					t.Fatalf("Parse: %v", err)
+				}
+				p := newDiffPair(t, src, hooked)
+				for _, fn := range prog.FuncNames() {
+					for _, args := range canonicalArgSets() {
+						p.call(t, fn, args...)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialRandom generates seeded random programs and checks
+// parity on each. The generator leans on the constructs the compiler
+// lowers specially: slot-resolved locals, shadowing, loops sharing
+// depth slots, compound assignment, and global access.
+func TestDifferentialRandom(t *testing.T) {
+	const programs = 60
+	for seed := 0; seed < programs; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			src := genProgram(rand.New(rand.NewSource(int64(seed))))
+			prog, err := Parse(src)
+			if err != nil {
+				t.Fatalf("generated program does not parse: %v\n%s", err, src)
+			}
+			p := newDiffPair(t, src, seed%2 == 0)
+			defer func() {
+				if t.Failed() {
+					t.Logf("program:\n%s", src)
+				}
+			}()
+			for _, fn := range prog.FuncNames() {
+				for _, args := range [][]any{{}, {1.0}, {4.0}, {"x"}} {
+					p.call(t, fn, args...)
+				}
+			}
+		})
+	}
+}
+
+// genProgram builds one random but always-parseable program.
+func genProgram(r *rand.Rand) string {
+	var sb strings.Builder
+	sb.WriteString("var g0 = 0\nvar g1 = \"s\"\nvar g2 = []any{1, 2, 3}\n\n")
+	sb.WriteString("func helper(a any) any {\n\treturn a + 1\n}\n\n")
+	nfuncs := 2 + r.Intn(2)
+	for f := 0; f < nfuncs; f++ {
+		fmt.Fprintf(&sb, "func f%d(n any) any {\n", f)
+		sb.WriteString("\tx := 1\n\ty := \"a\"\n")
+		g := &gen{r: r, sb: &sb, vars: []string{"n", "x", "y"}}
+		nstmts := 3 + r.Intn(6)
+		for i := 0; i < nstmts; i++ {
+			g.stmt(1)
+		}
+		fmt.Fprintf(&sb, "\treturn %s\n}\n\n", g.expr(0))
+	}
+	return sb.String()
+}
+
+type gen struct {
+	r    *rand.Rand
+	sb   *strings.Builder
+	vars []string
+	n    int
+}
+
+func (g *gen) indent(depth int) {
+	for i := 0; i <= depth; i++ {
+		g.sb.WriteByte('\t')
+	}
+}
+
+func (g *gen) fresh() string {
+	g.n++
+	return fmt.Sprintf("v%d", g.n)
+}
+
+func (g *gen) pick() string {
+	return g.vars[g.r.Intn(len(g.vars))]
+}
+
+func (g *gen) stmt(depth int) {
+	if depth > 3 {
+		g.indent(depth)
+		fmt.Fprintf(g.sb, "%s = %s\n", g.pick(), g.expr(depth))
+		return
+	}
+	switch g.r.Intn(10) {
+	case 0: // define, possibly shadowing
+		name := g.fresh()
+		if g.r.Intn(3) == 0 {
+			name = g.pick() // shadow or reassign via :=
+		}
+		g.indent(depth)
+		fmt.Fprintf(g.sb, "%s := %s\n", name, g.expr(depth))
+		g.vars = append(g.vars, name)
+	case 1: // assign
+		g.indent(depth)
+		fmt.Fprintf(g.sb, "%s = %s\n", g.pick(), g.expr(depth))
+	case 2: // compound assign
+		g.indent(depth)
+		fmt.Fprintf(g.sb, "%s += %s\n", g.pick(), g.expr(depth))
+	case 3: // if/else
+		g.indent(depth)
+		fmt.Fprintf(g.sb, "if %s {\n", g.expr(depth))
+		g.stmt(depth + 1)
+		g.indent(depth)
+		if g.r.Intn(2) == 0 {
+			g.sb.WriteString("} else {\n")
+			g.stmt(depth + 1)
+			g.indent(depth)
+		}
+		g.sb.WriteString("}\n")
+	case 4: // bounded for loop with its own counter
+		i := g.fresh()
+		g.indent(depth)
+		fmt.Fprintf(g.sb, "for %s := 0; %s < %d; %s++ {\n", i, i, 1+g.r.Intn(4), i)
+		// The counter stays out of g.vars: random body statements must
+		// not reassign it, or the loop only terminates at the 10M cap.
+		saved := len(g.vars)
+		g.stmt(depth + 1)
+		if g.r.Intn(3) == 0 {
+			g.indent(depth + 1)
+			g.sb.WriteString("continue\n")
+		}
+		g.vars = g.vars[:saved]
+		g.indent(depth)
+		g.sb.WriteString("}\n")
+	case 5: // range over a list
+		k, v := g.fresh(), g.fresh()
+		g.indent(depth)
+		fmt.Fprintf(g.sb, "for %s, %s := range g2 {\n", k, v)
+		saved := len(g.vars)
+		g.vars = append(g.vars, k, v)
+		g.stmt(depth + 1)
+		g.vars = g.vars[:saved]
+		g.indent(depth)
+		g.sb.WriteString("}\n")
+	case 6: // global write
+		g.indent(depth)
+		fmt.Fprintf(g.sb, "g0 = %s\n", g.expr(depth))
+	case 7: // switch
+		g.indent(depth)
+		fmt.Fprintf(g.sb, "switch %s {\n", g.pick())
+		g.indent(depth)
+		fmt.Fprintf(g.sb, "case %d:\n", g.r.Intn(3))
+		g.stmt(depth + 1)
+		g.indent(depth)
+		g.sb.WriteString("default:\n")
+		g.stmt(depth + 1)
+		g.indent(depth)
+		g.sb.WriteString("}\n")
+	case 8: // ++/--
+		g.indent(depth)
+		if g.r.Intn(2) == 0 {
+			fmt.Fprintf(g.sb, "%s++\n", g.pick())
+		} else {
+			fmt.Fprintf(g.sb, "%s--\n", g.pick())
+		}
+	default: // expression statement via assignment to _
+		g.indent(depth)
+		fmt.Fprintf(g.sb, "_ := %s\n", g.expr(depth))
+	}
+}
+
+func (g *gen) expr(depth int) string {
+	if depth > 2 {
+		return g.atom()
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return fmt.Sprintf("%s + %s", g.atom(), g.atom())
+	case 1:
+		return fmt.Sprintf("%s * %s", g.atom(), g.atom())
+	case 2:
+		return fmt.Sprintf("%s < %s", g.atom(), g.atom())
+	case 3:
+		return fmt.Sprintf("%s && %s", g.atom(), g.atom())
+	case 4:
+		return fmt.Sprintf("str(%s)", g.expr(depth+1))
+	case 5:
+		return fmt.Sprintf("helper(%s)", g.expr(depth+1))
+	case 6:
+		return fmt.Sprintf("(%s - %s)", g.atom(), g.atom())
+	default:
+		return g.atom()
+	}
+}
+
+func (g *gen) atom() string {
+	switch g.r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("%d", g.r.Intn(10))
+	case 1:
+		return fmt.Sprintf("%q", string(rune('a'+g.r.Intn(4))))
+	case 2:
+		return "g0"
+	case 3:
+		return "g1"
+	default:
+		return g.pick()
+	}
+}

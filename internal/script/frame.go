@@ -1,0 +1,183 @@
+package script
+
+// frame.go holds the VM's reusable execution state. A machine carries
+// one shared value stack (frame slots live in a window at the bottom of
+// each call's region, operands above) plus loop counters and range
+// iterators indexed by static nesting depth. Machines are pooled with
+// sync.Pool so steady-state invocations allocate nothing; every value
+// reference is cleared on release so pooled machines never retain
+// script state.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// machine is the reusable per-invocation execution state of the VM.
+type machine struct {
+	stack []any
+	sp    int
+	// loops holds for-loop iteration counters; each frame windows the
+	// tail of the slice.
+	loops []int
+	// ranges holds range-loop iterators, windowed like loops.
+	ranges []rangeIter
+}
+
+// rangeIter is the state of one active range loop. kind selects the
+// collection flavor; keys is reused across map iterations.
+type rangeIter struct {
+	kind uint8 // 0 list, 1 map, 2 string, 3 bytes
+	i    int
+	// elems snapshots a list's element slice header at loop entry, the
+	// same way the tree-walker's `range c.Elems` does — appends during
+	// the body are not observed, element writes are.
+	elems []any
+	m     map[string]any
+	keys  []string
+	s     string
+	b     []byte
+}
+
+const (
+	rangeList uint8 = iota
+	rangeMap
+	rangeString
+	rangeBytes
+)
+
+func (m *machine) push(v any) {
+	if m.sp < len(m.stack) {
+		m.stack[m.sp] = v
+	} else {
+		m.stack = append(m.stack, v)
+	}
+	m.sp++
+}
+
+func (m *machine) pop() any {
+	m.sp--
+	return m.stack[m.sp]
+}
+
+// grow ensures the stack backing array covers at least n entries.
+func (m *machine) grow(n int) {
+	for len(m.stack) < n {
+		m.stack = append(m.stack, nil)
+	}
+}
+
+// releaseIter drops an iterator's collection references while keeping
+// the keys backing array for reuse.
+func (it *rangeIter) release() {
+	it.elems = nil
+	it.m = nil
+	it.s = ""
+	it.b = nil
+	for i := range it.keys {
+		it.keys[i] = ""
+	}
+	it.keys = it.keys[:0]
+	it.i = 0
+	it.kind = 0
+}
+
+var machinePool = sync.Pool{New: func() any {
+	vmStats.machinesAllocated.Add(1)
+	return &machine{stack: make([]any, 0, 64)}
+}}
+
+func acquireMachine() *machine {
+	vmStats.machinesAcquired.Add(1)
+	return machinePool.Get().(*machine)
+}
+
+// releaseMachine clears every retained reference (len(stack) is the
+// high-water mark — it only ever grows) and returns the machine to the
+// pool.
+func releaseMachine(m *machine) {
+	for i := range m.stack {
+		m.stack[i] = nil
+	}
+	m.sp = 0
+	m.loops = m.loops[:0]
+	for i := range m.ranges {
+		m.ranges[i].release()
+	}
+	m.ranges = m.ranges[:0]
+	machinePool.Put(m)
+}
+
+// gref is one per-interpreter link-table entry for a global reference.
+// box caches the boxed binding (or a negative result) as of gen; the
+// cache is revalidated whenever the interpreter's defineGen moves, which
+// only happens when base/globals gain a brand-new name.
+type gref struct {
+	box *any
+	gen uint64
+}
+
+// globalBox resolves gref i against the interpreter's boxed scopes,
+// caching positive and negative results until a new global is defined.
+func (in *Interp) globalBox(i int32, comp *progComp) *any {
+	r := &in.refs[i]
+	if r.gen == in.defineGen+1 {
+		return r.box
+	}
+	name := comp.grefs[i]
+	var box *any
+	if p, ok := in.globals.boxes[name]; ok {
+		box = p
+	} else if p, ok := in.base.boxes[name]; ok {
+		box = p
+	}
+	r.box = box
+	r.gen = in.defineGen + 1
+	return box
+}
+
+// ---- VM statistics ----
+
+var vmStats struct {
+	programsCompiled  atomic.Int64
+	funcsCompiled     atomic.Int64
+	compileNs         atomic.Int64
+	cacheHits         atomic.Int64
+	machinesAcquired  atomic.Int64
+	machinesAllocated atomic.Int64
+}
+
+// VMStats is a snapshot of process-wide script VM counters, surfaced as
+// the script.* observability metrics.
+type VMStats struct {
+	// ProgramsCompiled / FuncsCompiled count bytecode compilations.
+	ProgramsCompiled int64 `json:"programs_compiled"`
+	FuncsCompiled    int64 `json:"funcs_compiled"`
+	// CompileNs is the cumulative wall time spent compiling.
+	CompileNs int64 `json:"compile_ns"`
+	// BytecodeCacheHits counts invocations served by already-compiled
+	// bytecode (per-interpreter link table or the shared program cache).
+	BytecodeCacheHits int64 `json:"bytecode_cache_hits"`
+	// FramesPooled counts invocations that reused a pooled machine;
+	// FramesAllocated counts machines newly allocated by the pool.
+	FramesPooled    int64 `json:"frames_pooled"`
+	FramesAllocated int64 `json:"frames_allocated"`
+}
+
+// ReadVMStats returns the current VM counters.
+func ReadVMStats() VMStats {
+	acquired := vmStats.machinesAcquired.Load()
+	allocated := vmStats.machinesAllocated.Load()
+	pooled := acquired - allocated
+	if pooled < 0 {
+		pooled = 0
+	}
+	return VMStats{
+		ProgramsCompiled:  vmStats.programsCompiled.Load(),
+		FuncsCompiled:     vmStats.funcsCompiled.Load(),
+		CompileNs:         vmStats.compileNs.Load(),
+		BytecodeCacheHits: vmStats.cacheHits.Load(),
+		FramesPooled:      pooled,
+		FramesAllocated:   allocated,
+	}
+}

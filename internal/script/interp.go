@@ -7,6 +7,7 @@ import (
 	"go/token"
 	"sort"
 	"strconv"
+	"sync/atomic"
 )
 
 // Hooks receives Jalangi-style dynamic-analysis callbacks. Any field may
@@ -46,17 +47,31 @@ func (m *Meter) Add(n float64) {
 	}
 }
 
-// env is a lexical scope.
+// env is a lexical scope. Local scopes store values directly in vars
+// (allocated lazily on first define, so scopes that never declare a
+// variable cost nothing). The base and globals scopes are "boxed": each
+// binding lives behind a stable *any cell so the bytecode VM can cache
+// the cell once and then read/write globals without a map lookup.
 type env struct {
 	parent *env
-	vars   map[string]any
+	vars   map[string]any  // local bindings (nil until first define)
+	boxes  map[string]*any // boxed bindings (non-nil only for base/globals)
+	genp   *uint64         // bumped when a boxed scope gains a new name
 }
 
-func newEnv(parent *env) *env { return &env{parent: parent, vars: map[string]any{}} }
+func newEnv(parent *env) *env { return &env{parent: parent} }
+
+func newBoxedEnv(parent *env, genp *uint64) *env {
+	return &env{parent: parent, boxes: map[string]*any{}, genp: genp}
+}
 
 func (e *env) get(name string) (any, bool) {
 	for s := e; s != nil; s = s.parent {
-		if v, ok := s.vars[name]; ok {
+		if s.boxes != nil {
+			if p, ok := s.boxes[name]; ok {
+				return *p, true
+			}
+		} else if v, ok := s.vars[name]; ok {
 			return v, true
 		}
 	}
@@ -67,7 +82,12 @@ func (e *env) get(name string) (any, bool) {
 // a binding was found.
 func (e *env) set(name string, v any) bool {
 	for s := e; s != nil; s = s.parent {
-		if _, ok := s.vars[name]; ok {
+		if s.boxes != nil {
+			if p, ok := s.boxes[name]; ok {
+				*p = v
+				return true
+			}
+		} else if _, ok := s.vars[name]; ok {
 			s.vars[name] = v
 			return true
 		}
@@ -75,11 +95,34 @@ func (e *env) set(name string, v any) bool {
 	return false
 }
 
-func (e *env) define(name string, v any) { e.vars[name] = v }
+func (e *env) define(name string, v any) {
+	if e.boxes != nil {
+		if p, ok := e.boxes[name]; ok {
+			*p = v
+			return
+		}
+		p := new(any)
+		*p = v
+		e.boxes[name] = p
+		if e.genp != nil {
+			*e.genp++
+		}
+		return
+	}
+	if e.vars == nil {
+		e.vars = make(map[string]any, 4)
+	}
+	e.vars[name] = v
+}
 
 // Interp executes a Program. It is not safe for concurrent use — each
 // service instance owns one interpreter and serializes invocations, the
 // way a Node.js process serializes its event loop.
+//
+// By default Call executes functions on the bytecode VM (see compile.go
+// and vm.go); SetReferenceEval(true) switches the instance back to the
+// tree-walking reference evaluator, which is retained as a differential
+// oracle the way datalog.SetReferenceJoin retains the nested-loop join.
 type Interp struct {
 	prog    *Program
 	base    *env // builtins and registered native objects
@@ -88,7 +131,40 @@ type Interp struct {
 	meter   Meter
 	cur     StmtID
 	depth   int
+
+	// refEval selects the tree-walking reference evaluator for Call.
+	refEval bool
+	// defineGen counts new-name defines in the boxed base/globals scopes;
+	// the VM uses it to invalidate cached negative global lookups.
+	defineGen uint64
+	// cfuncs caches this interpreter's link to compiled functions.
+	cfuncs map[string]*compiledFunc
+	// refs is the per-interpreter global-reference link table, indexed by
+	// the program's gref IDs (see progComp).
+	refs []gref
+	// argScratch is the reusable argument buffer for builtin/function
+	// calls on the unhooked tree-walker path.
+	argScratch []any
+	// callFree pools Call headers passed to builtins. Builtins must not
+	// retain the *Call or its Args slice past their return.
+	callFree []*Call
 }
+
+// SetReferenceEval selects the evaluator used by Call: true routes
+// invocations through the tree-walking reference interpreter, false
+// (the default) through the bytecode VM. The switch exists so tests can
+// differentially compare both evaluators and so operators can fall back
+// at runtime (`edgstr -tree-walk`).
+func (in *Interp) SetReferenceEval(on bool) { in.refEval = on }
+
+// referenceEvalDefault is the process-wide default for new interpreters,
+// toggled by SetReferenceEvalDefault.
+var referenceEvalDefault atomic.Bool
+
+// SetReferenceEvalDefault makes every subsequently created interpreter
+// start on the tree-walking reference evaluator (true) or the bytecode
+// VM (false). Existing interpreters are unaffected.
+func SetReferenceEvalDefault(on bool) { referenceEvalDefault.Store(on) }
 
 // errSignal distinguishes control flow from real errors.
 type ctl int
@@ -109,9 +185,10 @@ const maxDepth = 256
 // New returns an interpreter for prog with the standard library
 // installed. Global var declarations are not evaluated until RunInit.
 func New(prog *Program) *Interp {
-	in := &Interp{prog: prog}
-	in.base = newEnv(nil)
-	in.globals = newEnv(in.base)
+	in := &Interp{prog: prog, refEval: referenceEvalDefault.Load()}
+	in.base = newBoxedEnv(nil, &in.defineGen)
+	in.globals = newBoxedEnv(in.base, &in.defineGen)
+	in.cfuncs = make(map[string]*compiledFunc, len(prog.Funcs))
 	installStdlib(in)
 	return in
 }
@@ -148,9 +225,9 @@ func (in *Interp) RunInit() error {
 
 // Globals returns the current global bindings (excluding builtins).
 func (in *Interp) Globals() map[string]any {
-	out := make(map[string]any, len(in.globals.vars))
-	for k, v := range in.globals.vars {
-		out[k] = v
+	out := make(map[string]any, len(in.globals.boxes))
+	for k, p := range in.globals.boxes {
+		out[k] = *p
 	}
 	return out
 }
@@ -162,13 +239,18 @@ func (in *Interp) GetGlobal(name string) (any, bool) { return in.globals.get(nam
 // CRDT wiring push state into the running service.
 func (in *Interp) SetGlobal(name string, v any) { in.globals.define(name, v) }
 
-// Call invokes a declared function with the given arguments.
+// Call invokes a declared function with the given arguments, on the
+// bytecode VM by default or on the tree-walking reference evaluator when
+// SetReferenceEval(true) was called.
 func (in *Interp) Call(name string, args ...any) (any, error) {
 	fn, ok := in.prog.Funcs[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: function %q", ErrUndefined, name)
 	}
-	return in.callFunc(fn, args)
+	if in.refEval {
+		return in.callFunc(fn, args)
+	}
+	return in.vmCallTop(name, args)
 }
 
 func (in *Interp) callFunc(fn *ast.FuncDecl, args []any) (any, error) {
@@ -878,6 +960,12 @@ func (in *Interp) evalIndex(e *env, x *ast.IndexExpr) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	return containerGet(base, idx)
+}
+
+// containerGet reads base[idx]; it is shared by the tree-walker and the
+// VM so both produce identical values and error text.
+func containerGet(base, idx any) (any, error) {
 	switch b := base.(type) {
 	case *List:
 		f, ok := ToNumber(idx)
@@ -912,36 +1000,50 @@ func (in *Interp) evalSlice(e *env, x *ast.SliceExpr) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	length := func() int {
-		switch b := base.(type) {
-		case *List:
-			return len(b.Elems)
-		case string:
-			return len(b)
-		case []byte:
-			return len(b)
-		default:
-			return -1
+	if sliceLen(base) < 0 {
+		return nil, fmt.Errorf("script: cannot slice %T", base)
+	}
+	var loV, hiV any
+	if x.Low != nil {
+		if loV, err = in.eval(e, x.Low); err != nil {
+			return nil, err
 		}
-	}()
+	}
+	if x.High != nil {
+		if hiV, err = in.eval(e, x.High); err != nil {
+			return nil, err
+		}
+	}
+	return sliceRange(base, loV, hiV, x.Low != nil, x.High != nil)
+}
+
+// sliceLen returns the sliceable length of a value, or -1.
+func sliceLen(base any) int {
+	switch b := base.(type) {
+	case *List:
+		return len(b.Elems)
+	case string:
+		return len(b)
+	case []byte:
+		return len(b)
+	default:
+		return -1
+	}
+}
+
+// sliceRange performs base[lo:hi]; shared by tree-walker and VM.
+func sliceRange(base any, loV, hiV any, hasLo, hasHi bool) (any, error) {
+	length := sliceLen(base)
 	if length < 0 {
 		return nil, fmt.Errorf("script: cannot slice %T", base)
 	}
 	lo, hi := 0, length
-	if x.Low != nil {
-		v, err := in.eval(e, x.Low)
-		if err != nil {
-			return nil, err
-		}
-		f, _ := ToNumber(v)
+	if hasLo {
+		f, _ := ToNumber(loV)
 		lo = int(f)
 	}
-	if x.High != nil {
-		v, err := in.eval(e, x.High)
-		if err != nil {
-			return nil, err
-		}
-		f, _ := ToNumber(v)
+	if hasHi {
+		f, _ := ToNumber(hiV)
 		hi = int(f)
 	}
 	if lo < 0 || hi > length || lo > hi {
@@ -967,13 +1069,18 @@ func (in *Interp) evalSelector(e *env, x *ast.SelectorExpr) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	return selectValue(base, x.Sel.Name)
+}
+
+// selectValue reads base.name; shared by tree-walker and VM.
+func selectValue(base any, name string) (any, error) {
 	switch b := base.(type) {
 	case map[string]any:
-		return b[x.Sel.Name], nil
+		return b[name], nil
 	case *Object:
-		m, ok := b.Methods[x.Sel.Name]
+		m, ok := b.Methods[name]
 		if !ok {
-			return nil, fmt.Errorf("script: object %s has no method %q", b.Name, x.Sel.Name)
+			return nil, fmt.Errorf("script: object %s has no method %q", b.Name, name)
 		}
 		return m, nil
 	default:
@@ -1017,14 +1124,40 @@ func (in *Interp) evalComposite(e *env, x *ast.CompositeLit) (any, error) {
 }
 
 func (in *Interp) evalCall(e *env, x *ast.CallExpr) (any, error) {
-	// Evaluate arguments first (left to right).
-	args := make([]any, 0, len(x.Args))
-	for _, a := range x.Args {
-		v, err := in.eval(e, a)
-		if err != nil {
-			return nil, err
+	// Evaluate arguments first (left to right). On the unhooked path the
+	// values land in the interpreter's scratch buffer; when an Invoke hook
+	// is installed a fresh slice is allocated instead, because the hook
+	// consumer (analysis) retains the slice in its trace.
+	var args []any
+	scratchBase := -1
+	if in.hooks.Invoke == nil {
+		scratchBase = len(in.argScratch)
+		for _, a := range x.Args {
+			v, err := in.eval(e, a)
+			if err != nil {
+				in.argScratch = in.argScratch[:scratchBase]
+				return nil, err
+			}
+			in.argScratch = append(in.argScratch, v)
 		}
-		args = append(args, v)
+		args = in.argScratch[scratchBase:]
+	} else {
+		args = make([]any, 0, len(x.Args))
+		for _, a := range x.Args {
+			v, err := in.eval(e, a)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, v)
+		}
+	}
+	releaseArgs := func() {
+		if scratchBase >= 0 {
+			for i := scratchBase; i < len(in.argScratch); i++ {
+				in.argScratch[i] = nil
+			}
+			in.argScratch = in.argScratch[:scratchBase]
+		}
 	}
 
 	var (
@@ -1038,7 +1171,7 @@ func (in *Interp) evalCall(e *env, x *ast.CallExpr) (any, error) {
 		// Local binding holding a builtin wins over declarations.
 		if v, ok := e.get(name); ok {
 			if bf, isB := v.(Builtin); isB {
-				result, err = bf(&Call{Args: args, Interp: in})
+				result, err = in.callBuiltin(bf, args)
 				break
 			}
 		}
@@ -1047,27 +1180,34 @@ func (in *Interp) evalCall(e *env, x *ast.CallExpr) (any, error) {
 			break
 		}
 		if v, ok := e.get(name); ok {
+			releaseArgs()
 			return nil, fmt.Errorf("script: %q (%T) is not callable", name, v)
 		}
+		releaseArgs()
 		return nil, fmt.Errorf("%w: function %q", ErrUndefined, name)
 	case *ast.SelectorExpr:
 		base, berr := in.eval(e, callee.X)
 		if berr != nil {
+			releaseArgs()
 			return nil, berr
 		}
 		obj, ok := base.(*Object)
 		if !ok {
+			releaseArgs()
 			return nil, fmt.Errorf("script: method call on %T", base)
 		}
 		m, ok := obj.Methods[callee.Sel.Name]
 		if !ok {
+			releaseArgs()
 			return nil, fmt.Errorf("script: object %s has no method %q", obj.Name, callee.Sel.Name)
 		}
 		name = obj.Name + "." + callee.Sel.Name
-		result, err = m(&Call{Args: args, Interp: in})
+		result, err = in.callBuiltin(m, args)
 	default:
+		releaseArgs()
 		return nil, fmt.Errorf("script: unsupported call target %T", x.Fun)
 	}
+	releaseArgs()
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
@@ -1075,6 +1215,24 @@ func (in *Interp) evalCall(e *env, x *ast.CallExpr) (any, error) {
 		in.hooks.Invoke(in.cur, name, args, result)
 	}
 	return result, nil
+}
+
+// callBuiltin invokes a native function through a pooled Call header.
+// Builtins must treat c.Args as borrowed: the slice (and the *Call) are
+// reused for the next invocation as soon as the builtin returns.
+func (in *Interp) callBuiltin(bf Builtin, args []any) (any, error) {
+	var c *Call
+	if n := len(in.callFree); n > 0 {
+		c = in.callFree[n-1]
+		in.callFree = in.callFree[:n-1]
+		c.Args = args
+	} else {
+		c = &Call{Args: args, Interp: in}
+	}
+	res, err := bf(c)
+	c.Args = nil
+	in.callFree = append(in.callFree, c)
+	return res, err
 }
 
 func (in *Interp) fireRead(name string, v any) {

@@ -7,6 +7,8 @@ import (
 	"go/printer"
 	"go/token"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // StmtID identifies one syntactic statement of a program. IDs are dense,
@@ -37,6 +39,11 @@ type Program struct {
 	ids map[ast.Stmt]StmtID
 	// funcOf maps StmtID → enclosing function name.
 	funcOf []string
+
+	// comp caches the program's bytecode (compile.go); built once on
+	// first VM execution and shared by every interpreter of the program.
+	comp      atomic.Pointer[progComp]
+	compileMu sync.Mutex
 }
 
 const header = "package service\n\n"

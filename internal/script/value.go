@@ -37,7 +37,11 @@ func NewList(elems ...any) *List { return &List{Elems: elems} }
 
 // Call carries the invocation context to a builtin function.
 type Call struct {
-	// Args holds the evaluated argument values.
+	// Args holds the evaluated argument values. The slice is only valid
+	// for the duration of the call: both evaluators reuse the backing
+	// storage (the tree-walker's argument scratch, the VM's machine
+	// stack window) across invocations, so a builtin that wants to keep
+	// the arguments must copy them, not retain the slice.
 	Args []any
 	// Interp is the running interpreter; builtins may use it to add
 	// metered compute cost or reach registered state.
