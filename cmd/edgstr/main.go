@@ -33,6 +33,15 @@
 // the compaction cadence. Running the same command twice over one
 // directory exercises crash recovery: the second run's snapshot gains a
 // "durability" section with recovered=true per node.
+//
+// With -placement the observed deployment runs the Datalog placement
+// control loop (DESIGN.md §13) instead of static every-service-
+// everywhere replication: edges start empty, the regression traffic is
+// replayed in waves, and the controller promotes hot services to edges
+// and retracts them as the traffic cools. The snapshot gains a
+// "placement" section with the decision record. -placement-rules
+// substitutes a custom rule program file for the built-in policy (see
+// CONTRIBUTING.md for the rule language).
 package main
 
 import (
@@ -50,6 +59,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/httpapp"
 	"repro/internal/obs"
+	"repro/internal/placement"
 	"repro/internal/script"
 	"repro/internal/simclock"
 	"repro/internal/workload"
@@ -68,6 +78,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "persist replica state under this directory (with -trace/-metrics); reuse it to recover")
 	fsync := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always, interval, or never")
 	snapshotEvery := flag.Int("snapshot-every", 0, "compact a node's WAL after this many persisted changes (0 = never)")
+	placementOn := flag.Bool("placement", false, "run the Datalog placement control loop in the observed deployment (with -trace/-metrics)")
+	placementRules := flag.String("placement-rules", "", "placement rule program file (default: built-in policy)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the life of the run")
 	treeWalk := flag.Bool("tree-walk", false, "run service scripts on the tree-walking reference evaluator instead of the bytecode VM")
 	flag.Parse()
@@ -115,7 +127,8 @@ func main() {
 			dur = durOptions{dir: *dataDir, fsync: policy, snapshotEvery: *snapshotEvery}
 		}
 		err = runObserved(ctx, *subject, *workers, *trace, *metrics,
-			tcpOptions{enabled: *tcp, heartbeat: *tcpHeartbeat, maxRetries: *tcpMaxRetries}, dur)
+			tcpOptions{enabled: *tcp, heartbeat: *tcpHeartbeat, maxRetries: *tcpMaxRetries}, dur,
+			placementOptions{enabled: *placementOn, rulesFile: *placementRules})
 	} else {
 		err = run(ctx, *subject, *replica, *workers)
 	}
@@ -187,10 +200,16 @@ type durOptions struct {
 	snapshotEvery int
 }
 
+// placementOptions carries the -placement flags into the observed run.
+type placementOptions struct {
+	enabled   bool
+	rulesFile string
+}
+
 // runObserved runs the full observed lifecycle — capture, transform,
 // deploy, serve the regression traffic at the edge, synchronize — and
 // prints the introspection snapshot as indented JSON on stdout.
-func runObserved(ctx context.Context, name string, workers int, wantTrace, wantMetrics bool, tcp tcpOptions, dur durOptions) error {
+func runObserved(ctx context.Context, name string, workers int, wantTrace, wantMetrics bool, tcp tcpOptions, dur durOptions, plc placementOptions) error {
 	sub, err := workload.ByName(name)
 	if err != nil {
 		return err
@@ -222,13 +241,30 @@ func runObserved(ctx context.Context, name string, workers int, wantTrace, wantM
 			SnapshotEvery: dur.snapshotEvery,
 		}
 	}
+	if plc.enabled {
+		// Thresholds sized for the regression-vector replay below: each
+		// wave lands in one control window, so a few requests make a
+		// service hot and a silent window cools it.
+		cfg.Placement = core.PlacementConfig{
+			Enabled:    true,
+			Interval:   time.Second,
+			Thresholds: placement.Thresholds{HotRequests: 3, ColdRequests: 1},
+		}
+		if plc.rulesFile != "" {
+			rules, rerr := os.ReadFile(plc.rulesFile)
+			if rerr != nil {
+				return fmt.Errorf("placement rules: %w", rerr)
+			}
+			cfg.Placement.Rules = string(rules)
+		}
+	}
 	dep, err := core.DeployContext(ctx, clock, res, cfg)
 	if err != nil {
 		return err
 	}
 	_, serveSpan := obs.StartSpan(ctx, "serve")
 	var served, failed int
-	for _, req := range sub.RegressionVectors() {
+	handle := func(req *httpapp.Request) {
 		dep.HandleAtEdge(req, func(_ *httpapp.Response, err error) {
 			if err != nil {
 				failed++
@@ -236,6 +272,23 @@ func runObserved(ctx context.Context, name string, workers int, wantTrace, wantM
 			}
 			served++
 		})
+	}
+	if plc.enabled {
+		// Replay the traffic in one wave per control round so the loop
+		// sees sustained demand: the first wave forwards and promotes,
+		// the following waves serve at the edges, and the silence after
+		// the last wave cools the services back out (retract).
+		for wave := 0; wave < 4; wave++ {
+			at := clock.Now() + time.Duration(wave)*time.Second + 500*time.Millisecond
+			for _, req := range sub.RegressionVectors() {
+				req := req
+				clock.At(at, func() { handle(req.Clone()) })
+			}
+		}
+	} else {
+		for _, req := range sub.RegressionVectors() {
+			handle(req)
+		}
 	}
 	clock.RunUntil(clock.Now() + 30*time.Second)
 	serveSpan.SetAttr("served", fmt.Sprint(served))

@@ -6,7 +6,7 @@
 //	experiments -exp all
 //	experiments -exp table2
 //	experiments -exp rtt|fig6b|fig7|fig8|fig9|fig10a|fig10b|accuracy|ablations
-//	experiments -exp bench -benchout BENCH_pipeline.json -durableout BENCH_durable.json -statesyncout BENCH_statesync.json -serveout BENCH_serve.json
+//	experiments -exp bench -benchout BENCH_pipeline.json -durableout BENCH_durable.json -statesyncout BENCH_statesync.json -serveout BENCH_serve.json -placementout BENCH_placement.json
 package main
 
 import (
@@ -23,6 +23,7 @@ func main() {
 	durableOut := flag.String("durableout", "BENCH_durable.json", "output path for the -exp bench durability report")
 	statesyncOut := flag.String("statesyncout", "BENCH_statesync.json", "output path for the -exp bench replication report")
 	serveOut := flag.String("serveout", "BENCH_serve.json", "output path for the -exp bench serve-path report")
+	placementOut := flag.String("placementout", "BENCH_placement.json", "output path for the -exp bench placement report")
 	flag.Parse()
 	if *exp == "bench" {
 		if err := runBench(*benchOut); err != nil {
@@ -38,6 +39,10 @@ func main() {
 			os.Exit(1)
 		}
 		if err := runBenchServe(*serveOut); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := runBenchPlacement(*placementOut); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

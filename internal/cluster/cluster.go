@@ -293,6 +293,38 @@ func (b *Balancer) Pick() (*Server, error) {
 	}
 }
 
+// PickWhere selects a server under the balancer's policy, considering
+// only active servers that satisfy pred — the placement controller
+// routes through it so a request lands on a replica where its service
+// is actually enabled.
+func (b *Balancer) PickWhere(pred func(*Server) bool) (*Server, error) {
+	switch b.policy {
+	case RoundRobin:
+		for i := 0; i < len(b.servers); i++ {
+			s := b.servers[(b.rrNext+i)%len(b.servers)]
+			if s.Node.Active() && pred(s) {
+				b.rrNext = (b.rrNext + i + 1) % len(b.servers)
+				return s, nil
+			}
+		}
+		return nil, ErrNoActiveServer
+	default: // LeastConnections
+		var best *Server
+		for _, s := range b.servers {
+			if !s.Node.Active() || !pred(s) {
+				continue
+			}
+			if best == nil || s.conns < best.conns {
+				best = s
+			}
+		}
+		if best == nil {
+			return nil, ErrNoActiveServer
+		}
+		return best, nil
+	}
+}
+
 // SetActiveCount powers up the first k servers and parks the rest —
 // used by the elasticity controller and by fixed-size experiments.
 func (b *Balancer) SetActiveCount(k int) {

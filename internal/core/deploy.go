@@ -54,6 +54,12 @@ type DeployConfig struct {
 	// a per-node data directory and recovers it on redeploy. The zero
 	// value keeps the deployment in-memory only.
 	Durability DurabilityConfig
+	// Placement runs the Datalog-driven placement control loop: edges
+	// start serving nothing, and a periodic controller promotes hot
+	// services to edges and retracts cold ones from live observability
+	// facts. The zero value keeps the static every-service-everywhere
+	// placement.
+	Placement PlacementConfig
 }
 
 // DefaultDeployConfig returns the evaluation's standard topology: one
@@ -110,8 +116,14 @@ type Deployment struct {
 	TCPMaster *statesync.TCPMaster
 
 	// Obs is the observability bundle the deployment records into (nil
-	// when deployed without one — every hook is then a no-op).
+	// when deployed without one — every hook is then a no-op, except that
+	// a placement-enabled deployment always creates its own: the
+	// controller reads demand facts back out of the registry).
 	Obs *obs.Obs
+
+	// Placement is the placement control loop runtime (nil unless
+	// DeployConfig.Placement.Enabled).
+	Placement *PlacementRuntime
 
 	// Stores maps node name ("cloud", "edge-1", …) to its durable store;
 	// empty when the deployment runs without durability. Stop closes
@@ -120,6 +132,10 @@ type Deployment struct {
 	storeOrder []string
 
 	replicated map[string]bool // "METHOD /pattern" served at the edge
+	// replicatedNames is the same set in the Result's order, so request
+	// → service-name resolution is deterministic when several patterns
+	// could match.
+	replicatedNames []string
 }
 
 // Deploy instantiates the transformation result as a running three-tier
@@ -134,6 +150,11 @@ func Deploy(clock *simclock.Clock, res *Result, cfg DeployConfig) (*Deployment, 
 // cluster.* metric families) for the deployment's lifetime.
 func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg DeployConfig) (*Deployment, error) {
 	o := obs.From(ctx)
+	if cfg.Placement.Enabled && o == nil {
+		// The placement controller snapshots serve.* metrics into Datalog
+		// facts each round, so a placement deployment cannot run blind.
+		o = obs.New()
+	}
 	_, span := obs.StartSpan(ctx, "deploy",
 		obs.A("app", res.Name),
 		obs.A("edges", strconv.Itoa(len(cfg.EdgeSpecs))))
@@ -161,6 +182,7 @@ func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg 
 	}
 	for _, name := range res.ReplicatedServiceNames() {
 		d.replicated[name] = true
+		d.replicatedNames = append(d.replicatedNames, name)
 	}
 
 	// cleanup releases TCP transport resources and durable stores on a
@@ -197,6 +219,7 @@ func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg 
 	if err != nil {
 		return cleanup(fmt.Errorf("core: cloud binding: %w", err))
 	}
+	cloudBinding.SetObs(o, "cloud")
 	if cloudPersist != nil {
 		if err := cloudPersist.Sync(cloudState); err != nil {
 			return cleanup(err)
@@ -267,6 +290,7 @@ func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg 
 		if err != nil {
 			return cleanup(fmt.Errorf("core: replica binding %s: %w", name, err))
 		}
+		binding.SetObs(o, name)
 		if edgePersist != nil {
 			if err := edgePersist.Sync(edgeState); err != nil {
 				return cleanup(err)
@@ -313,6 +337,14 @@ func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg 
 	}
 	d.Balancer = cluster.NewBalancer(cfg.Policy, servers...)
 	o.Gauge("deploy.edges").Set(float64(len(d.Edges)))
+	if cfg.Placement.Enabled {
+		pr, err := newPlacementRuntime(d, cfg.Placement)
+		if err != nil {
+			return cleanup(err)
+		}
+		d.Placement = pr
+		pr.Start()
+	}
 	if mgr != nil {
 		mgr.Start()
 	}
@@ -332,10 +364,26 @@ func (d *Deployment) edgeFor(s *cluster.Server) *EdgeReplica {
 // HandleAtEdge implements the Remote Proxy: the balancer picks an edge
 // replica; replicated services execute in place, everything else — and
 // every local failure — is forwarded to the cloud master over the WAN.
-// done may be nil for fire-and-forget loads.
+// Under a placement controller, a replicated service additionally only
+// executes at edges where the controller enabled it; until its first
+// promotion every request forwards to the cloud (that demand is exactly
+// what promotes it). done may be nil for fire-and-forget loads.
 func (d *Deployment) HandleAtEdge(req *httpapp.Request, done func(*httpapp.Response, error)) {
 	if done == nil {
 		done = func(*httpapp.Response, error) {}
+	}
+	name := d.replicatedServiceName(req)
+	if name != "" && d.Obs != nil {
+		// Demand accounting: every routed request counts, wherever it
+		// executes — the placement controller's load facts measure what
+		// clients want, not what edges currently serve.
+		d.Obs.Counter("serve.requests." + name).Add(1)
+		start := d.Clock.Now()
+		inner := done
+		done = func(resp *httpapp.Response, err error) {
+			d.Obs.Histogram("serve.latency." + name).ObserveDuration(d.Clock.Now() - start)
+			inner(resp, err)
+		}
 	}
 	srv, err := d.Balancer.Pick()
 	if err != nil {
@@ -347,9 +395,19 @@ func (d *Deployment) HandleAtEdge(req *httpapp.Request, done func(*httpapp.Respo
 		done(nil, fmt.Errorf("core: balancer returned unknown server"))
 		return
 	}
-	if !d.isReplicated(req) {
+	if name == "" {
 		d.forwardToCloud(edge, req, done)
 		return
+	}
+	if d.Placement != nil {
+		target := d.Placement.routeEdge(name, edge)
+		if target == nil {
+			// No edge serves this service yet; the balancer-picked edge
+			// still proxies the WAN hop to the cloud.
+			d.forwardToCloud(edge, req, done)
+			return
+		}
+		edge = target
 	}
 	edge.Server.Handle(req, func(resp *httpapp.Response, _ time.Duration, err error) {
 		if err != nil {
@@ -372,16 +430,22 @@ func (d *Deployment) HandleAtCloud(req *httpapp.Request, done func(*httpapp.Resp
 }
 
 func (d *Deployment) isReplicated(req *httpapp.Request) bool {
+	return d.replicatedServiceName(req) != ""
+}
+
+// replicatedServiceName resolves a request to the inferred service name
+// it belongs to ("" when the request's service is not replicated).
+func (d *Deployment) replicatedServiceName(req *httpapp.Request) string {
 	rt, _, err := d.Cloud.App.Lookup(req.Method, req.Path)
 	if err != nil {
-		return false
+		return ""
 	}
-	for name := range d.replicated {
+	for _, name := range d.replicatedNames {
 		if matchesServiceName(name, rt, req) {
-			return true
+			return name
 		}
 	}
-	return false
+	return ""
 }
 
 // matchesServiceName matches an inferred service name ("GET /books/:p1")
@@ -507,6 +571,9 @@ func (d *Deployment) SettleSync(budget time.Duration) {
 // under TransportTCP, and seals every durable store (pending WAL
 // appends are synced to disk regardless of fsync policy).
 func (d *Deployment) Stop() {
+	if d.Placement != nil {
+		d.Placement.Stop()
+	}
 	if d.TCPMaster != nil {
 		for _, e := range d.Edges {
 			if e.TCP != nil {

@@ -32,6 +32,50 @@ type Observation struct {
 	// Durability lists per-node persistence records (recovery outcome
 	// and WAL I/O); present only when the deployment persists state.
 	Durability []DurabilityObservation `json:"durability,omitempty"`
+	// Bindings lists per-node app↔CRDT mirror health: how many outbound
+	// mutation mirrors failed and the first failure. All-zero in a
+	// healthy deployment; a nonzero entry flags replica divergence.
+	Bindings []BindingObservation `json:"bindings"`
+	// Placement is the placement control loop's latest decision record;
+	// present only when the deployment runs with a placement controller.
+	Placement *PlacementObservation `json:"placement,omitempty"`
+}
+
+// BindingObservation is one node's outbound mirror failure record.
+type BindingObservation struct {
+	Name string `json:"name"`
+	// ApplyErrors counts committed app mutations that failed to mirror
+	// into the node's CRDT components (statesync.bind.apply_errors).
+	ApplyErrors int64 `json:"apply_errors"`
+	// FirstError is the first mirror failure ("" when none).
+	FirstError string `json:"first_error,omitempty"`
+}
+
+// PlacementObservation is the placement control loop's cumulative
+// record plus its latest derived assignment.
+type PlacementObservation struct {
+	// Rounds counts completed placement decision rounds.
+	Rounds int64 `json:"rounds"`
+	// Promotions/Retractions count applied service moves across all
+	// rounds.
+	Promotions  int64 `json:"promotions"`
+	Retractions int64 `json:"retractions"`
+	// LastDecisionMS is the wall-clock cost of the most recent Datalog
+	// decision (fact load + fixpoint + extraction).
+	LastDecisionMS float64 `json:"last_decision_ms"`
+	// DatalogRounds/FactsDerived are the engine's RunStats for the most
+	// recent fixpoint.
+	DatalogRounds int `json:"datalog_rounds"`
+	FactsDerived  int `json:"facts_derived"`
+	// Assignments maps edge name to the services currently enabled
+	// there (sorted).
+	Assignments map[string][]string `json:"assignments"`
+	// Draining maps edge name to services retracted but still draining
+	// in-flight requests (sorted; omitted when empty).
+	Draining map[string][]string `json:"draining,omitempty"`
+	// LastError is the most recent decision failure ("" when the loop is
+	// healthy). A failed round leaves the previous assignment in place.
+	LastError string `json:"last_error,omitempty"`
 }
 
 // TransportObservation is one edge's TCP connection supervision record.
@@ -70,6 +114,15 @@ type EdgeObservation struct {
 	Active bool `json:"active"`
 }
 
+func bindingObservation(name string, b *statesync.Binding) BindingObservation {
+	n, err := b.ApplyErrors()
+	bo := BindingObservation{Name: name, ApplyErrors: n}
+	if err != nil {
+		bo.FirstError = err.Error()
+	}
+	return bo
+}
+
 // observeVM copies the script interpreter's process-wide VM counters
 // (script.ReadVMStats) into the metrics registry as `script.*` gauges,
 // so the snapshot records the bytecode compiler/cache/frame-pool state
@@ -102,6 +155,14 @@ func Observe(d *Deployment) Observation {
 		o.Observability = d.Obs.Snapshot()
 	}
 	o.Durability = d.observeDurability()
+	if d.Placement != nil {
+		po := d.Placement.Observation()
+		o.Placement = &po
+	}
+	o.Bindings = append(o.Bindings, bindingObservation("cloud", d.CloudBinding))
+	for _, e := range d.Edges {
+		o.Bindings = append(o.Bindings, bindingObservation(e.Name, e.Binding))
+	}
 	for _, e := range d.Edges {
 		o.Edges = append(o.Edges, EdgeObservation{
 			Name:          e.Name,

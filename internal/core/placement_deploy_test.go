@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/httpapp"
+	"repro/internal/placement"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// TestPlacementControlLoop drives a shifting workload through the
+// Datalog placement loop: a traffic burst promotes the hot service to
+// the edges (requests forward to the cloud until then), and the
+// following silence cools it back through warm into cold, retracting and
+// draining every replica assignment.
+func TestPlacementControlLoop(t *testing.T) {
+	res := transformSubject(t, "bookworm")
+	clock := simclock.New()
+	cfg := DefaultDeployConfig()
+	cfg.Placement = PlacementConfig{
+		Enabled:    true,
+		Interval:   time.Second,
+		Thresholds: placement.Thresholds{HotRequests: 10, ColdRequests: 2},
+	}
+	d, err := Deploy(clock, res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	if d.Obs == nil {
+		t.Fatal("placement deployment must carry an Obs")
+	}
+	sub, _ := workload.ByName("bookworm")
+
+	burst := func(at time.Duration, n int) {
+		for i := 0; i < n; i++ {
+			i := i
+			clock.At(at, func() {
+				d.HandleAtEdge(sub.SampleRequest(0, i, 7), func(_ *httpapp.Response, err error) {
+					if err != nil {
+						t.Errorf("request at %v: %v", at, err)
+					}
+				})
+			})
+		}
+	}
+	// First burst lands before the first control round: every request
+	// must forward (nothing is placed yet), and the round at 1s must see
+	// the demand and promote.
+	burst(500*time.Millisecond, 20)
+	clock.RunUntil(900 * time.Millisecond)
+	if local := sumServedLocally(d); local != 0 {
+		t.Fatalf("served locally before any promotion: %d", local)
+	}
+	if fwd := sumForwarded(d); fwd != 20 {
+		t.Fatalf("forwarded = %d, want 20 (all pre-promotion traffic)", fwd)
+	}
+
+	// Second burst lands after the promotion round and serves at edges.
+	burst(1500*time.Millisecond, 20)
+	clock.RunUntil(2500 * time.Millisecond)
+
+	hot := d.Placement.Observation()
+	if hot.Promotions == 0 {
+		t.Fatalf("no promotions after hot burst: %+v", hot)
+	}
+	if len(hot.Assignments) != len(d.Edges) {
+		t.Fatalf("assignments = %v, want the hot service on all %d edges", hot.Assignments, len(d.Edges))
+	}
+	for edge, svcs := range hot.Assignments {
+		if len(svcs) != 1 || svcs[0] != "GET /books" {
+			t.Fatalf("edge %s assignment = %v", edge, svcs)
+		}
+	}
+	if hot.Rounds == 0 || hot.DatalogRounds == 0 || hot.FactsDerived == 0 {
+		t.Fatalf("decision accounting empty: %+v", hot)
+	}
+	if hot.LastError != "" {
+		t.Fatalf("decision error: %s", hot.LastError)
+	}
+	if local := sumServedLocally(d); local != 20 {
+		t.Fatalf("served locally after promotion = %d, want 20", local)
+	}
+
+	// Silence: the window count drops to zero, the service goes cold, and
+	// every assignment retracts and drains.
+	clock.RunUntil(8 * time.Second)
+	cold := d.Placement.Observation()
+	if cold.Retractions == 0 {
+		t.Fatalf("no retractions after cool-down: %+v", cold)
+	}
+	if len(cold.Assignments) != 0 {
+		t.Fatalf("assignments after cool-down = %v, want none", cold.Assignments)
+	}
+	if len(cold.Draining) != 0 {
+		t.Fatalf("draining never cleared: %v", cold.Draining)
+	}
+
+	// The decisions surface through the public observation.
+	o := Observe(d)
+	if o.Placement == nil {
+		t.Fatal("Observe lost the placement record")
+	}
+	if o.Placement.Promotions != cold.Promotions || o.Placement.Retractions != cold.Retractions {
+		t.Fatalf("Observe placement = %+v, runtime = %+v", o.Placement, cold)
+	}
+	if got := d.Obs.Counter("serve.requests.GET /books").Value(); got != 40 {
+		t.Fatalf("serve.requests.GET /books = %d, want 40", got)
+	}
+	if d.Obs.Counter("placement.promotions").Value() != cold.Promotions {
+		t.Fatal("placement.promotions counter disagrees with runtime record")
+	}
+	if d.Obs.Histogram("placement.decision_ms").Count() == 0 {
+		t.Fatal("placement.decision_ms recorded nothing")
+	}
+}
+
+// TestPlacementCapacityAndCustomRules pins the config surface: a
+// capacity-capped edge admits only that many services, and a custom rule
+// program replaces the default policy.
+func TestPlacementCapacityAndCustomRules(t *testing.T) {
+	res := transformSubject(t, "bookworm")
+	clock := simclock.New()
+	cfg := DefaultDeployConfig()
+	cfg.EdgeSpecs = cfg.EdgeSpecs[:1]
+	cfg.Placement = PlacementConfig{
+		Enabled:    true,
+		Interval:   time.Second,
+		Thresholds: placement.Thresholds{HotRequests: 1, ColdRequests: 1},
+		// Pin-everything policy: demand does not matter.
+		Rules: `
+candidate(S, E) :- service(S), edge(E), link(E, up).
+keep(S, E) :- assigned(S, E), link(E, up).
+`,
+		EdgeCapacity: 2,
+	}
+	d, err := Deploy(clock, res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	clock.RunUntil(1500 * time.Millisecond)
+
+	got := d.Placement.Observation()
+	edge := d.Edges[0].Name
+	if len(got.Assignments[edge]) != 2 {
+		t.Fatalf("capacity-2 edge hosts %v", got.Assignments[edge])
+	}
+	if got.Promotions != 2 {
+		t.Fatalf("promotions = %d, want 2", got.Promotions)
+	}
+}
+
+func sumServedLocally(d *Deployment) int64 {
+	var n int64
+	for _, e := range d.Edges {
+		n += e.ServedLocally
+	}
+	return n
+}
+
+func sumForwarded(d *Deployment) int64 {
+	var n int64
+	for _, e := range d.Edges {
+		n += e.Forwarded
+	}
+	return n
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/script"
 	"repro/internal/sqldb"
@@ -95,7 +96,16 @@ type App struct {
 	interp *script.Interp
 	db     *sqldb.DB
 	fs     *vfs.FS
+
+	// writeErrors counts ServeHTTP responses whose body write failed
+	// (typically a client that hung up before reading) — those requests
+	// executed but were never actually served.
+	writeErrors atomic.Int64
 }
+
+// WriteErrors reports how many ServeHTTP response bodies failed to reach
+// the client.
+func (a *App) WriteErrors() int64 { return a.writeErrors.Load() }
 
 // Option configures an App.
 type Option func(*App)
@@ -411,7 +421,11 @@ func (a *App) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(resp.Status)
-	_, _ = w.Write(resp.Body)
+	if n, err := w.Write(resp.Body); err != nil || n < len(resp.Body) {
+		// An aborted client connection is not a served response; count it
+		// so serve-path metrics stay truthful.
+		a.writeErrors.Add(1)
+	}
 }
 
 func flattenQuery(q url.Values) map[string]string {

@@ -3,6 +3,7 @@ package httpapp
 import (
 	"encoding/json"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -237,6 +238,48 @@ func TestServeHTTP(t *testing.T) {
 	}
 	if nf.StatusCode != 404 {
 		t.Fatalf("status = %d, want 404", nf.StatusCode)
+	}
+}
+
+// abortWriter models a client that hangs up before reading the response
+// body: headers go through, the body write fails.
+type abortWriter struct {
+	hdr    http.Header
+	status int
+}
+
+func (w *abortWriter) Header() http.Header {
+	if w.hdr == nil {
+		w.hdr = http.Header{}
+	}
+	return w.hdr
+}
+func (w *abortWriter) WriteHeader(code int)      { w.status = code }
+func (w *abortWriter) Write([]byte) (int, error) { return 0, errors.New("client hung up") }
+
+func TestServeHTTPWriteErrorCounted(t *testing.T) {
+	app := newBookApp(t)
+	if got := app.WriteErrors(); got != 0 {
+		t.Fatalf("fresh app WriteErrors = %d", got)
+	}
+
+	w := &abortWriter{}
+	app.ServeHTTP(w, httptest.NewRequest("GET", "/books/1", nil))
+	if w.status != 200 {
+		t.Fatalf("handler status = %d, want 200", w.status)
+	}
+	if got := app.WriteErrors(); got != 1 {
+		t.Fatalf("WriteErrors after aborted write = %d, want 1", got)
+	}
+
+	// A successful write does not count.
+	rec := httptest.NewRecorder()
+	app.ServeHTTP(rec, httptest.NewRequest("GET", "/books/1", nil))
+	if rec.Code != 200 {
+		t.Fatalf("recorder status = %d", rec.Code)
+	}
+	if got := app.WriteErrors(); got != 1 {
+		t.Fatalf("WriteErrors after clean write = %d, want 1", got)
 	}
 }
 

@@ -1,0 +1,280 @@
+package placement
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/datalog"
+)
+
+// This file is the placement rule language: a tiny Datalog surface
+// syntax so operators can swap the placement policy without recompiling
+// (cmd/edgstr -placement-rules). The controller loads the program into
+// the engine alongside the fact snapshot each round.
+//
+// Syntax, one clause per '.'-terminated statement:
+//
+//	# comment to end of line
+//	eligible(E) :- edge(E), link(E, up), energy(E, ok).
+//	colocate("GET /a", "GET /b").
+//
+// Identifiers starting with an uppercase letter are variables;
+// everything else (including double-quoted strings, which may contain
+// spaces, commas, and parentheses) is a constant. A clause without
+// ":-" asserts a ground fact.
+
+// StaticFact is a ground fact asserted by a rule program (e.g. a
+// colocation constraint).
+type StaticFact struct {
+	Pred string
+	Args []string
+}
+
+// Program is a parsed placement rule program.
+type Program struct {
+	Rules []datalog.Rule
+	Facts []StaticFact
+}
+
+// DefaultRulesText is the built-in placement policy (see DESIGN.md §13):
+// hot services spread to every eligible edge with free capacity, warm
+// services stay where they are (hysteresis), cold services and services
+// on dead or energy-over-budget edges retract. Colocated partners follow
+// their peers. The engine is positive-only, so the policy derives three
+// relations the controller combines in code: candidate (may be
+// promoted), keep (stays), retract (drains away).
+const DefaultRulesText = `
+# An edge may host services while its link is up and it is within its
+# energy budget.
+eligible(E) :- edge(E), link(E, up), energy(E, ok).
+
+# Hot services are candidates for every eligible edge with a free slot.
+candidate(S, E) :- load(S, hot), eligible(E), capacity(E, free).
+
+# Colocation: a candidate pulls its declared partners along.
+candidate(S2, E) :- colocate(S1, S2), candidate(S1, E), service(S2).
+
+# Hysteresis: an assigned service survives while hot or warm — only the
+# cold band (or a failed edge) evicts it, so load flutter near the hot
+# threshold cannot flap the assignment.
+keep(S, E) :- assigned(S, E), load(S, hot), eligible(E).
+keep(S, E) :- assigned(S, E), load(S, warm), eligible(E).
+
+# Retraction: cold services drain; dead or over-budget edges shed
+# everything.
+retract(S, E) :- assigned(S, E), load(S, cold).
+retract(S, E) :- assigned(S, E), link(E, down).
+retract(S, E) :- assigned(S, E), energy(E, over).
+`
+
+// ParseRules parses a placement rule program.
+func ParseRules(src string) (*Program, error) {
+	p := &Program{}
+	for i, clause := range splitClauses(src) {
+		head, body, err := parseClause(clause)
+		if err != nil {
+			return nil, fmt.Errorf("placement: clause %d (%q): %w", i+1, compact(clause), err)
+		}
+		if len(body) == 0 {
+			args := make([]string, len(head.Args))
+			for j, t := range head.Args {
+				if t.IsVar() {
+					return nil, fmt.Errorf("placement: clause %d (%q): fact argument %q is a variable", i+1, compact(clause), t.Value())
+				}
+				args[j] = t.Value()
+			}
+			p.Facts = append(p.Facts, StaticFact{Pred: head.Pred, Args: args})
+			continue
+		}
+		p.Rules = append(p.Rules, datalog.NewRule(head, body...))
+	}
+	if len(p.Rules) == 0 {
+		return nil, fmt.Errorf("placement: program has no rules")
+	}
+	return p, nil
+}
+
+// Load asserts the program's rules and static facts into a database.
+func (p *Program) Load(db *datalog.DB) error {
+	for _, r := range p.Rules {
+		if err := db.AddRule(r); err != nil {
+			return err
+		}
+	}
+	for _, f := range p.Facts {
+		if _, err := db.AddFact(f.Pred, f.Args...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compact renders a clause on one line for error messages.
+func compact(s string) string { return strings.Join(strings.Fields(s), " ") }
+
+// splitClauses cuts the source at '.' terminators outside quotes,
+// dropping comments ('#' to end of line) and blank clauses.
+func splitClauses(src string) []string {
+	var clauses []string
+	var cur strings.Builder
+	inQuote := false
+	inComment := false
+	for _, r := range src {
+		switch {
+		case inComment:
+			if r == '\n' {
+				inComment = false
+				cur.WriteRune('\n')
+			}
+		case r == '"':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case inQuote:
+			cur.WriteRune(r)
+		case r == '#':
+			inComment = true
+		case r == '.':
+			if s := strings.TrimSpace(cur.String()); s != "" {
+				clauses = append(clauses, s)
+			}
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		clauses = append(clauses, s)
+	}
+	return clauses
+}
+
+// parseClause parses "head :- body" or a bare fact atom; body is nil for
+// facts.
+func parseClause(s string) (datalog.Atom, []datalog.Atom, error) {
+	headSrc, bodySrc, hasBody := cutOutsideQuotes(s, ":-")
+	head, err := parseAtom(headSrc)
+	if err != nil {
+		return datalog.Atom{}, nil, fmt.Errorf("head: %w", err)
+	}
+	if !hasBody {
+		return head, nil, nil
+	}
+	var body []datalog.Atom
+	for _, atomSrc := range splitTopLevel(bodySrc) {
+		a, err := parseAtom(atomSrc)
+		if err != nil {
+			return datalog.Atom{}, nil, fmt.Errorf("body: %w", err)
+		}
+		body = append(body, a)
+	}
+	if len(body) == 0 {
+		return datalog.Atom{}, nil, fmt.Errorf("empty body after :-")
+	}
+	return head, body, nil
+}
+
+// cutOutsideQuotes is strings.Cut honoring double quotes.
+func cutOutsideQuotes(s, sep string) (string, string, bool) {
+	inQuote := false
+	for i := 0; i+len(sep) <= len(s); i++ {
+		if s[i] == '"' {
+			inQuote = !inQuote
+			continue
+		}
+		if !inQuote && s[i:i+len(sep)] == sep {
+			return s[:i], s[i+len(sep):], true
+		}
+	}
+	return s, "", false
+}
+
+// splitTopLevel splits body atoms on commas outside parentheses and
+// quotes.
+func splitTopLevel(s string) []string {
+	var parts []string
+	depth := 0
+	inQuote := false
+	start := 0
+	for i, r := range s {
+		switch {
+		case r == '"':
+			inQuote = !inQuote
+		case inQuote:
+		case r == '(':
+			depth++
+		case r == ')':
+			depth--
+		case r == ',' && depth == 0:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	parts = append(parts, s[start:])
+	out := parts[:0]
+	for _, p := range parts {
+		if strings.TrimSpace(p) != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseAtom parses "pred(arg, arg, ...)".
+func parseAtom(s string) (datalog.Atom, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return datalog.Atom{}, fmt.Errorf("atom %q is not pred(args)", s)
+	}
+	pred := strings.TrimSpace(s[:open])
+	if pred == "" || !isIdent(pred) {
+		return datalog.Atom{}, fmt.Errorf("bad predicate name %q", pred)
+	}
+	inner := s[open+1 : len(s)-1]
+	var terms []datalog.Term
+	for _, argSrc := range splitTopLevel(inner) {
+		t, err := parseTerm(argSrc)
+		if err != nil {
+			return datalog.Atom{}, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 0 {
+		return datalog.Atom{}, fmt.Errorf("atom %q has no arguments", s)
+	}
+	return datalog.NewAtom(pred, terms...), nil
+}
+
+// parseTerm classifies one argument: quoted → constant, leading
+// uppercase → variable, otherwise constant.
+func parseTerm(s string) (datalog.Term, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return datalog.Term{}, fmt.Errorf("empty argument")
+	}
+	if strings.HasPrefix(s, `"`) {
+		if len(s) < 2 || !strings.HasSuffix(s, `"`) {
+			return datalog.Term{}, fmt.Errorf("unterminated quote in %q", s)
+		}
+		return datalog.C(s[1 : len(s)-1]), nil
+	}
+	if !isIdent(s) {
+		return datalog.Term{}, fmt.Errorf("bad argument %q (quote constants with spaces or punctuation)", s)
+	}
+	first := []rune(s)[0]
+	if unicode.IsUpper(first) {
+		return datalog.V(s), nil
+	}
+	return datalog.C(s), nil
+}
+
+// isIdent accepts letters, digits, underscores, and dashes.
+func isIdent(s string) bool {
+	for _, r := range s {
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' && r != '-' {
+			return false
+		}
+	}
+	return s != ""
+}

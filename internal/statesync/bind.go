@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/crdt"
 	"repro/internal/httpapp"
+	"repro/internal/obs"
 	"repro/internal/script"
 	"repro/internal/sqldb"
 	"repro/internal/vfs"
@@ -28,6 +30,55 @@ type Binding struct {
 	trackedTables map[string]bool
 	trackedFiles  bool
 	lastGlobals   map[string]any
+
+	// errMu guards the outbound-mirror failure record. The mutation
+	// hooks run synchronously under the app's db/fs locks but may fire
+	// from both the invocation path and test harnesses, so the record
+	// keeps its own lock.
+	errMu       sync.Mutex
+	applyErrors int64
+	firstErr    error
+	// applyErrCounter mirrors failures into an observability registry
+	// (nil-safe no-op until SetObs).
+	applyErrCounter *obs.Counter
+}
+
+// SetObs mirrors the binding's outbound mutation-apply failures into
+// the registry as the "statesync.bind.apply_errors.<node>" counter (see
+// OBSERVABILITY.md). A nil Obs disables mirroring.
+func (b *Binding) SetObs(o *obs.Obs, node string) {
+	b.errMu.Lock()
+	defer b.errMu.Unlock()
+	b.applyErrCounter = o.Counter("statesync.bind.apply_errors." + node)
+}
+
+// noteApplyErr records one failed outbound mirror operation: the first
+// error is kept verbatim (later ones are usually the same root cause),
+// and every failure bumps the count and the registry counter. A replica
+// whose app DB diverged from its CRDT state is no longer silent.
+func (b *Binding) noteApplyErr(err error) {
+	if err == nil {
+		return
+	}
+	b.errMu.Lock()
+	if b.firstErr == nil {
+		b.firstErr = err
+	}
+	b.applyErrors++
+	c := b.applyErrCounter
+	b.errMu.Unlock()
+	c.Add(1)
+}
+
+// ApplyErrors reports how many outbound mutation mirrors have failed
+// since Bind, along with the first failure (nil when none). Mutations
+// that fail to mirror are lost to the CRDT components — a nonzero count
+// means this replica's app state may have diverged from what it
+// replicates.
+func (b *Binding) ApplyErrors() (int64, error) {
+	b.errMu.Lock()
+	defer b.errMu.Unlock()
+	return b.applyErrors, b.firstErr
 }
 
 // Bind wires the app to the replicated state, seeding the CRDT
@@ -62,15 +113,23 @@ func bind(app *httpapp.App, state *ReplicaState, units analysis.StateUnits, seed
 		if !b.trackedTables[m.Table] {
 			return
 		}
-		// Mirror the committed row change into CRDT-Table.
+		// Mirror the committed row change into CRDT-Table. A failure at
+		// any step loses the mutation for replication, so it must be
+		// recorded — a silently dropped mirror diverges the replica from
+		// its app DB with zero signal.
 		if err := b.state.Tables.EnsureTable(m.Table); err != nil {
+			b.noteApplyErr(fmt.Errorf("statesync: bind: ensure table %q: %w", m.Table, err))
 			return
 		}
 		switch m.Kind {
 		case sqldb.MutDelete:
-			_ = b.state.Tables.DeleteRow(m.Table, m.Key)
+			if err := b.state.Tables.DeleteRow(m.Table, m.Key); err != nil {
+				b.noteApplyErr(fmt.Errorf("statesync: bind: delete %s/%s: %w", m.Table, m.Key, err))
+			}
 		default:
-			_ = b.state.Tables.UpsertRow(m.Table, m.Key, normalizeCols(m.Cols))
+			if err := b.state.Tables.UpsertRow(m.Table, m.Key, normalizeCols(m.Cols)); err != nil {
+				b.noteApplyErr(fmt.Errorf("statesync: bind: upsert %s/%s: %w", m.Table, m.Key, err))
+			}
 		}
 	})
 	app.FS().OnMutation(func(a vfs.Access) {
@@ -81,9 +140,13 @@ func bind(app *httpapp.App, state *ReplicaState, units analysis.StateUnits, seed
 		case vfs.AccessWrite:
 			// a.Content carries the written bytes; the hook must not
 			// call back into the locked filesystem.
-			_ = b.state.Files.Write(a.Path, a.Content)
+			if err := b.state.Files.Write(a.Path, a.Content); err != nil {
+				b.noteApplyErr(fmt.Errorf("statesync: bind: file write %q: %w", a.Path, err))
+			}
 		case vfs.AccessRemove:
-			_ = b.state.Files.Remove(a.Path)
+			if err := b.state.Files.Remove(a.Path); err != nil {
+				b.noteApplyErr(fmt.Errorf("statesync: bind: file remove %q: %w", a.Path, err))
+			}
 		}
 	})
 	if seed {

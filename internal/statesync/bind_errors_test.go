@@ -1,0 +1,99 @@
+package statesync
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/crdt"
+	"repro/internal/httpapp"
+	"repro/internal/obs"
+)
+
+// corruptTablesContainer overwrites the named table's container entry
+// with a scalar, so EnsureTable still sees a value (and passes) but
+// UpsertRow/DeleteRow fail with "table does not exist" — the exact
+// swallowed-error path the binding hooks used to hide.
+func corruptTablesContainer(t *testing.T, state *ReplicaState, table string) {
+	t.Helper()
+	doc := state.Tables.Doc()
+	v, ok := doc.MapGet(crdt.RootObj, "tables")
+	if !ok || v.Kind != crdt.ValObj {
+		t.Fatalf("tables container missing: %v, %v", v, ok)
+	}
+	if err := doc.PutScalar(v.Obj, table, "corrupt"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindingRecordsApplyErrors(t *testing.T) {
+	app, err := httpapp.New("ctr", counterSrc, counterRoutes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := newState(t, "cloud")
+	b, err := Bind(app, state, counterUnits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	b.SetObs(o, "cloud")
+
+	if n, first := b.ApplyErrors(); n != 0 || first != nil {
+		t.Fatalf("fresh binding reports errors: %d, %v", n, first)
+	}
+
+	corruptTablesContainer(t, state, "events")
+
+	// Each invocation commits one INSERT whose mirror now fails.
+	if _, _, err := app.Invoke(recordReq("warn")); err != nil {
+		t.Fatal(err)
+	}
+	n, first := b.ApplyErrors()
+	if n != 1 {
+		t.Fatalf("ApplyErrors count = %d, want 1", n)
+	}
+	if first == nil || !strings.Contains(first.Error(), `upsert events/1`) {
+		t.Fatalf("first error = %v, want upsert failure", first)
+	}
+	if got := o.Counter("statesync.bind.apply_errors.cloud").Value(); got != 1 {
+		t.Fatalf("apply_errors counter = %d, want 1", got)
+	}
+
+	// Further failures bump the count but keep the first error verbatim.
+	if _, _, err := app.Invoke(recordReq("info")); err != nil {
+		t.Fatal(err)
+	}
+	n2, first2 := b.ApplyErrors()
+	if n2 != 2 {
+		t.Fatalf("ApplyErrors count after second failure = %d, want 2", n2)
+	}
+	if first2 == nil || first2.Error() != first.Error() {
+		t.Fatalf("first error changed: %v -> %v", first, first2)
+	}
+	if got := o.Counter("statesync.bind.apply_errors.cloud").Value(); got != 2 {
+		t.Fatalf("apply_errors counter = %d, want 2", got)
+	}
+}
+
+func TestBindingRecordsDeleteAndEnsureErrors(t *testing.T) {
+	app, err := httpapp.New("ctr", counterSrc, counterRoutes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := newState(t, "cloud")
+	b, err := Bind(app, state, counterUnits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptTablesContainer(t, state, "events")
+	if _, err := app.DB().Exec("INSERT INTO events (id, kind) VALUES (?, ?)", 7, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.DB().Exec("DELETE FROM events WHERE id = ?", 7); err != nil {
+		t.Fatal(err)
+	}
+	n, first := b.ApplyErrors()
+	if n != 2 || first == nil {
+		t.Fatalf("ApplyErrors = %d, %v; want 2 recorded failures", n, first)
+	}
+}

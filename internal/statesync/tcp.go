@@ -409,13 +409,13 @@ func (m *TCPMaster) serveConn(conn net.Conn) {
 			case <-stop:
 				return
 			case <-hbC:
-				n, _, err := wc.writeFrames(&frame{Kind: frameHeartbeat})
+				n, fr, _, err := wc.writeFrames(&frame{Kind: frameHeartbeat})
 				m.mu.Lock()
 				m.stats.BytesSent += int64(n)
-				m.stats.FramesSent++
-				m.stats.HeartbeatsSent++
+				m.stats.FramesSent += int64(fr)
+				m.stats.HeartbeatsSent += int64(fr)
 				m.o.bytesSent.Add(int64(n))
-				m.o.heartbeatsSent.Add(1)
+				m.o.heartbeatsSent.Add(int64(fr))
 				m.mu.Unlock()
 				if err != nil {
 					m.fail(err)
@@ -451,10 +451,12 @@ func (m *TCPMaster) serveConn(conn net.Conn) {
 					}
 				}
 				sent := frames[:granted]
-				n, comp, err := wc.writeFrames(sent...)
+				// wrote/comp count only frames that fully reached the wire —
+				// a write error mid-batch must not credit the remainder.
+				n, wrote, comp, err := wc.writeFrames(sent...)
 				m.mu.Lock()
 				m.stats.BytesSent += int64(n)
-				m.stats.FramesSent += int64(len(sent))
+				m.stats.FramesSent += int64(wrote)
 				m.stats.OpsElided += int64(elided)
 				m.stats.CompressedFrames += int64(comp)
 				m.o.bytesSent.Add(int64(n))
@@ -530,13 +532,15 @@ func (m *TCPMaster) serveConn(conn net.Conn) {
 			return
 		}
 		if ackNow > 0 {
-			n, _, err := wc.writeFrames(&frame{Kind: frameAck, Acked: ackNow})
+			n, fr, _, err := wc.writeFrames(&frame{Kind: frameAck, Acked: ackNow})
 			m.mu.Lock()
 			m.stats.BytesSent += int64(n)
-			m.stats.FramesSent++
-			m.stats.AcksSent += int64(ackNow)
+			m.stats.FramesSent += int64(fr)
+			if fr > 0 {
+				m.stats.AcksSent += int64(ackNow)
+				m.o.batchAcksSent.Add(int64(ackNow))
+			}
 			m.o.bytesSent.Add(int64(n))
-			m.o.batchAcksSent.Add(int64(ackNow))
 			m.mu.Unlock()
 			if err != nil {
 				m.fail(err)
@@ -837,13 +841,13 @@ func (e *TCPEdge) runSession(conn net.Conn, r *bufio.Reader, wc *wireConn) {
 			case <-e.stop:
 				return
 			case <-hbC:
-				n, _, err := wc.writeFrames(&frame{Kind: frameHeartbeat})
+				n, fr, _, err := wc.writeFrames(&frame{Kind: frameHeartbeat})
 				e.mu.Lock()
 				e.stats.BytesSent += int64(n)
-				e.stats.FramesSent++
-				e.stats.HeartbeatsSent++
+				e.stats.FramesSent += int64(fr)
+				e.stats.HeartbeatsSent += int64(fr)
 				e.o.bytesSent.Add(int64(n))
-				e.o.heartbeatsSent.Add(1)
+				e.o.heartbeatsSent.Add(int64(fr))
 				e.mu.Unlock()
 				if err != nil {
 					e.fail(err)
@@ -878,10 +882,12 @@ func (e *TCPEdge) runSession(conn net.Conn, r *bufio.Reader, wc *wireConn) {
 					}
 				}
 				sent := frames[:granted]
-				n, comp, err := wc.writeFrames(sent...)
+				// wrote/comp count only frames that fully reached the wire —
+				// a write error mid-batch must not credit the remainder.
+				n, wrote, comp, err := wc.writeFrames(sent...)
 				e.mu.Lock()
 				e.stats.BytesSent += int64(n)
-				e.stats.FramesSent += int64(len(sent))
+				e.stats.FramesSent += int64(wrote)
 				e.stats.OpsElided += int64(elided)
 				e.stats.CompressedFrames += int64(comp)
 				e.o.bytesSent.Add(int64(n))
@@ -955,13 +961,15 @@ func (e *TCPEdge) runSession(conn net.Conn, r *bufio.Reader, wc *wireConn) {
 			return
 		}
 		if ackNow > 0 {
-			n, _, err := wc.writeFrames(&frame{Kind: frameAck, Acked: ackNow})
+			n, fr, _, err := wc.writeFrames(&frame{Kind: frameAck, Acked: ackNow})
 			e.mu.Lock()
 			e.stats.BytesSent += int64(n)
-			e.stats.FramesSent++
-			e.stats.AcksSent += int64(ackNow)
+			e.stats.FramesSent += int64(fr)
+			if fr > 0 {
+				e.stats.AcksSent += int64(ackNow)
+				e.o.batchAcksSent.Add(int64(ackNow))
+			}
 			e.o.bytesSent.Add(int64(n))
-			e.o.batchAcksSent.Add(int64(ackNow))
 			e.mu.Unlock()
 			if err != nil {
 				e.fail(err)

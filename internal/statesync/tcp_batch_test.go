@@ -64,6 +64,12 @@ func TestTCPChunkedDeltaWithAcks(t *testing.T) {
 	})
 	waitConverged(t, srv, master, edge, st)
 
+	// Convergence only proves the master applied everything; its ack
+	// frames may still be in flight back to the edge, so poll for parity
+	// before asserting on it.
+	waitFor(t, 5*time.Second, func() bool {
+		return edge.Stats().AcksRecv == srv.Stats().AcksSent
+	})
 	es, ms := edge.Stats(), srv.Stats()
 	// 40+ changes at 4 per frame: the push must have been chunked.
 	if es.FramesSent < 10 {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 
 	"repro/internal/crdt"
@@ -212,24 +213,42 @@ func (w *wireConn) encodeWireFrame(f *frame) ([]byte, bool, error) {
 // writeFrames ships the given frames in one vectored write (writev on a
 // real TCP conn via net.Buffers; per-frame writes on wrapped conns, so
 // fault injection still drops whole frames). It returns total bytes
-// written and how many frames went out compressed.
-func (w *wireConn) writeFrames(frames ...*frame) (int, int, error) {
+// written, how many frames were written in full, and how many of those
+// went out compressed. On error the counts reflect only what actually
+// reached the wire — a batch that dies before (or mid-way through) a
+// frame must not be credited to traffic stats.
+func (w *wireConn) writeFrames(frames ...*frame) (int, int, int, error) {
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
 	bufs := make(net.Buffers, 0, len(frames))
-	compressed := 0
+	sizes := make([]int, 0, len(frames))
+	comps := make([]bool, 0, len(frames))
 	for _, f := range frames {
 		blob, comp, err := w.encodeWireFrame(f)
 		if err != nil {
-			return 0, 0, err
-		}
-		if comp {
-			compressed++
+			return 0, 0, 0, err
 		}
 		bufs = append(bufs, blob)
+		sizes = append(sizes, len(blob))
+		comps = append(comps, comp)
 	}
+	// WriteTo consumes bufs, so frame attribution works off the saved
+	// sizes: a frame counts as sent only when every one of its bytes is
+	// covered by n.
 	n, err := bufs.WriteTo(w.c)
-	return int(n), compressed, err
+	sent, compressed := 0, 0
+	rem := int(n)
+	for i, sz := range sizes {
+		if rem < sz {
+			break
+		}
+		rem -= sz
+		sent++
+		if comps[i] {
+			compressed++
+		}
+	}
+	return int(n), sent, compressed, err
 }
 
 // reserveUpTo claims as many of k requested window slots as fit,
@@ -285,7 +304,7 @@ func (w *wireConn) noteState(drained bool) int {
 }
 
 // stateFrameOrder fixes the component emission order so chunked deltas
-// are deterministic; unknown components follow in map order.
+// are deterministic; unknown components follow sorted by name.
 var stateFrameOrder = []string{CompJSON, CompTables, CompFiles}
 
 // buildStateFrames coalesces a delta (dropping ops that later ops in
@@ -310,11 +329,17 @@ func buildStateFrames(delta Delta, maxChanges int, coalesce bool) ([]*frame, int
 			seen[c] = true
 		}
 	}
+	// Unknown components (a newer peer's extension) follow the canonical
+	// order, sorted by name — map iteration order would make chunk
+	// contents differ run to run, breaking replay debugging and goldens.
+	var extra []string
 	for c, chs := range delta {
 		if !seen[c] && len(chs) > 0 {
-			comps = append(comps, c)
+			extra = append(extra, c)
 		}
 	}
+	sort.Strings(extra)
+	comps = append(comps, extra...)
 	var frames []*frame
 	cur := Delta{}
 	count := 0

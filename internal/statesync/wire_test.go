@@ -1,0 +1,216 @@
+package statesync
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestBuildStateFramesUnknownComponentOrder pins the chunker's component
+// emission order: canonical components first (json, tables, files), then
+// any unknown components sorted by name. With map-order iteration the
+// chunk boundaries would differ run to run.
+func TestBuildStateFramesUnknownComponentOrder(t *testing.T) {
+	st := newState(t, "order")
+	for i := 0; i < 2; i++ {
+		if err := st.JSON.PutScalar("root", "k"+string(rune('0'+i)), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		st.JSON.Commit("")
+	}
+	chs := st.Delta(nil)[CompJSON]
+	if len(chs) != 2 {
+		t.Fatalf("seed delta has %d changes, want 2", len(chs))
+	}
+	// Map insertion order scrambled on purpose; ten runs to catch any
+	// iteration-order dependence.
+	for run := 0; run < 10; run++ {
+		delta := Delta{
+			"zeta":   chs,
+			CompJSON: chs,
+			"alpha":  chs,
+		}
+		frames, _ := buildStateFrames(delta, 2, false)
+		if len(frames) != 3 {
+			t.Fatalf("run %d: %d frames, want 3", run, len(frames))
+		}
+		want := []string{CompJSON, "alpha", "zeta"}
+		for i, comp := range want {
+			if got := len(frames[i].Delta[comp]); got != 2 {
+				t.Fatalf("run %d: frame %d carries %d %q changes, want 2 (frame delta: %v)",
+					run, i, got, comp, componentNames(frames[i].Delta))
+			}
+		}
+	}
+}
+
+func componentNames(d Delta) []string {
+	var out []string
+	for c := range d {
+		out = append(out, c)
+	}
+	return out
+}
+
+// budgetConn is a net.Conn accepting only budget bytes; once spent,
+// writes fail with err (after a final partial write), modelling a
+// connection that dies mid-batch.
+type budgetConn struct {
+	budget int
+	err    error
+}
+
+func (c *budgetConn) Write(p []byte) (int, error) {
+	if c.budget <= 0 {
+		return 0, c.err
+	}
+	if len(p) <= c.budget {
+		c.budget -= len(p)
+		return len(p), nil
+	}
+	n := c.budget
+	c.budget = 0
+	return n, c.err
+}
+
+func (c *budgetConn) Read([]byte) (int, error)         { return 0, io.EOF }
+func (c *budgetConn) Close() error                     { return nil }
+func (c *budgetConn) LocalAddr() net.Addr              { return nil }
+func (c *budgetConn) RemoteAddr() net.Addr             { return nil }
+func (c *budgetConn) SetDeadline(time.Time) error      { return nil }
+func (c *budgetConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *budgetConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestWriteFramesPartialWriteAccounting pins the frame-credit rule: a
+// batch whose write dies mid-way credits only the frames that fully
+// reached the wire, never the whole batch.
+func TestWriteFramesPartialWriteAccounting(t *testing.T) {
+	frames := []*frame{
+		{Kind: frameState, From: "a"},
+		{Kind: frameState, From: "b"},
+		{Kind: frameState, From: "c"},
+	}
+	// Blob sizes via a throwaway encoder (no compression negotiated).
+	sizer := &wireConn{}
+	var sizes []int
+	for _, f := range frames {
+		blob, _, err := sizer.encodeWireFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, len(blob))
+	}
+
+	// Budget covers frame 0 plus part of frame 1.
+	severed := errors.New("wire severed")
+	wc := &wireConn{c: &budgetConn{budget: sizes[0] + sizes[1]/2, err: severed}}
+	n, sent, comp, err := wc.writeFrames(frames...)
+	if !errors.Is(err, severed) {
+		t.Fatalf("err = %v, want severed", err)
+	}
+	if n != sizes[0]+sizes[1]/2 {
+		t.Fatalf("bytes = %d, want %d", n, sizes[0]+sizes[1]/2)
+	}
+	if sent != 1 {
+		t.Fatalf("frames credited = %d, want 1 (frame 1 was cut mid-way, frame 2 never started)", sent)
+	}
+	if comp != 0 {
+		t.Fatalf("compressed credited = %d, want 0", comp)
+	}
+
+	// Error before anything reached the wire: zero credit.
+	wc = &wireConn{c: &budgetConn{budget: 0, err: severed}}
+	n, sent, _, err = wc.writeFrames(frames...)
+	if err == nil || n != 0 || sent != 0 {
+		t.Fatalf("dead conn: n=%d sent=%d err=%v, want 0/0/error", n, sent, err)
+	}
+
+	// Healthy path: every frame credited.
+	wc = &wireConn{c: &budgetConn{budget: 1 << 20, err: severed}}
+	n, sent, _, err = wc.writeFrames(frames...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != len(frames) || n != sizes[0]+sizes[1]+sizes[2] {
+		t.Fatalf("healthy conn: n=%d sent=%d, want %d/%d", n, sent, sizes[0]+sizes[1]+sizes[2], len(frames))
+	}
+}
+
+// TestReserveUpToPartialGrant pins window-boundary behavior: grants
+// shrink to the free window, hit zero when full, and windowing off
+// (sendWindow 0) grants everything.
+func TestReserveUpToPartialGrant(t *testing.T) {
+	wc := &wireConn{sendWindow: 4}
+	if got := wc.reserveUpTo(3); got != 3 {
+		t.Fatalf("first reserve = %d, want 3", got)
+	}
+	// Only one slot left: a 3-frame push gets a partial grant of 1.
+	if got := wc.reserveUpTo(3); got != 1 {
+		t.Fatalf("boundary reserve = %d, want 1", got)
+	}
+	// Window full: zero grant.
+	if got := wc.reserveUpTo(2); got != 0 {
+		t.Fatalf("full-window reserve = %d, want 0", got)
+	}
+	// Unwindowed peer: everything granted, nothing tracked.
+	open := &wireConn{}
+	if got := open.reserveUpTo(7); got != 7 {
+		t.Fatalf("unwindowed reserve = %d, want 7", got)
+	}
+}
+
+// TestAckRecvOverAckClamp pins ack bookkeeping: acks free exactly what
+// they cover, and a buggy or duplicate over-ack clamps at an empty
+// window instead of going negative (which would let inflight exceed the
+// window later).
+func TestAckRecvOverAckClamp(t *testing.T) {
+	wc := &wireConn{sendWindow: 4}
+	if got := wc.reserveUpTo(4); got != 4 {
+		t.Fatalf("reserve = %d, want 4", got)
+	}
+	wc.ackRecv(2)
+	if got := wc.reserveUpTo(4); got != 2 {
+		t.Fatalf("after ack 2: reserve = %d, want 2", got)
+	}
+	// Over-ack (peer acked more than is in flight): clamp to empty.
+	wc.ackRecv(10)
+	if got := wc.reserveUpTo(4); got != 4 {
+		t.Fatalf("after over-ack: reserve = %d, want full window 4", got)
+	}
+	// A second full window proves inflight never went negative.
+	if got := wc.reserveUpTo(1); got != 0 {
+		t.Fatalf("window should be exactly full, reserve = %d", got)
+	}
+}
+
+// TestNoteStateDrainedFlush pins receive-side ack emission: pending
+// frames accumulate to the watermark, a drained read buffer flushes
+// early, and peers that do not window never get acks.
+func TestNoteStateDrainedFlush(t *testing.T) {
+	wc := &wireConn{ackWatermark: 3}
+	if got := wc.noteState(false); got != 0 {
+		t.Fatalf("1 pending = %d acks, want 0", got)
+	}
+	if got := wc.noteState(false); got != 0 {
+		t.Fatalf("2 pending = %d acks, want 0", got)
+	}
+	if got := wc.noteState(false); got != 3 {
+		t.Fatalf("watermark hit = %d acks, want 3", got)
+	}
+	// Pending resets after a flush.
+	if got := wc.noteState(false); got != 0 {
+		t.Fatalf("post-flush pending = %d acks, want 0", got)
+	}
+	// Drained flush: the burst is over, ack immediately even below the
+	// watermark.
+	if got := wc.noteState(true); got != 2 {
+		t.Fatalf("drained flush = %d acks, want 2", got)
+	}
+	// Non-windowing peer: never ack.
+	off := &wireConn{}
+	if got := off.noteState(true); got != 0 {
+		t.Fatalf("unwindowed peer got %d acks, want 0", got)
+	}
+}
