@@ -3,9 +3,15 @@
 // original two-tier and the transformed three-tier deployments,
 // reporting latency, throughput, WAN traffic, and energy.
 //
+// With -scale it instead runs the closed-loop scale simulator: the same
+// deterministic client fleet against the flat star and the sharded
+// relay fabric across a sweep of edge counts, writing the
+// BENCH_scale.json scaling report.
+//
 // Usage:
 //
 //	edgesim -subject fobojet -n 50 -rps 10 -bw 500 -lat 200 -edges 4
+//	edgesim -scale -clients 100000 -scaleedges 10,50,200 -scaleout BENCH_scale.json
 package main
 
 import (
@@ -24,9 +30,22 @@ func main() {
 	bwKbps := flag.Int("bw", 500, "WAN bandwidth (Kbps)")
 	latMs := flag.Int("lat", 200, "WAN latency (ms)")
 	edges := flag.Int("edges", 4, "edge replicas")
+	scale := flag.Bool("scale", false, "run the star-vs-fabric scale sweep instead of the subject scenario")
+	clients := flag.Int("clients", 100_000, "scale sweep: simulated clients per run")
+	reqPer := flag.Int("reqper", 0, "scale sweep: requests per client (0 = simulator default)")
+	scaleEdges := flag.String("scaleedges", "10,50,200", "scale sweep: comma-separated edge counts")
+	scaleGroups := flag.Int("scalegroups", 0, "scale sweep: relay groups (0 = ~sqrt(edges) per point)")
+	seed := flag.Int64("seed", 1, "scale sweep: deterministic seed")
+	scaleOut := flag.String("scaleout", "BENCH_scale.json", "scale sweep: output report path")
 	flag.Parse()
 
-	if err := run(*subject, *n, *rps, *bwKbps, *latMs, *edges); err != nil {
+	var err error
+	if *scale {
+		err = runScale(*clients, *reqPer, *scaleEdges, *scaleGroups, *seed, *scaleOut)
+	} else {
+		err = run(*subject, *n, *rps, *bwKbps, *latMs, *edges)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "edgesim:", err)
 		os.Exit(1)
 	}

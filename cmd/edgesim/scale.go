@@ -1,0 +1,52 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/scalesim"
+)
+
+// runScale executes the star-vs-fabric sweep and writes the
+// BENCH_scale.json report.
+func runScale(clients, reqPer int, edgeList string, groups int, seed int64, out string) error {
+	var points []int
+	for _, part := range strings.Split(edgeList, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad edge count %q", part)
+		}
+		points = append(points, n)
+	}
+	fmt.Printf("scale sweep: clients=%d edges=%v seed=%d\n", clients, points, seed)
+	rep, err := scalesim.Bench(scalesim.BenchConfig{
+		Clients:           clients,
+		EdgePoints:        points,
+		Groups:            groups,
+		Seed:              seed,
+		RequestsPerClient: reqPer,
+		Progress:          func(line string) { fmt.Println("  " + line) },
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("star egress growth %.1fx, fabric %.1fx; relay tier saves %.1fx master egress at %d edges\n",
+		rep.StarEgressGrowth, rep.FabricEgressGrowth, rep.EgressReductionAtMax,
+		rep.EdgePoints[len(rep.EdgePoints)-1])
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}

@@ -231,11 +231,37 @@ type Balancer struct {
 	servers []*Server
 	policy  Policy
 	rrNext  int
+	// draining servers are excluded from routing while they finish
+	// their in-flight requests — the elasticity controller drains a
+	// replica to zero connections before parking it, so no request is
+	// ever dropped by a scale-down.
+	draining map[*Server]bool
 }
 
 // NewBalancer returns a balancer over the given servers.
 func NewBalancer(policy Policy, servers ...*Server) *Balancer {
-	return &Balancer{servers: servers, policy: policy}
+	return &Balancer{servers: servers, policy: policy, draining: map[*Server]bool{}}
+}
+
+// SetDraining marks or unmarks a server as draining. Draining servers
+// keep serving their in-flight requests but receive no new ones.
+func (b *Balancer) SetDraining(s *Server, draining bool) {
+	if draining {
+		b.draining[s] = true
+	} else {
+		delete(b.draining, s)
+	}
+}
+
+// IsDraining reports whether a server is excluded from routing.
+func (b *Balancer) IsDraining(s *Server) bool { return b.draining[s] }
+
+// DrainingCount returns how many servers are currently draining.
+func (b *Balancer) DrainingCount() int { return len(b.draining) }
+
+// routable reports whether the balancer may send new work to s.
+func (b *Balancer) routable(s *Server) bool {
+	return s.Node.Active() && !b.draining[s]
 }
 
 // Servers returns the managed servers.
@@ -270,7 +296,7 @@ func (b *Balancer) Pick() (*Server, error) {
 	case RoundRobin:
 		for i := 0; i < len(b.servers); i++ {
 			s := b.servers[(b.rrNext+i)%len(b.servers)]
-			if s.Node.Active() {
+			if b.routable(s) {
 				b.rrNext = (b.rrNext + i + 1) % len(b.servers)
 				return s, nil
 			}
@@ -279,7 +305,7 @@ func (b *Balancer) Pick() (*Server, error) {
 	default: // LeastConnections
 		var best *Server
 		for _, s := range b.servers {
-			if !s.Node.Active() {
+			if !b.routable(s) {
 				continue
 			}
 			if best == nil || s.conns < best.conns {
@@ -302,7 +328,7 @@ func (b *Balancer) PickWhere(pred func(*Server) bool) (*Server, error) {
 	case RoundRobin:
 		for i := 0; i < len(b.servers); i++ {
 			s := b.servers[(b.rrNext+i)%len(b.servers)]
-			if s.Node.Active() && pred(s) {
+			if b.routable(s) && pred(s) {
 				b.rrNext = (b.rrNext + i + 1) % len(b.servers)
 				return s, nil
 			}
@@ -311,7 +337,7 @@ func (b *Balancer) PickWhere(pred func(*Server) bool) (*Server, error) {
 	default: // LeastConnections
 		var best *Server
 		for _, s := range b.servers {
-			if !s.Node.Active() || !pred(s) {
+			if !b.routable(s) || !pred(s) {
 				continue
 			}
 			if best == nil || s.conns < best.conns {

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// FleetScaler is the fleet-level elasticity controller (ROADMAP item 1).
+// Where Autoscaler reacts to the instantaneous connection count, the
+// FleetScaler integrates completed request volume over a sliding window
+// of sampling intervals and sizes the serving set to that demand — so a
+// brief lull does not flap replicas, and a sustained ramp powers them up
+// one windowful ahead of saturation.
+//
+// Scale-down is drain-first: a surplus replica is excluded from routing
+// (Balancer.SetDraining) and only parked into low-power mode — with the
+// OnPark hook, which the deployment uses to suspend the replica's
+// synchronization — once its last in-flight request completes. Scale-up
+// reverses the path: power up, OnUnpark (the durable re-handshake
+// resync), then routing resumes. The energy effect is captured by each
+// node's meter: parked replicas accrue at their low-power wattage.
+type FleetScaler struct {
+	clock    *simclock.Clock
+	balancer *Balancer
+	interval time.Duration
+	// ReqPerReplica is the completed-request volume one replica is
+	// expected to absorb per interval.
+	reqPerReplica float64
+	min           int
+
+	// OnPark runs when a drained replica is powered down; OnUnpark when
+	// a parked replica is powered back up. Both may be nil.
+	OnPark   func(*Server)
+	OnUnpark func(*Server)
+
+	lastServed int64
+	samples    []int64 // ring buffer of per-interval completed counts
+	next       int
+	filled     int
+
+	running     bool
+	gen         uint64
+	transitions int
+	parks       int
+	unparks     int
+}
+
+// NewFleetScaler returns a controller sampling every interval and
+// averaging demand over window intervals.
+func NewFleetScaler(clock *simclock.Clock, b *Balancer, reqPerReplica float64, interval time.Duration, window int) (*FleetScaler, error) {
+	if reqPerReplica <= 0 {
+		return nil, fmt.Errorf("cluster: reqPerReplica must be positive, got %v", reqPerReplica)
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("cluster: fleet interval must be positive, got %v", interval)
+	}
+	if window < 1 {
+		window = 1
+	}
+	return &FleetScaler{
+		clock:         clock,
+		balancer:      b,
+		interval:      interval,
+		reqPerReplica: reqPerReplica,
+		min:           1,
+		samples:       make([]int64, window),
+	}, nil
+}
+
+// SetMinReplicas sets the floor on the serving set (default 1).
+func (f *FleetScaler) SetMinReplicas(n int) {
+	if n < 1 {
+		n = 1
+	}
+	f.min = n
+}
+
+// Transitions returns the number of sizing decisions that changed the
+// serving set; Parks and Unparks count the power transitions.
+func (f *FleetScaler) Transitions() int { return f.transitions }
+
+// Parks returns completed power-downs (post-drain).
+func (f *FleetScaler) Parks() int { return f.parks }
+
+// Unparks returns completed power-ups.
+func (f *FleetScaler) Unparks() int { return f.unparks }
+
+// Start begins periodic adjustment.
+func (f *FleetScaler) Start() {
+	if f.running {
+		return
+	}
+	f.running = true
+	f.gen++
+	f.tick(f.gen)
+}
+
+// Stop halts adjustment.
+func (f *FleetScaler) Stop() { f.running = false }
+
+func (f *FleetScaler) tick(gen uint64) {
+	f.clock.After(f.interval, func() {
+		if !f.running || f.gen != gen {
+			return
+		}
+		f.Adjust()
+		f.tick(gen)
+	})
+}
+
+// windowVolume returns the mean completed requests per interval across
+// the filled window.
+func (f *FleetScaler) windowVolume() float64 {
+	if f.filled == 0 {
+		return 0
+	}
+	var sum int64
+	for i := 0; i < f.filled; i++ {
+		sum += f.samples[i]
+	}
+	return float64(sum) / float64(f.filled)
+}
+
+// Want returns the serving-set size the current window demands.
+func (f *FleetScaler) Want() int {
+	want := int(math.Ceil(f.windowVolume() / f.reqPerReplica))
+	if want < f.min {
+		want = f.min
+	}
+	if n := len(f.balancer.Servers()); want > n {
+		want = n
+	}
+	return want
+}
+
+// Adjust samples request volume and applies one sizing decision
+// immediately: the first Want() servers serve, the rest drain and park.
+func (f *FleetScaler) Adjust() {
+	servers := f.balancer.Servers()
+	var total int64
+	for _, s := range servers {
+		total += s.Node.Served()
+	}
+	f.samples[f.next] = total - f.lastServed
+	f.lastServed = total
+	f.next = (f.next + 1) % len(f.samples)
+	if f.filled < len(f.samples) {
+		f.filled++
+	}
+
+	want := f.Want()
+	changed := false
+	for i, s := range servers {
+		if i < want {
+			if f.balancer.IsDraining(s) {
+				f.balancer.SetDraining(s, false)
+				changed = true
+			}
+			if !s.Node.Active() {
+				s.Node.SetActive(true)
+				f.unparks++
+				changed = true
+				if f.OnUnpark != nil {
+					f.OnUnpark(s)
+				}
+			}
+		} else if s.Node.Active() && !f.balancer.IsDraining(s) {
+			f.balancer.SetDraining(s, true)
+			changed = true
+		}
+	}
+	if changed {
+		f.transitions++
+	}
+	// Park any drained replica whose last request has completed. This
+	// runs every interval, so a replica drains for as many intervals as
+	// its queue needs — never a forced teardown mid-request.
+	for _, s := range servers {
+		if f.balancer.IsDraining(s) && s.ActiveConns() == 0 {
+			f.balancer.SetDraining(s, false)
+			s.Node.SetActive(false)
+			f.parks++
+			if f.OnPark != nil {
+				f.OnPark(s)
+			}
+		}
+	}
+}

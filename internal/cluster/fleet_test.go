@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/httpapp"
+	"repro/internal/simclock"
+)
+
+func newFleet(t *testing.T, clock *simclock.Clock, n int) (*Balancer, []*Server) {
+	t.Helper()
+	servers := make([]*Server, n)
+	for i := range servers {
+		servers[i] = NewServer("s", NewNode(clock, RPi4Spec), newWorkApp(t))
+	}
+	return NewBalancer(LeastConnections, servers...), servers
+}
+
+// TestFleetScalerWindowedScaleUpDown drives a load burst through the
+// balancer: the windowed volume must grow the serving set, the idle
+// tail must drain and park the surplus (with hooks firing), and a
+// second burst must power replicas back up.
+func TestFleetScalerWindowedScaleUpDown(t *testing.T) {
+	clock := simclock.New()
+	b, servers := newFleet(t, clock, 4)
+	fs, err := NewFleetScaler(clock, b, 5, time.Second, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parked, unparked int
+	fs.OnPark = func(*Server) { parked++ }
+	fs.OnUnpark = func(*Server) { unparked++ }
+	fs.Start()
+	defer fs.Stop()
+
+	burst := func(duration time.Duration, perSecond int) {
+		end := clock.Now() + duration
+		var fire func()
+		fire = func() {
+			if clock.Now() >= end {
+				return
+			}
+			for i := 0; i < perSecond; i++ {
+				srv, err := b.Pick()
+				if err != nil {
+					t.Errorf("pick during burst: %v", err)
+					return
+				}
+				srv.Handle(workReq("1000"), func(_ *httpapp.Response, _ time.Duration, err error) {
+					if err != nil {
+						t.Errorf("request failed: %v", err)
+					}
+				})
+			}
+			clock.After(time.Second, fire)
+		}
+		fire()
+	}
+
+	burst(5*time.Second, 20)
+	clock.Advance(5 * time.Second)
+	if got := b.ActiveCount(); got != 4 {
+		t.Fatalf("after 20 req/s burst: %d active replicas, want 4", got)
+	}
+
+	// Idle: the window drains to zero and the fleet contracts to one.
+	clock.Advance(10 * time.Second)
+	if got := b.ActiveCount(); got != 1 {
+		t.Fatalf("after idle: %d active replicas, want 1", got)
+	}
+	if parked != 3 {
+		t.Fatalf("OnPark fired %d times, want 3", parked)
+	}
+	for _, s := range servers[1:] {
+		if s.Node.Energy.State() != energy.StateLowPower {
+			t.Fatalf("parked node meter in state %v, want low-power", s.Node.Energy.State())
+		}
+	}
+
+	// Second burst: parked replicas power back up through OnUnpark.
+	burst(4*time.Second, 20)
+	clock.Advance(4 * time.Second)
+	if got := b.ActiveCount(); got < 3 {
+		t.Fatalf("after second burst: %d active replicas, want ≥ 3", got)
+	}
+	if unparked == 0 {
+		t.Fatal("OnUnpark never fired on scale-up")
+	}
+	if fs.Parks() != parked || fs.Unparks() != unparked {
+		t.Fatalf("counters disagree with hooks: parks=%d/%d unparks=%d/%d",
+			fs.Parks(), parked, fs.Unparks(), unparked)
+	}
+}
+
+// TestFleetScalerDrainsBeforePark pins the teardown ordering: a surplus
+// replica with a request in flight is excluded from routing but stays
+// powered until the request completes; only then does it park and fire
+// OnPark.
+func TestFleetScalerDrainsBeforePark(t *testing.T) {
+	clock := simclock.New()
+	slow := DeviceSpec{Name: "slow", Cores: 1, OpsPerSec: 1000, Power: energy.RPi3Profile}
+	servers := []*Server{
+		NewServer("s0", NewNode(clock, slow), newWorkApp(t)),
+		NewServer("s1", NewNode(clock, slow), newWorkApp(t)),
+	}
+	b := NewBalancer(LeastConnections, servers...)
+	fs, err := NewFleetScaler(clock, b, 1000, time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parkedAt time.Duration
+	fs.OnPark = func(*Server) { parkedAt = clock.Now() }
+
+	// A 5000-op request occupies s1 for 5 virtual seconds.
+	completed := false
+	servers[1].Handle(workReq("5000"), func(_ *httpapp.Response, _ time.Duration, err error) {
+		if err != nil {
+			t.Errorf("request failed: %v", err)
+		}
+		completed = true
+	})
+	fs.Adjust() // zero volume -> want 1 -> s1 must drain
+	if !b.IsDraining(servers[1]) {
+		t.Fatal("surplus replica not draining")
+	}
+	if !servers[1].Node.Active() {
+		t.Fatal("draining replica was powered down with a request in flight")
+	}
+	if _, err := b.Pick(); err != nil {
+		t.Fatalf("no routable server while one is draining: %v", err)
+	}
+	clock.Advance(time.Second)
+	fs.Adjust()
+	if fs.Parks() != 0 {
+		t.Fatal("parked before the in-flight request completed")
+	}
+	clock.Advance(5 * time.Second)
+	fs.Adjust()
+	if !completed {
+		t.Fatal("drained request never completed")
+	}
+	if fs.Parks() != 1 || servers[1].Node.Active() {
+		t.Fatal("drained replica did not park after its queue emptied")
+	}
+	if parkedAt < 5*time.Second {
+		t.Fatalf("parked at %v, before the request finished", parkedAt)
+	}
+	if servers[1].Node.Energy.State() != energy.StateLowPower {
+		t.Fatal("parked node not in low-power state")
+	}
+}
+
+// TestPickWhereEdgeCases covers the balancer's empty and exhausted
+// candidate sets under both policies: no servers at all, every server
+// draining, every server parked, and a predicate rejecting everything.
+func TestPickWhereEdgeCases(t *testing.T) {
+	clock := simclock.New()
+	anyServer := func(*Server) bool { return true }
+	for _, policy := range []Policy{LeastConnections, RoundRobin} {
+		empty := NewBalancer(policy)
+		if _, err := empty.PickWhere(anyServer); !errors.Is(err, ErrNoActiveServer) {
+			t.Fatalf("policy %v: empty balancer: err = %v, want ErrNoActiveServer", policy, err)
+		}
+
+		b, servers := newFleet(t, clock, 2)
+		b.policy = policy
+		for _, s := range servers {
+			b.SetDraining(s, true)
+		}
+		if _, err := b.PickWhere(anyServer); !errors.Is(err, ErrNoActiveServer) {
+			t.Fatalf("policy %v: all-draining: err = %v, want ErrNoActiveServer", policy, err)
+		}
+		b.SetDraining(servers[0], false)
+		if s, err := b.PickWhere(anyServer); err != nil || s != servers[0] {
+			t.Fatalf("policy %v: undrained server not picked (err=%v)", policy, err)
+		}
+
+		for _, s := range servers {
+			b.SetDraining(s, false)
+			s.Node.SetActive(false)
+		}
+		if _, err := b.PickWhere(anyServer); !errors.Is(err, ErrNoActiveServer) {
+			t.Fatalf("policy %v: all-parked: err = %v, want ErrNoActiveServer", policy, err)
+		}
+		for _, s := range servers {
+			s.Node.SetActive(true)
+		}
+		if _, err := b.PickWhere(func(*Server) bool { return false }); !errors.Is(err, ErrNoActiveServer) {
+			t.Fatalf("policy %v: reject-all predicate: err = %v, want ErrNoActiveServer", policy, err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/netem"
+	"repro/internal/statesync"
+)
+
+// ShardingConfig enables the sharded multi-edge sync fabric (DESIGN.md
+// §14): edges are partitioned into named groups, each fronted by a
+// relay that receives every master delta once over its WAN uplink and
+// fans it out to the group's edges over a LAN — so the master's egress
+// scales with the number of groups, not the number of edges.
+type ShardingConfig struct {
+	// Enabled turns the fabric on (TransportVirtual only).
+	Enabled bool
+	// Groups is the number of edge groups (default 2, clamped to the
+	// edge count).
+	Groups int
+	// ReplicationFactor is the number of owner groups per store on the
+	// consistent-hash ring. The zero value replicates to every group —
+	// the right setting for the deployment's single "app" store, where
+	// every edge serves the same state and the fabric acts as a pure
+	// fan-out tree. Values below the group count only make sense for
+	// multi-store fabrics built directly on statesync.Fabric.
+	ReplicationFactor int
+	// VirtualNodes per group on the ring (default 64).
+	VirtualNodes int
+	// RelayWAN shapes each group's relay↔cloud uplink; the zero value
+	// inherits DeployConfig.WAN.
+	RelayWAN netem.Config
+	// GroupLAN shapes each edge↔relay link; the zero value selects
+	// netem.LAN.
+	GroupLAN netem.Config
+}
+
+// FleetConfig enables the fleet elasticity controller: a
+// cluster.FleetScaler sizes the serving set to windowed request volume,
+// draining surplus replicas before parking them in low-power mode and
+// suspending their synchronization until demand powers them back up
+// (the durable re-handshake path then catches them up).
+type FleetConfig struct {
+	// Enabled turns the controller on (TransportVirtual only).
+	Enabled bool
+	// ReqPerReplica is the completed-request volume one replica is
+	// expected to absorb per interval (default 32).
+	ReqPerReplica float64
+	// Interval is the sampling period (default 1s of virtual time).
+	Interval time.Duration
+	// Window is the number of intervals the demand average spans
+	// (default 3).
+	Window int
+	// MinReplicas floors the serving set (default 1).
+	MinReplicas int
+}
+
+func (c ShardingConfig) withDefaults(edges int) ShardingConfig {
+	if c.Groups <= 0 {
+		c.Groups = 2
+	}
+	if c.Groups > edges {
+		c.Groups = edges
+	}
+	if c.ReplicationFactor <= 0 || c.ReplicationFactor > c.Groups {
+		c.ReplicationFactor = c.Groups
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = 64
+	}
+	if c.GroupLAN == (netem.Config{}) {
+		c.GroupLAN = netem.LAN
+	}
+	return c
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.ReqPerReplica <= 0 {
+		c.ReqPerReplica = 32
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Window <= 0 {
+		c.Window = 3
+	}
+	if c.MinReplicas < 1 {
+		c.MinReplicas = 1
+	}
+	return c
+}
+
+// fabricGroupName names the deployment's edge groups.
+func fabricGroupName(i int) string { return fmt.Sprintf("group-%d", i+1) }
+
+// groupIndexFor partitions edge i of n contiguously across g groups.
+func groupIndexFor(i, n, g int) int { return i * g / n }
+
+// buildFabric constructs the deployment's sync fabric: one group per
+// partition with a shaped relay uplink, and the cloud master endpoint
+// registered as the single "app" store.
+func buildFabric(d *Deployment, cfg DeployConfig, sc ShardingConfig, masterEP *statesync.Endpoint) error {
+	relayWAN := sc.RelayWAN
+	if relayWAN == (netem.Config{}) {
+		relayWAN = cfg.WAN
+	}
+	fab, err := statesync.NewFabric(d.Clock, cfg.SyncInterval, sc.VirtualNodes, sc.ReplicationFactor)
+	if err != nil {
+		return err
+	}
+	for g := 0; g < sc.Groups; g++ {
+		uplink, err := netem.NewDuplex(d.Clock, relayWAN, int64(2000+g))
+		if err != nil {
+			return err
+		}
+		if err := fab.AddGroup(fabricGroupName(g), uplink); err != nil {
+			return err
+		}
+	}
+	if err := fab.AddStoreEndpoint("app", masterEP); err != nil {
+		return err
+	}
+	d.Fabric = fab
+	return nil
+}
+
+// buildFleet wires the elasticity controller over the deployment's
+// balancer: parked replicas have their synchronization suspended so an
+// idle fleet costs neither wakeups nor replication traffic, and the
+// resume path re-handshakes from declared heads.
+func buildFleet(d *Deployment, fc FleetConfig) error {
+	fs, err := cluster.NewFleetScaler(d.Clock, d.Balancer, fc.ReqPerReplica, fc.Interval, fc.Window)
+	if err != nil {
+		return err
+	}
+	fs.SetMinReplicas(fc.MinReplicas)
+	fs.OnPark = func(s *cluster.Server) { d.suspendEdgeSync(s) }
+	fs.OnUnpark = func(s *cluster.Server) { d.resumeEdgeSync(s) }
+	d.Fleet = fs
+	return nil
+}
+
+func (d *Deployment) suspendEdgeSync(s *cluster.Server) {
+	e := d.edgeFor(s)
+	if e == nil {
+		return
+	}
+	if d.Fabric != nil {
+		_ = d.Fabric.SuspendEdge(e.Group, e.Name)
+	} else if d.Sync != nil {
+		_ = d.Sync.SuspendEdge(e.Name)
+	}
+}
+
+func (d *Deployment) resumeEdgeSync(s *cluster.Server) {
+	e := d.edgeFor(s)
+	if e == nil {
+		return
+	}
+	if d.Fabric != nil {
+		_ = d.Fabric.ResumeEdge(e.Group, e.Name)
+	} else if d.Sync != nil {
+		_ = d.Sync.ResumeEdge(e.Name)
+	}
+}

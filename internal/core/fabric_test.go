@@ -1,0 +1,198 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/httpapp"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// shardedConfig is the standard sharded test topology: six RPi-4 edges
+// in three relay groups.
+func shardedConfig() DeployConfig {
+	cfg := DefaultDeployConfig()
+	cfg.EdgeSpecs = []cluster.DeviceSpec{
+		cluster.RPi4Spec, cluster.RPi4Spec, cluster.RPi4Spec,
+		cluster.RPi4Spec, cluster.RPi4Spec, cluster.RPi4Spec,
+	}
+	cfg.Sharding = ShardingConfig{Enabled: true, Groups: 3}
+	return cfg
+}
+
+// TestDeployShardedServesAndConverges deploys the relay fabric on the
+// serve path: edge writes reach the cloud through the group relays,
+// every replica converges, and the observation carries the shard map
+// and the master-vs-relay byte split with zero duplicate applies.
+func TestDeployShardedServesAndConverges(t *testing.T) {
+	res := transformSubject(t, "sensor-hub")
+	clock := simclock.New()
+	d, err := Deploy(clock, res, shardedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Fabric == nil || d.Sync != nil {
+		t.Fatal("sharded deployment must run the fabric, not the star manager")
+	}
+	groups := map[string]bool{}
+	for _, e := range d.Edges {
+		if e.Group == "" {
+			t.Fatalf("edge %s has no fabric group", e.Name)
+		}
+		groups[e.Group] = true
+	}
+	if len(groups) != 3 {
+		t.Fatalf("edges span %d groups, want 3", len(groups))
+	}
+
+	sub, _ := workload.ByName("sensor-hub")
+	served := 0
+	for i := 0; i < 4; i++ {
+		req := sub.SampleRequest(0, i, 21) // POST /ingest
+		clock.After(time.Duration(i)*3*time.Second, func() {
+			d.HandleAtEdge(req, func(_ *httpapp.Response, err error) {
+				if err != nil {
+					t.Errorf("edge handle: %v", err)
+				}
+				served++
+			})
+		})
+	}
+	clock.RunUntil(15 * time.Second)
+	if served != 4 {
+		t.Fatalf("served = %d, want 4", served)
+	}
+	d.SettleSync(60 * time.Second)
+	if !d.Converged() {
+		t.Fatal("fabric did not converge")
+	}
+	n, err := d.Cloud.App.DB().RowCount("readings")
+	if err != nil || n != 4 {
+		t.Fatalf("cloud rows = %d, %v (edge writes must traverse the relays)", n, err)
+	}
+
+	o := Observe(d)
+	d.Stop()
+	if o.Shard == nil {
+		t.Fatal("observation missing shard section")
+	}
+	if len(o.Shard.Groups) != 3 {
+		t.Fatalf("shard groups = %v", o.Shard.Groups)
+	}
+	if got := o.Shard.Assignment["app"]; len(got) != 3 {
+		t.Fatalf("app store assignment = %v, want all 3 groups (broadcast)", got)
+	}
+	st := o.Shard.Stats
+	if st.MasterEgressBytes <= 0 || st.RelayFanoutBytes <= 0 {
+		t.Fatalf("byte split not recorded: %+v", st)
+	}
+	// Six edges behind three relays: the fan-out tier, not the master,
+	// carries the per-edge copies.
+	if st.RelayFanoutBytes <= st.MasterEgressBytes {
+		t.Fatalf("relay fanout %d ≤ master egress %d; fabric is not relaying",
+			st.RelayFanoutBytes, st.MasterEgressBytes)
+	}
+	if st.DuplicateApplies != 0 || st.Errors != 0 {
+		t.Fatalf("dups=%d errors=%d, want 0", st.DuplicateApplies, st.Errors)
+	}
+	for _, g := range o.Shard.Groups {
+		if o.Shard.GroupBytes[g] <= 0 {
+			t.Fatalf("group %s shipped no bytes: %v", g, o.Shard.GroupBytes)
+		}
+	}
+}
+
+// TestDeployFleetParksIdleReplicas runs the elasticity controller on a
+// sharded deployment: a read burst powers the fleet up, the idle tail
+// drains and parks surplus replicas into low-power with their sync
+// suspended, and a second burst unparks them through the re-handshake —
+// after which everything converges on the state written while they
+// were parked.
+func TestDeployFleetParksIdleReplicas(t *testing.T) {
+	res := transformSubject(t, "sensor-hub")
+	clock := simclock.New()
+	cfg := shardedConfig()
+	cfg.Fleet = FleetConfig{Enabled: true, ReqPerReplica: 5, Interval: time.Second, Window: 2}
+	d, err := Deploy(clock, res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Fleet == nil {
+		t.Fatal("fleet controller not built")
+	}
+	sub, _ := workload.ByName("sensor-hub")
+
+	burst := func(seconds, perSecond int) {
+		start := clock.Now()
+		for s := 0; s < seconds; s++ {
+			at := time.Duration(s) * time.Second
+			clock.After(at, func() {
+				for i := 0; i < perSecond; i++ {
+					d.HandleAtEdge(sub.SampleRequest(1, i, 7), func(_ *httpapp.Response, err error) {
+						if err != nil {
+							t.Errorf("summary request: %v", err)
+						}
+					})
+				}
+			})
+		}
+		clock.RunUntil(start + time.Duration(seconds)*time.Second)
+	}
+
+	burst(5, 30) // 30 req/s, 5 per replica per interval -> want all 6
+	if got := d.Balancer.ActiveCount(); got != 6 {
+		t.Fatalf("under load: %d active replicas, want 6", got)
+	}
+
+	// Idle: surplus replicas drain, park, and suspend synchronization.
+	clock.RunUntil(clock.Now() + 15*time.Second)
+	o := Observe(d)
+	if o.Fleet == nil {
+		t.Fatal("observation missing fleet section")
+	}
+	if o.Fleet.ActiveReplicas != 1 || o.Fleet.Parks < 5 {
+		t.Fatalf("after idle: active=%d parks=%d, want 1 active / ≥5 parks",
+			o.Fleet.ActiveReplicas, o.Fleet.Parks)
+	}
+	lowPower := 0
+	for _, e := range o.Edges {
+		if !e.Active {
+			if e.PowerState != "low-power" {
+				t.Fatalf("parked edge %s in power state %q", e.Name, e.PowerState)
+			}
+			lowPower++
+		}
+	}
+	if lowPower != 5 {
+		t.Fatalf("%d edges in low-power, want 5", lowPower)
+	}
+
+	// A write lands while five replicas are parked; the active replica
+	// and the cloud see it, the parked ones must catch up on unpark.
+	d.HandleAtEdge(sub.SampleRequest(0, 0, 21), func(_ *httpapp.Response, err error) {
+		if err != nil {
+			t.Errorf("ingest while parked: %v", err)
+		}
+	})
+	d.SettleSync(30 * time.Second)
+
+	burst(4, 30)
+	o = Observe(d)
+	if o.Fleet.Unparks == 0 {
+		t.Fatal("second burst never unparked a replica")
+	}
+	if got := d.Balancer.ActiveCount(); got < 2 {
+		t.Fatalf("after second burst: %d active replicas", got)
+	}
+	d.SettleSync(60 * time.Second)
+	if !d.Converged() {
+		t.Fatal("fleet did not reconverge after unpark")
+	}
+	n, err := d.Cloud.App.DB().RowCount("readings")
+	if err != nil || n != 1 {
+		t.Fatalf("cloud rows = %d, %v", n, err)
+	}
+	d.Stop()
+}

@@ -66,6 +66,11 @@ type Doc struct {
 	history []Change
 	pending []Op     // uncommitted local ops (already applied to state)
 	parked  []Change // remote changes awaiting dependencies
+	// version counts state mutations (local records plus integrated
+	// remote changes). It is replica-local — never exchanged — and lets
+	// the synchronization runtime skip idle replicas with one integer
+	// compare instead of walking change history.
+	version uint64
 	// compacted records history truncation: changes covered by it have
 	// been dropped and can no longer be served to lagging peers.
 	compacted VersionVector
@@ -109,8 +114,15 @@ func (d *Doc) record(op Op) error {
 		return err
 	}
 	d.pending = append(d.pending, op)
+	d.version++
 	return nil
 }
+
+// Version returns the replica-local mutation counter: it advances on
+// every local operation and every integrated remote change. Two equal
+// readings bracket a window with no state change, so pollers can skip
+// idle documents without computing deltas.
+func (d *Doc) Version() uint64 { return d.version }
 
 // Commit seals the uncommitted local operations into a Change with the
 // given message. It is a no-op when there is nothing pending.
@@ -264,6 +276,7 @@ func (d *Doc) integrate(ch Change) error {
 	}
 	d.vv[ch.Actor] = ch.Seq
 	d.history = append(d.history, ch)
+	d.version++
 	return nil
 }
 

@@ -50,6 +50,91 @@ func BenchmarkObsOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkObsContention measures registry lookups under parallel load:
+// every goroutine resolves instruments by name on each operation, the
+// way request handlers that don't cache instrument pointers do. The
+// by-name sub-benchmarks stress the striped registry locks directly;
+// the cached one is the floor (pure atomics, no map lookups).
+func BenchmarkObsContention(b *testing.B) {
+	names := make([]string, 64)
+	for i := range names {
+		names[i] = "metric." + string(rune('a'+i%26)) + string(rune('0'+i%10))
+	}
+	b.Run("byname/counters", func(b *testing.B) {
+		r := NewRegistry()
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				r.Counter(names[i%len(names)]).Add(1)
+				i++
+			}
+		})
+	})
+	b.Run("byname/mixed", func(b *testing.B) {
+		r := NewRegistry()
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				name := names[i%len(names)]
+				switch i % 3 {
+				case 0:
+					r.Counter(name).Add(1)
+				case 1:
+					r.Gauge(name).Set(float64(i))
+				default:
+					r.Histogram(name).Observe(float64(i % 100))
+				}
+				i++
+			}
+		})
+	})
+	b.Run("cached/counter", func(b *testing.B) {
+		c := NewRegistry().Counter("hot")
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Add(1)
+			}
+		})
+	})
+}
+
+// TestRegistryParallelCreate races instrument creation and snapshotting
+// across shards: every name must resolve to exactly one instrument, and
+// the final snapshot must contain all of them.
+func TestRegistryParallelCreate(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 8, 200
+	done := make(chan *Counter, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			var last *Counter
+			for i := 0; i < perG; i++ {
+				c := r.Counter("shared." + string(rune('a'+i%26)))
+				c.Add(1)
+				last = c
+				_ = r.snapshot()
+			}
+			done <- last
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		<-done
+	}
+	if got := len(r.snapshot()); got != 26 {
+		t.Fatalf("snapshot has %d instruments, want 26", got)
+	}
+	var total int64
+	for i := 0; i < 26; i++ {
+		total += r.Counter("shared." + string(rune('a'+i))).Value()
+	}
+	if want := int64(goroutines * perG); total != want {
+		t.Fatalf("counters sum to %d, want %d (duplicate instruments?)", total, want)
+	}
+}
+
 // TestDisabledPathAllocs asserts the disabled-path contract the
 // tentpole promises: instrumentation with no Obs attached allocates
 // nothing, so the PR-1 hot paths are unaffected when observability is

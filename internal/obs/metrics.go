@@ -9,23 +9,51 @@ import (
 	"repro/internal/metrics"
 )
 
-// Registry holds named instruments. Instruments are created on first
-// use and live for the registry's lifetime; all methods are safe for
-// concurrent use, and every method on a nil *Registry is a no-op.
-type Registry struct {
-	mu         sync.Mutex
+// registryShards fixes the lock-striping width. 32 is comfortably past
+// the core counts the simulator runs on, and small enough that the
+// preallocated shard array stays cheap per registry.
+const registryShards = 32
+
+// registryShard is one stripe of the instrument namespace, guarded by
+// its own read-write lock so steady-state lookups (the overwhelmingly
+// common case — instruments are created once and then hit on every
+// request) take only a shared lock on 1/32 of the key space.
+type registryShard struct {
+	mu         sync.RWMutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 }
 
-// NewRegistry returns an empty registry.
+// Registry holds named instruments. Instruments are created on first
+// use and live for the registry's lifetime; all methods are safe for
+// concurrent use, and every method on a nil *Registry is a no-op. The
+// namespace is striped across independently locked shards, so lookups
+// of unrelated instruments never contend.
+type Registry struct {
+	shards [registryShards]registryShard
+}
+
+// NewRegistry returns an empty registry with all shards preallocated.
 func NewRegistry() *Registry {
-	return &Registry{
-		counters:   map[string]*Counter{},
-		gauges:     map[string]*Gauge{},
-		histograms: map[string]*Histogram{},
+	r := &Registry{}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.counters = make(map[string]*Counter, 8)
+		s.gauges = make(map[string]*Gauge, 8)
+		s.histograms = make(map[string]*Histogram, 8)
 	}
+	return r
+}
+
+// shardFor picks the stripe for a name (FNV-1a over the bytes).
+func (r *Registry) shardFor(name string) *registryShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return &r.shards[h%registryShards]
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -33,13 +61,20 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.counters[name]
-	if !ok {
-		c = &Counter{}
-		r.counters[name] = c
+	s := r.shardFor(name)
+	s.mu.RLock()
+	c := s.counters[name]
+	s.mu.RUnlock()
+	if c != nil {
+		return c
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c := s.counters[name]; c != nil {
+		return c
+	}
+	c = &Counter{}
+	s.counters[name] = c
 	return c
 }
 
@@ -48,13 +83,20 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
-	if !ok {
-		g = &Gauge{}
-		r.gauges[name] = g
+	s := r.shardFor(name)
+	s.mu.RLock()
+	g := s.gauges[name]
+	s.mu.RUnlock()
+	if g != nil {
+		return g
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g := s.gauges[name]; g != nil {
+		return g
+	}
+	g = &Gauge{}
+	s.gauges[name] = g
 	return g
 }
 
@@ -63,13 +105,20 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.histograms[name]
-	if !ok {
-		h = &Histogram{}
-		r.histograms[name] = h
+	s := r.shardFor(name)
+	s.mu.RLock()
+	h := s.histograms[name]
+	s.mu.RUnlock()
+	if h != nil {
+		return h
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h := s.histograms[name]; h != nil {
+		return h
+	}
+	h = &Histogram{}
+	s.histograms[name] = h
 	return h
 }
 

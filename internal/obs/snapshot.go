@@ -89,20 +89,23 @@ func (r *Registry) snapshot() []MetricSnapshot {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	counters := make(map[string]*Counter, len(r.counters))
-	for k, v := range r.counters {
-		counters[k] = v
+	counters := map[string]*Counter{}
+	gauges := map[string]*Gauge{}
+	histograms := map[string]*Histogram{}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for k, v := range s.counters {
+			counters[k] = v
+		}
+		for k, v := range s.gauges {
+			gauges[k] = v
+		}
+		for k, v := range s.histograms {
+			histograms[k] = v
+		}
+		s.mu.RUnlock()
 	}
-	gauges := make(map[string]*Gauge, len(r.gauges))
-	for k, v := range r.gauges {
-		gauges[k] = v
-	}
-	histograms := make(map[string]*Histogram, len(r.histograms))
-	for k, v := range r.histograms {
-		histograms[k] = v
-	}
-	r.mu.Unlock()
 
 	out := make([]MetricSnapshot, 0, len(counters)+len(gauges)+len(histograms))
 	for name, c := range counters {

@@ -1,0 +1,97 @@
+package scalesim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func smokeConfig(mode Mode) Config {
+	return Config{
+		Mode:              mode,
+		Clients:           1000,
+		Edges:             8,
+		Groups:            2,
+		RequestsPerClient: 2,
+		Seed:              7,
+	}
+}
+
+// TestRunDeterministic pins the simulator's core contract: the same
+// config yields the byte-identical result, including latency quantiles
+// and traffic byte counts.
+func TestRunDeterministic(t *testing.T) {
+	for _, mode := range []Mode{ModeStar, ModeFabric} {
+		a, err := Run(smokeConfig(mode))
+		if err != nil {
+			t.Fatalf("%s run 1: %v", mode, err)
+		}
+		b, err := Run(smokeConfig(mode))
+		if err != nil {
+			t.Fatalf("%s run 2: %v", mode, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: nondeterministic results:\n%+v\n%+v", mode, a, b)
+		}
+	}
+}
+
+// TestRunCompletesAndConverges checks the closed loop drains fully and
+// replication settles with zero duplicates and zero errors.
+func TestRunCompletesAndConverges(t *testing.T) {
+	for _, mode := range []Mode{ModeStar, ModeFabric} {
+		r, err := Run(smokeConfig(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Completed != 2000 || r.Requests != 2000 {
+			t.Fatalf("%s: completed %d/%d of 2000", mode, r.Completed, r.Requests)
+		}
+		if !r.Converged {
+			t.Fatalf("%s: did not converge within the settle budget", mode)
+		}
+		if r.Writes == 0 || r.ChangesPerSec <= 0 {
+			t.Fatalf("%s: no writes recorded (%d)", mode, r.Writes)
+		}
+		if r.DuplicateApplies != 0 || r.SyncErrors != 0 {
+			t.Fatalf("%s: dups=%d errors=%d", mode, r.DuplicateApplies, r.SyncErrors)
+		}
+		if r.P99Ms <= 0 || r.P99Ms < r.P50Ms {
+			t.Fatalf("%s: bad latency quantiles p50=%.2f p99=%.2f", mode, r.P50Ms, r.P99Ms)
+		}
+		if r.EdgeEnergyJ <= 0 {
+			t.Fatalf("%s: no edge energy accounted", mode)
+		}
+	}
+}
+
+// TestFabricMasterEgressBelowStar is the headline property: with the
+// same client workload, the relay tier ships each master delta once per
+// group instead of once per edge, so master egress drops while the
+// fan-out moves onto the relay LANs.
+func TestFabricMasterEgressBelowStar(t *testing.T) {
+	star, err := Run(smokeConfig(ModeStar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric, err := Run(smokeConfig(ModeFabric))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if star.MasterEgressBytes == 0 || fabric.MasterEgressBytes == 0 {
+		t.Fatalf("no egress recorded: star=%d fabric=%d",
+			star.MasterEgressBytes, fabric.MasterEgressBytes)
+	}
+	// 8 edges in 2 groups: the fabric's master should ship roughly a
+	// quarter of the star's egress; require at least a 2x reduction.
+	if fabric.MasterEgressBytes*2 > star.MasterEgressBytes {
+		t.Fatalf("fabric master egress %d not < half of star %d",
+			fabric.MasterEgressBytes, star.MasterEgressBytes)
+	}
+	if fabric.RelayFanoutBytes <= fabric.MasterEgressBytes {
+		t.Fatalf("fan-out bytes %d should exceed master egress %d",
+			fabric.RelayFanoutBytes, fabric.MasterEgressBytes)
+	}
+	if star.RelayFanoutBytes != 0 {
+		t.Fatalf("star recorded relay traffic: %d", star.RelayFanoutBytes)
+	}
+}

@@ -1,0 +1,245 @@
+// Package shard partitions replicated state across named edge groups
+// with a consistent-hash ring (ROADMAP item 1). Each member — an edge
+// group fronted by a relay — projects a configurable number of virtual
+// nodes onto a 64-bit hash circle; a key's owners are the first
+// ReplicationFactor distinct members clockwise from the key's hash.
+// Virtual nodes smooth the load distribution, and consistent hashing
+// bounds rebalancing: a join or leave moves an expected K/n of K keys,
+// not all of them.
+//
+// A Ring is safe for concurrent use: lookups take a read lock, so the
+// serving path can resolve owners while a rebalance mutates membership.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Defaults for ring construction.
+const (
+	// DefaultVirtualNodes is the per-member virtual node count. 64 keeps
+	// the ownership imbalance within a few percent at double-digit
+	// member counts.
+	DefaultVirtualNodes = 64
+	// DefaultReplicationFactor replicates each key to one owner.
+	DefaultReplicationFactor = 1
+)
+
+// point is one virtual node's position on the hash circle.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Ring is a consistent-hash ring over named members.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	rf      int
+	points  []point // sorted by (hash, member)
+	members map[string]bool
+}
+
+// NewRing returns an empty ring. vnodes ≤ 0 selects DefaultVirtualNodes;
+// rf ≤ 0 selects DefaultReplicationFactor.
+func NewRing(vnodes, rf int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	if rf <= 0 {
+		rf = DefaultReplicationFactor
+	}
+	return &Ring{vnodes: vnodes, rf: rf, members: map[string]bool{}}
+}
+
+// ReplicationFactor returns the configured owner count per key.
+func (r *Ring) ReplicationFactor() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.rf
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Members returns the member names, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Add joins a member, projecting its virtual nodes onto the circle. It
+// returns an error on a duplicate or empty name.
+func (r *Ring) Add(member string) error {
+	if member == "" {
+		return fmt.Errorf("shard: empty member name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[member] {
+		return fmt.Errorf("shard: member %q already on the ring", member)
+	}
+	r.members[member] = true
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, point{hash: hashString(fmt.Sprintf("%s#%d", member, v)), member: member})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return nil
+}
+
+// Remove leaves a member, withdrawing its virtual nodes.
+func (r *Ring) Remove(member string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[member] {
+		return fmt.Errorf("shard: member %q not on the ring", member)
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return nil
+}
+
+// Owner returns the key's primary owner ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns the key's owner set: the first ReplicationFactor
+// distinct members clockwise from the key's hash (fewer when the ring
+// holds fewer members). The primary owner is first; the order is the
+// deterministic ring walk, so every caller agrees on it.
+func (r *Ring) Owners(key string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	want := r.rf
+	if n := len(r.members); want > n {
+		want = n
+	}
+	h := hashString(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, want)
+	seen := make(map[string]bool, want)
+	for i := 0; i < len(r.points) && len(out) < want; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
+}
+
+// Owns reports whether member is among key's owners.
+func (r *Ring) Owns(member, key string) bool {
+	for _, o := range r.Owners(key) {
+		if o == member {
+			return true
+		}
+	}
+	return false
+}
+
+// Assignment maps every given key to its owner set — the shard map a
+// control plane publishes after a rebalance.
+func (r *Ring) Assignment(keys []string) map[string][]string {
+	out := make(map[string][]string, len(keys))
+	for _, k := range keys {
+		out[k] = r.Owners(k)
+	}
+	return out
+}
+
+// Move is one key whose owner set changed across a rebalance.
+type Move struct {
+	Key string
+	// From and To are the owner sets before and after.
+	From, To []string
+}
+
+// DiffAssignments returns the keys whose owner sets differ between two
+// shard maps, sorted by key — the rebalance event stream.
+func DiffAssignments(before, after map[string][]string) []Move {
+	var moves []Move
+	keys := make([]string, 0, len(after))
+	for k := range after {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !sameOwners(before[k], after[k]) {
+			moves = append(moves, Move{Key: k, From: before[k], To: after[k]})
+		}
+	}
+	return moves
+}
+
+func sameOwners(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ShardNames returns n synthetic shard names ("shard-00", …), the key
+// universe deployments partition when state has no finer natural key.
+func ShardNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("shard-%02d", i)
+	}
+	return out
+}
+
+// hashString is FNV-1a 64 with a splitmix64 finalizer. FNV alone
+// avalanches its final bytes poorly, so sequential keys ("key-0001",
+// "key-0002", …) land clustered on the circle and move in lockstep
+// across rebalances; the finalizer scatters them. The function is
+// deterministic across processes and runs, so every node derives the
+// identical ring from the identical membership.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,200 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func ringWith(t *testing.T, vnodes, rf int, members ...string) *Ring {
+	t.Helper()
+	r := NewRing(vnodes, rf)
+	for _, m := range members {
+		if err := r.Add(m); err != nil {
+			t.Fatalf("Add(%q): %v", m, err)
+		}
+	}
+	return r
+}
+
+func manyKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%05d", i)
+	}
+	return keys
+}
+
+func TestRingDeterministicAssignment(t *testing.T) {
+	keys := manyKeys(1000)
+	a := ringWith(t, 64, 2, "g1", "g2", "g3", "g4").Assignment(keys)
+	// A ring built with the same membership in a different join order
+	// must produce the identical map — nodes agree without coordination.
+	b := ringWith(t, 64, 2, "g4", "g2", "g1", "g3").Assignment(keys)
+	if len(DiffAssignments(a, b)) != 0 {
+		t.Fatalf("assignment depends on join order")
+	}
+}
+
+func TestRingOwnersDistinctAndStable(t *testing.T) {
+	r := ringWith(t, 64, 3, "g1", "g2", "g3", "g4", "g5")
+	for _, k := range manyKeys(200) {
+		owners := r.Owners(k)
+		if len(owners) != 3 {
+			t.Fatalf("key %q: want 3 owners, got %v", k, owners)
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %q: duplicate owner in %v", k, owners)
+			}
+			seen[o] = true
+		}
+		if got := r.Owner(k); got != owners[0] {
+			t.Fatalf("key %q: Owner()=%q, Owners()[0]=%q", k, got, owners[0])
+		}
+		if !r.Owns(owners[1], k) || r.Owns("g-absent", k) {
+			t.Fatalf("key %q: Owns inconsistent with Owners %v", k, owners)
+		}
+	}
+}
+
+func TestRingOwnersFewerMembersThanRF(t *testing.T) {
+	r := ringWith(t, 16, 3, "only")
+	if got := r.Owners("k"); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("want [only], got %v", got)
+	}
+	if NewRing(16, 3).Owners("k") != nil {
+		t.Fatalf("empty ring should own nothing")
+	}
+}
+
+// TestRingJoinMovementBound pins the consistent-hashing contract: a
+// join into a ring of n members moves close to K/n of K keys — not the
+// near-total reshuffle a modulo partitioner would cause.
+func TestRingJoinMovementBound(t *testing.T) {
+	const K = 10000
+	keys := manyKeys(K)
+	for _, n := range []int{4, 8, 16} {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("g%02d", i)
+		}
+		r := ringWith(t, 64, 1, members...)
+		before := r.Assignment(keys)
+		if err := r.Add("g-new"); err != nil {
+			t.Fatal(err)
+		}
+		moved := len(DiffAssignments(before, r.Assignment(keys)))
+		expected := K / (n + 1)
+		// Virtual-node placement is hash-random, so allow 2x slack above
+		// the expectation; 2x K/(n+1) is still far below a reshuffle.
+		if moved > 2*expected {
+			t.Errorf("join into %d members moved %d/%d keys, want ≈%d (≤%d)", n, moved, K, expected, 2*expected)
+		}
+		if moved == 0 {
+			t.Errorf("join into %d members moved nothing — new member owns no keys", n)
+		}
+		// Every move must hand keys TO the joiner on a join.
+		for _, mv := range DiffAssignments(before, r.Assignment(keys)) {
+			if mv.To[0] != "g-new" && mv.From[0] != mv.To[0] {
+				t.Fatalf("join moved key %q between unrelated members: %v -> %v", mv.Key, mv.From, mv.To)
+			}
+		}
+	}
+}
+
+// TestRingLeaveMovementBound is the complement: a leave moves only the
+// leaver's keys, and they scatter across the survivors.
+func TestRingLeaveMovementBound(t *testing.T) {
+	const K = 10000
+	keys := manyKeys(K)
+	r := ringWith(t, 64, 1, "g0", "g1", "g2", "g3", "g4", "g5", "g6", "g7")
+	before := r.Assignment(keys)
+	if err := r.Remove("g3"); err != nil {
+		t.Fatal(err)
+	}
+	after := r.Assignment(keys)
+	moves := DiffAssignments(before, after)
+	expected := K / 8
+	if len(moves) > 2*expected {
+		t.Errorf("leave moved %d/%d keys, want ≈%d", len(moves), K, expected)
+	}
+	for _, mv := range moves {
+		if mv.From[0] != "g3" {
+			t.Fatalf("leave of g3 moved key %q owned by %v", mv.Key, mv.From)
+		}
+		if mv.To[0] == "g3" {
+			t.Fatalf("key %q still owned by removed member", mv.Key)
+		}
+	}
+}
+
+// TestRingRebalanceDuringTrafficRace drives lookups (the serving path)
+// concurrently with joins and leaves (the rebalance path) under -race:
+// the ring's locking must let traffic resolve owners mid-rebalance and
+// every resolved owner must be a member that was on the ring at some
+// point in the schedule.
+func TestRingRebalanceDuringTrafficRace(t *testing.T) {
+	r := ringWith(t, 32, 2, "g0", "g1", "g2", "g3")
+	valid := map[string]bool{"g0": true, "g1": true, "g2": true, "g3": true}
+	for i := 4; i < 12; i++ {
+		valid[fmt.Sprintf("g%d", i)] = true
+	}
+	keys := manyKeys(64)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := w
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				owners := r.Owners(keys[i%len(keys)])
+				for _, o := range owners {
+					if !valid[o] {
+						t.Errorf("lookup resolved unknown owner %q", o)
+						return
+					}
+				}
+				i++
+			}
+		}(w)
+	}
+	// Rebalance: roll four joins and four leaves through the ring.
+	for i := 4; i < 12; i++ {
+		if err := r.Add(fmt.Sprintf("g%d", i)); err != nil {
+			t.Error(err)
+		}
+		if err := r.Remove(fmt.Sprintf("g%d", i-4)); err != nil {
+			t.Error(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	want := []string{"g10", "g11", "g8", "g9"}
+	got := r.Members()
+	if len(got) != len(want) {
+		t.Fatalf("members after rebalance: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("members after rebalance: %v, want %v", got, want)
+		}
+	}
+}
+
+func TestShardNames(t *testing.T) {
+	names := ShardNames(3)
+	want := []string{"shard-00", "shard-01", "shard-02"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("ShardNames(3) = %v", names)
+		}
+	}
+}

@@ -91,6 +91,24 @@ type conn struct {
 	// ackedByEdge is the master state the edge has confirmed.
 	ackedByMaster Heads
 	ackedByEdge   Heads
+	// suspended parks the connection: the elasticity controller stops
+	// synchronizing a powered-down replica, and Resume re-handshakes it.
+	suspended bool
+	// inflight counts deltas sent but not yet delivered (or dropped).
+	// While nonzero the connection cannot be idle-skipped: an ack will
+	// move the cursors.
+	inflight int
+	// lastEdgeVer/lastMasterVer cache the replica mutation counters
+	// observed at the last scan; clean records that the scan found both
+	// deltas empty. When the versions have not moved since a clean scan
+	// and nothing is in flight, the connection is provably quiescent and
+	// the round skips it without touching change history — this is what
+	// makes a mostly-idle fleet cost O(active edges), not O(edges), per
+	// tick. A lossy or downed link leaves clean false (the delta was
+	// sent but never acknowledged), so retries keep flowing.
+	lastEdgeVer, lastMasterVer uint64
+	clean                      bool
+	versValid                  bool
 }
 
 // Stats aggregates synchronization traffic. The deployment facade
@@ -108,6 +126,12 @@ type Stats struct {
 	AckRoundTrips int64 `json:"ack_round_trips"`
 	// Errors counts failed applications.
 	Errors int64 `json:"errors"`
+	// EdgesScanned counts per-round edge visits that did synchronization
+	// work; EdgesSkipped counts visits resolved by the idle test (one
+	// integer compare, no history walk). A converged fleet should skip
+	// nearly everything.
+	EdgesScanned int64 `json:"edges_scanned"`
+	EdgesSkipped int64 `json:"edges_skipped"`
 }
 
 // TotalBytes returns the WAN synchronization volume.
@@ -241,37 +265,97 @@ func (m *Manager) scheduleTick(gen uint64) {
 	})
 }
 
-// SyncRound performs one bidirectional exchange for every edge.
+// SyncRound performs one bidirectional exchange for every edge that may
+// have diverged. Every connection shares the manager's single clock
+// timer (one consolidated tick, not O(edges) timers), and a connection
+// whose replica versions have not moved since its last scan — with
+// nothing in flight — is skipped on one integer compare, so a
+// mostly-idle fleet pays per round only for its active edges.
 func (m *Manager) SyncRound() {
 	if err := m.master.refresh(); err != nil {
 		m.fail(err)
 	}
+	masterVer := m.master.State.Version()
 	for _, c := range m.conns {
+		if c.suspended {
+			continue
+		}
+		if c.versValid && c.clean && c.inflight == 0 &&
+			c.edge.State.Version() == c.lastEdgeVer && masterVer == c.lastMasterVer {
+			m.stats.EdgesSkipped++
+			continue
+		}
+		m.stats.EdgesScanned++
 		if err := c.edge.refresh(); err != nil {
 			m.fail(err)
 		}
-		m.sendEdgeState(c)
-		m.sendCloudState(c)
+		upEmpty := m.sendEdgeState(c)
+		downEmpty := m.sendCloudState(c)
+		c.clean = upEmpty && downEmpty
+		c.lastEdgeVer = c.edge.State.Version()
+		c.lastMasterVer = masterVer
+		c.versValid = true
 	}
 }
 
-// sendEdgeState ships the edge's unacknowledged changes to the master.
-func (m *Manager) sendEdgeState(c *conn) {
+// connFor finds the connection for the named edge endpoint.
+func (m *Manager) connFor(name string) *conn {
+	for _, c := range m.conns {
+		if c.edge.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// SuspendEdge parks the named edge's connection: no deltas flow in
+// either direction until ResumeEdge. The elasticity controller calls it
+// when powering a replica down, so parked replicas cost zero
+// synchronization work and zero WAN bytes.
+func (m *Manager) SuspendEdge(name string) error {
+	c := m.connFor(name)
+	if c == nil {
+		return fmt.Errorf("statesync: no edge %q", name)
+	}
+	c.suspended = true
+	return nil
+}
+
+// ResumeEdge reactivates a suspended edge through the re-handshake
+// path: both cursors restart at the intersection of the two sides'
+// declared knowledge, exactly as a freshly added edge would — and when
+// the endpoint declares from its durable persister watermark, a replica
+// powered back up resyncs precisely the delta it missed while parked.
+func (m *Manager) ResumeEdge(name string) error {
+	c := m.connFor(name)
+	if c == nil {
+		return fmt.Errorf("statesync: no edge %q", name)
+	}
+	c.suspended = false
+	start := intersectHeads(c.edge.declaredHeads(), m.master.declaredHeads())
+	c.ackedByMaster, c.ackedByEdge = start, start
+	c.versValid = false
+	return nil
+}
+
+// sendEdgeState ships the edge's unacknowledged changes to the master,
+// reporting whether there was nothing to send.
+func (m *Manager) sendEdgeState(c *conn) bool {
 	delta := c.edge.State.Delta(c.ackedByMaster)
 	if delta.Empty() {
-		return
+		return true
 	}
 	payload, err := EncodeDelta(delta)
 	if err != nil {
 		m.fail(err)
-		return
+		return false
 	}
 	headsAtSend := c.edge.State.Heads()
 	m.stats.EdgeStateBytes += int64(len(payload))
 	m.stats.Messages++
 	m.obs.edgeBytes.Add(int64(len(payload)))
 	m.obs.messages.Add(1)
-	c.link.Up.Send(len(payload), func() {
+	at := c.link.Up.Send(len(payload), func() {
 		if err := m.master.apply(delta); err != nil {
 			m.fail(err)
 			return
@@ -280,25 +364,32 @@ func (m *Manager) sendEdgeState(c *conn) {
 		m.stats.AckRoundTrips++
 		m.obs.acks.Add(1)
 	})
+	// The in-flight count drops when the message delivers or is dropped:
+	// the decrement is scheduled at the same instant as delivery, after
+	// it in FIFO order, so the idle test never hides an undelivered ack.
+	c.inflight++
+	m.clock.At(at, func() { c.inflight-- })
+	return false
 }
 
-// sendCloudState ships the master's unacknowledged changes to the edge.
-func (m *Manager) sendCloudState(c *conn) {
+// sendCloudState ships the master's unacknowledged changes to the edge,
+// reporting whether there was nothing to send.
+func (m *Manager) sendCloudState(c *conn) bool {
 	delta := m.master.State.Delta(c.ackedByEdge)
 	if delta.Empty() {
-		return
+		return true
 	}
 	payload, err := EncodeDelta(delta)
 	if err != nil {
 		m.fail(err)
-		return
+		return false
 	}
 	headsAtSend := m.master.State.Heads()
 	m.stats.CloudStateBytes += int64(len(payload))
 	m.stats.Messages++
 	m.obs.cloudBytes.Add(int64(len(payload)))
 	m.obs.messages.Add(1)
-	c.link.Down.Send(len(payload), func() {
+	at := c.link.Down.Send(len(payload), func() {
 		if err := c.edge.apply(delta); err != nil {
 			m.fail(err)
 			return
@@ -307,6 +398,9 @@ func (m *Manager) sendCloudState(c *conn) {
 		m.stats.AckRoundTrips++
 		m.obs.acks.Add(1)
 	})
+	c.inflight++
+	m.clock.At(at, func() { c.inflight-- })
+	return false
 }
 
 func (m *Manager) fail(err error) {
@@ -317,10 +411,15 @@ func (m *Manager) fail(err error) {
 	}
 }
 
-// Converged reports whether the master and every edge hold identical
-// state.
+// Converged reports whether the master and every active edge hold
+// identical state. Suspended edges are intentionally stale — they stop
+// receiving deltas until resumed — so they do not count against
+// convergence.
 func (m *Manager) Converged() bool {
 	for _, c := range m.conns {
+		if c.suspended {
+			continue
+		}
 		if !m.master.State.Converged(c.edge.State) {
 			return false
 		}

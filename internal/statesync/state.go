@@ -118,6 +118,13 @@ func (s *ReplicaState) Heads() Heads {
 	}
 }
 
+// Version sums the components' replica-local mutation counters. Equal
+// readings bracket a window with no state change — the synchronization
+// runtime's cheap idle test (one comparison, no history walk).
+func (s *ReplicaState) Version() uint64 {
+	return s.JSON.Version() + s.Tables.Doc().Version() + s.Files.Doc().Version()
+}
+
 // Delta returns the changes a peer at the given heads is missing.
 func (s *ReplicaState) Delta(since Heads) Delta {
 	if since == nil {

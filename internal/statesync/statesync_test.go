@@ -255,8 +255,6 @@ func TestBindingNoEchoOnInbound(t *testing.T) {
 	}
 }
 
-func mergeHeads(h Heads, _ any) Heads { return h }
-
 func TestManagerConvergesOverEmulatedWAN(t *testing.T) {
 	clock := simclock.New()
 	master := newState(t, "cloud")
@@ -343,6 +341,73 @@ func TestManagerQuiescentSendsNothing(t *testing.T) {
 	// no messages flow.
 	if got := mgr.Stats().TotalBytes(); got != 0 {
 		t.Fatalf("quiescent sync moved %d bytes", got)
+	}
+}
+
+// TestManagerIdleSkipAndWake pins the consolidated-ticker idle test:
+// once a scan finds an edge clean, later ticks resolve it with a pair
+// of version loads (EdgesSkipped) instead of delta construction — and a
+// master write invalidates the skip, so the edge still converges.
+func TestManagerIdleSkipAndWake(t *testing.T) {
+	clock := simclock.New()
+	master := newState(t, "cloud")
+	mgr, err := NewManager(clock, &Endpoint{Name: "cloud", State: master}, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges []*ReplicaState
+	for i := 0; i < 3; i++ {
+		edge, err := master.Fork(crdtActor("edge" + string(rune('0'+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges = append(edges, edge)
+		link, err := netem.NewDuplex(clock, netem.FastWAN, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mgr.AddEdge(&Endpoint{Name: "e", State: edge}, link); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr.Start()
+
+	// Forks share history, so the very first scan finds every edge clean;
+	// 5 s of idle ticks must then be resolved by the skip path.
+	clock.RunUntil(5 * time.Second)
+	st := mgr.Stats()
+	if st.EdgesSkipped == 0 {
+		t.Fatalf("idle edges were never skipped: %+v", st)
+	}
+	if st.EdgesSkipped < st.EdgesScanned {
+		t.Fatalf("idle period did mostly full scans: skipped=%d scanned=%d",
+			st.EdgesSkipped, st.EdgesScanned)
+	}
+
+	// A master write bumps the version the idle test watches: the next
+	// tick must do real work again and replicate the change everywhere.
+	if err := master.JSON.PutScalar("root", "wake", 7); err != nil {
+		t.Fatal(err)
+	}
+	scannedBefore := st.EdgesScanned
+	clock.RunUntil(10 * time.Second)
+	mgr.Stop()
+	clock.Run()
+	if !mgr.Converged() {
+		t.Fatal("edges did not reconverge after wake")
+	}
+	for i, e := range edges {
+		if v, ok := e.JSON.MapGet("root", "wake"); !ok || v.Num != 7 {
+			t.Fatalf("edge %d missed the wake write: %v, %v", i, v, ok)
+		}
+	}
+	st = mgr.Stats()
+	if st.EdgesScanned <= scannedBefore {
+		t.Fatalf("wake write did not trigger a real scan: %d -> %d",
+			scannedBefore, st.EdgesScanned)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("sync errors: %+v", st)
 	}
 }
 
