@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -25,6 +27,13 @@ type serveReport struct {
 
 	// Serve holds one row per benchmarked subject service.
 	Serve []serveRow `json:"serve"`
+
+	// ReadSweep holds the reader/writer scheduler sweep: sensor-hub
+	// traffic at several worker counts and read ratios, driving
+	// Server.Invoke concurrently. Read throughput should scale with
+	// workers (up to GOMAXPROCS); the serialized write path bounds the
+	// mixed rows.
+	ReadSweep []rwRow `json:"read_sweep"`
 
 	// VM snapshots the script.* counters after the run.
 	VM script.VMStats `json:"vm"`
@@ -48,6 +57,149 @@ type serveRow struct {
 
 	CompiledBytesOp int64 `json:"compiled_bytes_op"`
 	TreeWalkBytesOp int64 `json:"treewalk_bytes_op"`
+}
+
+type rwRow struct {
+	Workers   int     `json:"workers"`
+	ReadRatio float64 `json:"read_ratio"`
+
+	Requests       int64   `json:"requests"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	// ReadRequestsPerSec counts only invocations that completed on the
+	// shared read path — the number the CI scaling gate pins.
+	ReadRequestsPerSec float64 `json:"read_requests_per_sec"`
+
+	Reads       int64 `json:"reads"`
+	Writes      int64 `json:"writes"`
+	Mispredicts int64 `json:"mispredicts"`
+}
+
+// rwRequestPools splits a subject's sample requests into read-only and
+// mutating pools, cloned per worker so concurrent invocations never
+// share a *Request.
+func rwRequestPools(subj workload.Subject, n int) (reads, writes []*httpapp.Request) {
+	for k, svc := range subj.Services {
+		for i := 0; i < n; i++ {
+			req := subj.SampleRequest(k, i, 42)
+			if svc.Mutates {
+				writes = append(writes, req)
+			} else {
+				reads = append(reads, req)
+			}
+		}
+	}
+	return reads, writes
+}
+
+// benchReadSweepCell measures one (workers, readRatio) cell: workers
+// goroutines loop over Server.Invoke with the static route classifier
+// active, mixing reads and writes at the requested ratio, for a fixed
+// wall-clock budget. Each cell rebuilds the stack so a previous cell's
+// writes do not hand the next one a bigger store.
+func benchReadSweepCell(subj workload.Subject, workers int, readRatio float64, budget time.Duration) (rwRow, error) {
+	app, err := subj.NewApp()
+	if err != nil {
+		return rwRow{}, err
+	}
+	server := cluster.NewServer("edge0", cluster.NewNode(simclock.New(), cluster.RPi4Spec), app)
+	server.ReadOnly = app.RequestReadOnly
+	reads, writes := rwRequestPools(subj, 8)
+	// Warm the store so read services have fixed data to chew on.
+	for _, req := range writes {
+		if _, _, err := server.Invoke(req); err != nil {
+			return rwRow{}, err
+		}
+	}
+	r0, w0, m0 := server.RWStats()
+
+	// Deterministic mix: each worker cycles a 20-request window with
+	// round((1-ratio)*20) writes up front.
+	const window = 20
+	writesPerWindow := int((1-readRatio)*window + 0.5)
+
+	runtime.GC()
+	var total int64
+	var firstErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(budget)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rp := make([]*httpapp.Request, len(reads))
+			for i, req := range reads {
+				rp[i] = req.Clone()
+			}
+			wp := make([]*httpapp.Request, len(writes))
+			for i, req := range writes {
+				wp[i] = req.Clone()
+			}
+			var n int64
+			for i := 0; ; i++ {
+				// Check the clock every window to keep time.Now off the
+				// per-request path.
+				if i%window == 0 && time.Now().After(deadline) {
+					break
+				}
+				var req *httpapp.Request
+				if i%window < writesPerWindow {
+					req = wp[(w+i)%len(wp)]
+				} else {
+					req = rp[(w+i)%len(rp)]
+				}
+				if _, _, err := server.Invoke(req); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					break
+				}
+				n++
+			}
+			atomic.AddInt64(&total, n)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return rwRow{}, firstErr
+	}
+	r1, w1, m1 := server.RWStats()
+	return rwRow{
+		Workers:            workers,
+		ReadRatio:          readRatio,
+		Requests:           total,
+		RequestsPerSec:     float64(total) / elapsed.Seconds(),
+		ReadRequestsPerSec: float64(r1-r0) / elapsed.Seconds(),
+		Reads:              r1 - r0,
+		Writes:             w1 - w0,
+		Mispredicts:        m1 - m0,
+	}, nil
+}
+
+// runReadSweep drives the sensor-hub subject through the worker ×
+// read-ratio grid.
+func runReadSweep(rep *serveReport) error {
+	subj, err := workload.ByName("sensor-hub")
+	if err != nil {
+		return err
+	}
+	for _, workers := range []int{1, 2, 4} {
+		for _, ratio := range []float64{0.5, 0.95, 1.0} {
+			row, err := benchReadSweepCell(subj, workers, ratio, 400*time.Millisecond)
+			if err != nil {
+				return err
+			}
+			rep.ReadSweep = append(rep.ReadSweep, row)
+			fmt.Printf("read-sweep workers=%d ratio=%.2f: %.0f req/s (%.0f read req/s), %d reads / %d writes / %d mispredicts\n",
+				row.Workers, row.ReadRatio, row.RequestsPerSec, row.ReadRequestsPerSec,
+				row.Reads, row.Writes, row.Mispredicts)
+		}
+	}
+	return nil
 }
 
 // benchServeSubject measures the full edge serve path (server handle,
@@ -177,6 +329,9 @@ func runBenchServe(outPath string) error {
 			float64(row.CompiledNsOp)/1e3, row.CompiledRPS,
 			float64(row.TreeWalkNsOp)/1e3, row.TreeWalkRPS,
 			row.Speedup, row.AllocRatio)
+	}
+	if err := runReadSweep(&rep); err != nil {
+		return err
 	}
 	rep.VM = script.ReadVMStats()
 

@@ -18,13 +18,20 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, rtt, table2, table2full, fig6b, fig7, fig8, fig9, fig10a, fig10b, accuracy, ablations, bench")
+	exp := flag.String("exp", "all", "experiment to run: all, rtt, table2, table2full, fig6b, fig7, fig8, fig9, fig10a, fig10b, accuracy, ablations, bench, benchserve")
 	benchOut := flag.String("benchout", "BENCH_pipeline.json", "output path for the -exp bench perf report")
 	durableOut := flag.String("durableout", "BENCH_durable.json", "output path for the -exp bench durability report")
 	statesyncOut := flag.String("statesyncout", "BENCH_statesync.json", "output path for the -exp bench replication report")
 	serveOut := flag.String("serveout", "BENCH_serve.json", "output path for the -exp bench serve-path report")
 	placementOut := flag.String("placementout", "BENCH_placement.json", "output path for the -exp bench placement report")
 	flag.Parse()
+	if *exp == "benchserve" {
+		if err := runBenchServe(*serveOut); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *exp == "bench" {
 		if err := runBench(*benchOut); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -54,6 +54,9 @@ type (
 	Deployment = core.Deployment
 	// DeployConfig describes the deployment topology.
 	DeployConfig = core.DeployConfig
+	// ReadsConfig tunes the reader/writer invocation scheduler
+	// (DeployConfig.Reads).
+	ReadsConfig = core.ReadsConfig
 	// EdgeReplica is one deployed edge node.
 	EdgeReplica = core.EdgeReplica
 	// Transport selects the synchronization runtime (virtual-time

@@ -37,6 +37,17 @@ type StateUnits struct {
 	// observed by the shadow execution of its SQL invocations; read-only
 	// tables need initialization but no outbound synchronization.
 	WriteTables []string
+	// FileWrites are the VFS paths the service mutates (fs.write /
+	// fs.remove invocations); read-only file accesses stay out of it.
+	FileWrites []string
+}
+
+// ReadOnly reports whether the observed executions performed no writes
+// to any replicated state unit — no global writes, no table mutations,
+// no file writes. Read-only services are eligible for the concurrent
+// serve path: their invocations can run under a shared lock.
+func (u StateUnits) ReadOnly() bool {
+	return len(u.GlobalWrites) == 0 && len(u.WriteTables) == 0 && len(u.FileWrites) == 0
 }
 
 // GlobalsToSync returns the globals that participate in replication:
@@ -51,6 +62,7 @@ func (u *StateUnits) Merge(o StateUnits) {
 	u.Globals = mergeSorted(u.Globals, o.Globals)
 	u.GlobalWrites = mergeSorted(u.GlobalWrites, o.GlobalWrites)
 	u.WriteTables = mergeSorted(u.WriteTables, o.WriteTables)
+	u.FileWrites = mergeSorted(u.FileWrites, o.FileWrites)
 	u.SQLStmts = mergeStmts(u.SQLStmts, o.SQLStmts)
 	u.FileStmts = mergeStmts(u.FileStmts, o.FileStmts)
 }
@@ -588,6 +600,7 @@ func identifyState(app *httpapp.App, tr *Trace) StateUnits {
 	var u StateUnits
 	tables := map[string]bool{}
 	files := map[string]bool{}
+	fileWrites := map[string]bool{}
 	sqlStmts := map[script.StmtID]bool{}
 	fileStmts := map[script.StmtID]bool{}
 
@@ -605,6 +618,9 @@ func identifyState(app *httpapp.App, tr *Trace) StateUnits {
 				fileStmts[iv.Stmt] = true
 				if p, ok := iv.Args[0].(string); ok {
 					files[p] = true
+					if iv.Fn == "fs.write" || iv.Fn == "fs.remove" {
+						fileWrites[p] = true
+					}
 				}
 			}
 		}
@@ -637,6 +653,7 @@ func identifyState(app *httpapp.App, tr *Trace) StateUnits {
 	}
 
 	u.WriteTables = setToSorted(writeTables)
+	u.FileWrites = setToSorted(fileWrites)
 	u.Tables = setToSorted(tables)
 	u.Files = setToSorted(files)
 	u.Globals = setToSorted(globals)

@@ -11,6 +11,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/energy"
@@ -152,20 +153,44 @@ type Server struct {
 	Node *Node
 	App  *httpapp.App
 
-	conns int
-	// AfterInvoke, when set, runs after every successful invocation —
-	// the replica runtime uses it to mirror global-variable changes into
-	// the CRDT state.
+	// conns is atomic: the fleet scaler and balancer read it from
+	// control goroutines while request goroutines move it.
+	conns atomic.Int64
+	// AfterInvoke, when set, runs after every successful mutating
+	// invocation — the replica runtime uses it to mirror global-variable
+	// changes into the CRDT state.
 	AfterInvoke func()
-	// WrapInvoke, when set, runs the invocation critical section
+	// WrapInvoke, when set, runs the mutating critical section
 	// (App.Invoke plus AfterInvoke) inside it. The TCP transport installs
 	// the endpoint's Do here so application mutations serialize with the
 	// background synchronization goroutines touching the same state.
 	WrapInvoke func(func())
+	// WrapRead, when set, runs read-only invocations inside it. The TCP
+	// transport installs the endpoint's RDo here, so reads share the
+	// transport lock with each other while still excluding writers.
+	WrapRead func(func())
+	// ReadOnly classifies a request as safe for the concurrent read
+	// path (typically App.RequestReadOnly, driven by the analysis
+	// pipeline's state-use facts). When nil every invocation takes the
+	// serialized write path — exactly the pre-scheduler behavior.
+	ReadOnly func(*httpapp.Request) bool
+
+	// rwRead/rwWrite/rwMispredict count scheduler outcomes: invocations
+	// served on the shared read path, on the exclusive write path, and
+	// read-path attempts aborted by the write guard and re-run serialized.
+	rwRead       atomic.Int64
+	rwWrite      atomic.Int64
+	rwMispredict atomic.Int64
+
 	// reqCounter and errCounter mirror per-server request totals into
 	// an observability registry (nil-safe no-ops when unset).
 	reqCounter *obs.Counter
 	errCounter *obs.Counter
+	// readCounter/writeCounter/mispredictCounter mirror the scheduler
+	// outcome counts as the serve.rw.* observability family.
+	readCounter       *obs.Counter
+	writeCounter      *obs.Counter
+	mispredictCounter *obs.Counter
 }
 
 // NewServer hosts app on node.
@@ -180,17 +205,49 @@ func NewServer(name string, node *Node, app *httpapp.App) *Server {
 func (s *Server) SetObs(o *obs.Obs) {
 	s.reqCounter = o.Counter("cluster.requests." + s.Name)
 	s.errCounter = o.Counter("cluster.errors." + s.Name)
+	s.readCounter = o.Counter("serve.rw.read." + s.Name)
+	s.writeCounter = o.Counter("serve.rw.write." + s.Name)
+	s.mispredictCounter = o.Counter("serve.rw.mispredict." + s.Name)
 }
 
 // ActiveConns returns the server's in-flight request count.
-func (s *Server) ActiveConns() int { return s.conns }
+func (s *Server) ActiveConns() int { return int(s.conns.Load()) }
 
-// Handle executes a request: the app runs immediately (its state
-// changes take effect now) and the response is delivered after the
-// node's simulated execution latency.
-func (s *Server) Handle(req *httpapp.Request, done func(*httpapp.Response, time.Duration, error)) {
-	s.conns++
-	s.reqCounter.Add(1)
+// RWStats returns the scheduler outcome counts: read-path invocations,
+// write-path invocations, and write-guard mispredict fallbacks.
+func (s *Server) RWStats() (read, write, mispredict int64) {
+	return s.rwRead.Load(), s.rwWrite.Load(), s.rwMispredict.Load()
+}
+
+// Invoke runs one invocation through the reader/writer scheduler.
+// Requests the classifier marks read-only take the shared slot
+// (App.InvokeRead under WrapRead) and may run concurrently with each
+// other; everything else — and any read attempt the interpreter's
+// write guard aborts — takes the exclusive slot (App.Invoke plus
+// AfterInvoke under WrapInvoke). A guard abort re-runs exactly once on
+// the write path: the guard fires before any shared state is touched,
+// so the serialized re-run observes pristine state and the final
+// response and state transitions are identical to a fully serialized
+// execution.
+func (s *Server) Invoke(req *httpapp.Request) (*httpapp.Response, float64, error) {
+	if s.ReadOnly != nil && s.ReadOnly(req) {
+		var resp *httpapp.Response
+		var ops float64
+		var err error
+		read := func() { resp, ops, err = s.App.InvokeRead(req) }
+		if s.WrapRead != nil {
+			s.WrapRead(read)
+		} else {
+			read()
+		}
+		if err == nil || !errors.Is(err, httpapp.ErrWriteGuard) {
+			s.rwRead.Add(1)
+			s.readCounter.Add(1)
+			return resp, ops, err
+		}
+		s.rwMispredict.Add(1)
+		s.mispredictCounter.Add(1)
+	}
 	var resp *httpapp.Response
 	var ops float64
 	var err error
@@ -205,11 +262,23 @@ func (s *Server) Handle(req *httpapp.Request, done func(*httpapp.Response, time.
 	} else {
 		invoke()
 	}
+	s.rwWrite.Add(1)
+	s.writeCounter.Add(1)
+	return resp, ops, err
+}
+
+// Handle executes a request: the app runs immediately (its state
+// changes take effect now) and the response is delivered after the
+// node's simulated execution latency.
+func (s *Server) Handle(req *httpapp.Request, done func(*httpapp.Response, time.Duration, error)) {
+	s.conns.Add(1)
+	s.reqCounter.Add(1)
+	resp, ops, err := s.Invoke(req)
 	if err != nil {
 		s.errCounter.Add(1)
 	}
 	s.Node.Process(ops, func(lat time.Duration) {
-		s.conns--
+		s.conns.Add(-1)
 		done(resp, lat, err)
 	})
 }
@@ -284,39 +353,20 @@ func (b *Balancer) TotalConns() int {
 	n := 0
 	for _, s := range b.servers {
 		if s.Node.Active() {
-			n += s.conns
+			n += s.ActiveConns()
 		}
 	}
 	return n
 }
 
-// Pick selects a server for the next request.
+// Pick selects a server for the next request. With no routable server
+// (empty balancer, everything parked or draining) it returns
+// ErrNoActiveServer rather than panicking, and a RoundRobin pick that
+// skipped draining servers keeps its rotation position anchored to the
+// server actually chosen, so un-draining a server never replays the
+// rotation from a stale offset.
 func (b *Balancer) Pick() (*Server, error) {
-	switch b.policy {
-	case RoundRobin:
-		for i := 0; i < len(b.servers); i++ {
-			s := b.servers[(b.rrNext+i)%len(b.servers)]
-			if b.routable(s) {
-				b.rrNext = (b.rrNext + i + 1) % len(b.servers)
-				return s, nil
-			}
-		}
-		return nil, ErrNoActiveServer
-	default: // LeastConnections
-		var best *Server
-		for _, s := range b.servers {
-			if !b.routable(s) {
-				continue
-			}
-			if best == nil || s.conns < best.conns {
-				best = s
-			}
-		}
-		if best == nil {
-			return nil, ErrNoActiveServer
-		}
-		return best, nil
-	}
+	return b.PickWhere(func(*Server) bool { return true })
 }
 
 // PickWhere selects a server under the balancer's policy, considering
@@ -324,24 +374,31 @@ func (b *Balancer) Pick() (*Server, error) {
 // routes through it so a request lands on a replica where its service
 // is actually enabled.
 func (b *Balancer) PickWhere(pred func(*Server) bool) (*Server, error) {
+	if len(b.servers) == 0 {
+		return nil, ErrNoActiveServer
+	}
 	switch b.policy {
 	case RoundRobin:
 		for i := 0; i < len(b.servers); i++ {
-			s := b.servers[(b.rrNext+i)%len(b.servers)]
+			idx := (b.rrNext + i) % len(b.servers)
+			s := b.servers[idx]
 			if b.routable(s) && pred(s) {
-				b.rrNext = (b.rrNext + i + 1) % len(b.servers)
+				// Advance from the chosen slot, not the scan start, so
+				// skipped (draining) servers don't shift the rotation.
+				b.rrNext = (idx + 1) % len(b.servers)
 				return s, nil
 			}
 		}
 		return nil, ErrNoActiveServer
 	default: // LeastConnections
 		var best *Server
+		bestConns := 0
 		for _, s := range b.servers {
 			if !b.routable(s) || !pred(s) {
 				continue
 			}
-			if best == nil || s.conns < best.conns {
-				best = s
+			if c := s.ActiveConns(); best == nil || c < bestConns {
+				best, bestConns = s, c
 			}
 		}
 		if best == nil {

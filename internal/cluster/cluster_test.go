@@ -186,9 +186,9 @@ func newTestBalancer(t *testing.T, clock *simclock.Clock, policy Policy, n int) 
 func TestBalancerLeastConnections(t *testing.T) {
 	clock := simclock.New()
 	b := newTestBalancer(t, clock, LeastConnections, 3)
-	b.Servers()[0].conns = 5
-	b.Servers()[1].conns = 1
-	b.Servers()[2].conns = 3
+	b.Servers()[0].conns.Store(5)
+	b.Servers()[1].conns.Store(1)
+	b.Servers()[2].conns.Store(3)
 	s, err := b.Pick()
 	if err != nil {
 		t.Fatal(err)
@@ -204,9 +204,9 @@ func TestBalancerLeastConnections(t *testing.T) {
 func TestBalancerSkipsInactive(t *testing.T) {
 	clock := simclock.New()
 	b := newTestBalancer(t, clock, LeastConnections, 2)
-	b.Servers()[0].conns = 0
+	b.Servers()[0].conns.Store(0)
 	b.Servers()[0].Node.SetActive(false)
-	b.Servers()[1].conns = 99
+	b.Servers()[1].conns.Store(99)
 	s, err := b.Pick()
 	if err != nil {
 		t.Fatal(err)
@@ -264,14 +264,14 @@ func TestAutoscalerScalesWithLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Heavy load: 7 conns / 2 per replica → 4 replicas.
-	b.Servers()[0].conns = 7
+	b.Servers()[0].conns.Store(7)
 	as.Adjust()
 	if b.ActiveCount() != 4 {
 		t.Fatalf("ActiveCount = %d, want 4", b.ActiveCount())
 	}
 	// Load drains → scale to 1 (but never 0).
 	for _, s := range b.Servers() {
-		s.conns = 0
+		s.conns.Store(0)
 	}
 	as.Adjust()
 	if b.ActiveCount() != 1 {
@@ -400,8 +400,8 @@ func TestAutoscalerPeriodicLoop(t *testing.T) {
 	// Load appears at t=0; the first tick (t=1s) scales nothing down
 	// because conns are high; when load drains at t=5s the controller
 	// parks replicas on its next tick.
-	b.Servers()[0].conns = 8
-	clock.At(5*time.Second, func() { b.Servers()[0].conns = 0 })
+	b.Servers()[0].conns.Store(8)
+	clock.At(5*time.Second, func() { b.Servers()[0].conns.Store(0) })
 	clock.RunUntil(10 * time.Second)
 	as.Stop()
 	clock.Run()

@@ -70,6 +70,19 @@ type DeployConfig struct {
 	// via the durable re-handshake path (TransportVirtual only). The
 	// zero value keeps every replica always on.
 	Fleet FleetConfig
+	// Reads configures the analysis-guided concurrent serve path. The
+	// zero value enables it: routes the analysis classified read-only
+	// (plus, for routes no traffic exercised, the static fallback) run
+	// concurrently under a shared lock.
+	Reads ReadsConfig
+}
+
+// ReadsConfig tunes the reader/writer invocation scheduler.
+type ReadsConfig struct {
+	// Serialize disables the concurrent read path, forcing every
+	// invocation through the exclusive slot — the pre-scheduler
+	// behavior, kept for ablations and differential testing.
+	Serialize bool
 }
 
 // DefaultDeployConfig returns the evaluation's standard topology: one
@@ -253,6 +266,14 @@ func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg 
 		}
 	}
 	cloudServer.SetObs(o)
+	// Analysis-guided read/write scheduling: requests on routes the
+	// analysis observed free of state writes take the shared read path.
+	var routeRO map[string]bool
+	if !cfg.Reads.Serialize {
+		routeRO = res.RouteReadOnly()
+		cloudApp.SetReadOnlyRoutes(routeRO)
+		cloudServer.ReadOnly = cloudApp.RequestReadOnly
+	}
 	d.Cloud = cloudServer
 	d.CloudBinding = cloudBinding
 	d.CloudState = cloudState
@@ -282,8 +303,11 @@ func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg 
 		}
 		master.SetObs(o)
 		// Application invocations on the cloud mutate the same replicated
-		// state the transport goroutines read: serialize them.
+		// state the transport goroutines read: serialize them. Read-only
+		// invocations share the transport lock with each other via RDo,
+		// still excluding writers and the sync goroutines.
 		cloudServer.WrapInvoke = master.Do
+		cloudServer.WrapRead = master.RDo
 		d.TCPMaster = master
 	} else if cfg.Sharding.Enabled {
 		if err := buildFabric(d, cfg, shardCfg, masterEP); err != nil {
@@ -335,6 +359,10 @@ func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg 
 			}
 		}
 		server.SetObs(o)
+		if !cfg.Reads.Serialize {
+			replicaApp.SetReadOnlyRoutes(routeRO)
+			server.ReadOnly = replicaApp.RequestReadOnly
+		}
 
 		wan, err := netem.NewDuplex(clock, cfg.WAN, int64(1000+i))
 		if err != nil {
@@ -358,6 +386,7 @@ func DeployContext(ctx context.Context, clock *simclock.Clock, res *Result, cfg 
 			}
 			tcpEdge.SetObs(o)
 			server.WrapInvoke = tcpEdge.Do
+			server.WrapRead = tcpEdge.RDo
 			edge.TCP = tcpEdge
 		} else if d.Fabric != nil {
 			// The edge syncs over its group LAN to the relay; the WAN

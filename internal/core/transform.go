@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/capture"
@@ -59,6 +60,12 @@ type ServicePlan struct {
 	// Replicated reports whether the service is served at the edge
 	// (false when the developer rejected eventual consistency).
 	Replicated bool
+	// ReadOnly reports whether the analysis observed no writes to any
+	// replicated state unit in the service's executions. Read-only
+	// services are eligible for the concurrent serve path; the
+	// interpreter's runtime write guard backstops the classification
+	// when live traffic exercises a write the analysis never saw.
+	ReadOnly bool
 }
 
 // Result is the complete transformation artifact set.
@@ -92,6 +99,42 @@ func (r *Result) ReplicatedServiceNames() []string {
 		}
 	}
 	return out
+}
+
+// RouteReadOnly maps each route (keyed by Route.String()) to whether
+// the analysis classified it read-only. A route is read-only when at
+// least one analyzed service resolves to it and every such service was
+// observed free of state writes; routes no captured traffic exercised
+// are omitted, leaving the deployment's static fallback in charge.
+func (r *Result) RouteReadOnly() map[string]bool {
+	out := map[string]bool{}
+	for _, svc := range r.Services {
+		plan := r.Plans[svc.Name()]
+		if plan == nil {
+			continue
+		}
+		for _, rt := range r.Routes {
+			if !sameRouteShape(rt.Method, rt.Path, svc.Method, svc.Pattern) {
+				continue
+			}
+			key := rt.String()
+			if prev, seen := out[key]; seen {
+				// Several services can share a route (e.g. distinct
+				// parameter groupings); all must be read-only.
+				out[key] = prev && plan.ReadOnly
+			} else {
+				out[key] = plan.ReadOnly
+			}
+		}
+	}
+	return out
+}
+
+// sameRouteShape matches a route pattern against an inferred service
+// pattern: same method and same path shape, where a ":param" segment on
+// either side matches anything.
+func sameRouteShape(routeMethod, routePath, svcMethod, svcPattern string) bool {
+	return strings.EqualFold(routeMethod, svcMethod) && samePathShape(routePath, svcPattern)
 }
 
 // ExtractedCount returns how many services received a genuine Extract
@@ -199,7 +242,7 @@ func TransformContext(ctx context.Context, in Input) (*Result, error) {
 	var replicated []string
 	for i, svc := range services {
 		sa := analyses[i]
-		plan := &ServicePlan{Analysis: sa}
+		plan := &ServicePlan{Analysis: sa, ReadOnly: sa.State.ReadOnly()}
 
 		// 4. Consult Developer: is eventual consistency acceptable for
 		//    this service's isolated state?

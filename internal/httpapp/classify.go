@@ -1,0 +1,201 @@
+package httpapp
+
+// classify.go statically classifies routes as read-only or mutating by
+// walking each handler and its transitive callees. The classifier is
+// the construction-time fallback for the analysis pipeline's dynamic
+// classification (SetReadOnlyRoutes): it must never mark a mutating
+// route read-only on its own reasoning alone, but it does not have to
+// be sound either — a misclassified route is caught at runtime by the
+// interpreter's write guard and re-run serialized. The rules therefore
+// lean conservative (unknown calls and non-literal SQL are mutating)
+// while accepting that aliasing through locals is left to the guard.
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"repro/internal/script"
+	"repro/internal/sqldb"
+)
+
+// pureBuiltins are stdlib functions that never touch shared state.
+var pureBuiltins = map[string]bool{
+	"len": true, "keys": true, "has": true, "str": true, "num": true,
+	"abs": true, "floor": true, "ceil": true, "round": true, "sqrt": true,
+	"min": true, "max": true, "pow": true, "fail": true, "cpu": true,
+}
+
+// pureObjects are native objects whose methods never mutate app state:
+// req/res touch only the per-invocation request and response, and
+// strings/json/bytes are pure value transforms.
+var pureObjects = map[string]bool{
+	"req": true, "res": true, "strings": true, "json": true, "bytes": true,
+}
+
+// classifyRoutes returns the set of routes (keyed by Route.String())
+// whose handlers provably avoid shared-state writes.
+func classifyRoutes(prog *script.Program, routes []Route) map[string]bool {
+	cl := &classifier{
+		prog:    prog,
+		globals: map[string]bool{},
+		memo:    map[string]bool{},
+	}
+	for _, g := range prog.GlobalNames() {
+		cl.globals[g] = true
+	}
+	out := make(map[string]bool, len(routes))
+	for _, rt := range routes {
+		out[rt.String()] = !cl.funcMutates(rt.Handler)
+	}
+	return out
+}
+
+type classifier struct {
+	prog    *script.Program
+	globals map[string]bool
+	// memo caches per-function verdicts; a function currently on the
+	// walk stack is entered as false (non-mutating) to break cycles —
+	// the final verdict overwrites it, and any mutation found on the
+	// cycle still taints every caller on the stack.
+	memo map[string]bool
+}
+
+// funcMutates reports whether the named script function (or anything it
+// calls) may write shared state.
+func (cl *classifier) funcMutates(name string) bool {
+	if v, ok := cl.memo[name]; ok {
+		return v
+	}
+	fn, ok := cl.prog.Funcs[name]
+	if !ok {
+		// Unknown callee: conservatively mutating.
+		return true
+	}
+	cl.memo[name] = false
+	mutates := cl.nodeMutates(fn.Body)
+	cl.memo[name] = mutates
+	return mutates
+}
+
+// nodeMutates walks one subtree for mutation evidence.
+func (cl *classifier) nodeMutates(root ast.Node) bool {
+	mutates := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if mutates {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			// := creates locals (possibly shadowing a global name); flag
+			// it anyway — spurious serialization is harmless, and the
+			// interpreter's write hooks record the same base names.
+			for _, lhs := range x.Lhs {
+				if cl.globals[rootName(lhs)] {
+					mutates = true
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if cl.globals[rootName(x.X)] {
+				mutates = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if x.Tok == token.ASSIGN {
+				if cl.globals[rootName(x.Key)] || cl.globals[rootName(x.Value)] {
+					mutates = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if cl.callMutates(x) {
+				mutates = true
+				return false
+			}
+		}
+		return true
+	})
+	return mutates
+}
+
+// callMutates applies the per-call rules.
+func (cl *classifier) callMutates(call *ast.CallExpr) bool {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		switch fn.Name {
+		case "push", "pop", "del":
+			if len(call.Args) == 0 {
+				return true
+			}
+			// Mutating when the container is a global, or anything but a
+			// plain local identifier (locals aliasing globals are caught
+			// at runtime by the write guard).
+			arg, ok := call.Args[0].(*ast.Ident)
+			return !ok || cl.globals[arg.Name]
+		default:
+			if pureBuiltins[fn.Name] {
+				return false
+			}
+			return cl.funcMutates(fn.Name)
+		}
+	case *ast.SelectorExpr:
+		obj, ok := fn.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch obj.Name {
+		case "db":
+			return !readOnlySQLCall(call)
+		case "fs":
+			switch fn.Sel.Name {
+			case "read", "exists", "list":
+				return false
+			}
+			return true
+		default:
+			return !pureObjects[obj.Name]
+		}
+	default:
+		return true
+	}
+}
+
+// readOnlySQLCall reports whether a db.exec/db.query call's statement is
+// a string literal that parses as a SELECT. Dynamically built SQL is
+// never read-only here: its text is unknowable statically.
+func readOnlySQLCall(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return false
+	}
+	q, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return false
+	}
+	return sqldb.IsReadOnlyQuery(q)
+}
+
+// rootName unwraps index/selector/paren chains to the base identifier
+// ("m" for m["k"].x), or "" when the root is not an identifier.
+func rootName(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}

@@ -29,6 +29,11 @@ import (
 // ErrNoRoute is returned when no route matches a request.
 var ErrNoRoute = errors.New("httpapp: no matching route")
 
+// ErrWriteGuard is script.ErrWriteGuard re-exported: an InvokeRead
+// error wraps it when the handler attempted a shared-state write, and
+// the caller must re-run the request through Invoke.
+var ErrWriteGuard = script.ErrWriteGuard
+
 // Route binds an HTTP method and path pattern to a script function.
 // Path patterns support ":name" parameter segments ("/books/:id").
 type Route struct {
@@ -84,18 +89,31 @@ type Response struct {
 func (r *Response) Size() int { return len(r.Body) }
 
 // App is one service instance: a script program with its routes and
-// native state (database, filesystem). Handler invocations are
-// serialized, mirroring the single-threaded Node.js event loop.
+// native state (database, filesystem). Mutating handler invocations are
+// serialized, mirroring the single-threaded Node.js event loop;
+// invocations classified as read-only may run concurrently through
+// InvokeRead, which holds the app lock in shared mode.
 type App struct {
 	name   string
 	source string
 	routes []Route
 
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	prog   *script.Program
 	interp *script.Interp
 	db     *sqldb.DB
 	fs     *vfs.FS
+
+	// readOnly is the analysis-derived per-route classification keyed by
+	// Route.String(); staticReadOnly is the construction-time fallback
+	// derived from the program text. Both are written before serving
+	// starts and read-only afterwards.
+	readOnly       map[string]bool
+	staticReadOnly map[string]bool
+
+	// readers pools write-guarded reader forks for InvokeRead.
+	readerMu sync.Mutex
+	readers  []*script.Interp
 
 	// writeErrors counts ServeHTTP responses whose body write failed
 	// (typically a client that hung up before reading) — those requests
@@ -150,6 +168,7 @@ func New(name, source string, routes []Route, opts ...Option) (*App, error) {
 			return nil, fmt.Errorf("httpapp %q: init(): %w", name, err)
 		}
 	}
+	a.staticReadOnly = classifyRoutes(prog, a.routes)
 	return a, nil
 }
 
@@ -247,6 +266,96 @@ func (a *App) Invoke(req *Request) (*Response, float64, error) {
 	return resp, cost, nil
 }
 
+// InvokeRead dispatches a request that analysis classified as read-only.
+// It holds the app lock in shared mode, so any number of InvokeRead
+// calls proceed concurrently with each other (but never with Invoke),
+// each on a pooled write-guarded interpreter fork. If the handler turns
+// out to mutate shared state after all, the fork aborts before the
+// write lands and the returned error wraps ErrWriteGuard — the caller
+// re-runs the request through Invoke.
+func (a *App) InvokeRead(req *Request) (*Response, float64, error) {
+	rt, params, err := a.Lookup(req.Method, req.Path)
+	if err != nil {
+		return &Response{Status: http.StatusNotFound}, 0, err
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+
+	in := a.acquireReader()
+	resp := &Response{Status: http.StatusOK}
+	before := in.Meter().Ops()
+	_, err = in.Call(rt.Handler, requestObject(req, params), responseObject(resp))
+	cost := in.Meter().Ops() - before
+	a.releaseReader(in)
+	if err != nil {
+		return &Response{Status: http.StatusInternalServerError}, cost, fmt.Errorf("httpapp %q: %s: %w", a.name, rt, err)
+	}
+	if resp.Body == nil && resp.Value != nil {
+		if err := marshalValue(resp); err != nil {
+			return &Response{Status: http.StatusInternalServerError}, cost, err
+		}
+	}
+	return resp, cost, nil
+}
+
+// acquireReader pops a pooled reader fork, minting one when the pool is
+// empty. Forking is safe here because callers hold a.mu (shared or
+// exclusive), which excludes concurrent global definition.
+func (a *App) acquireReader() *script.Interp {
+	a.readerMu.Lock()
+	if n := len(a.readers); n > 0 {
+		in := a.readers[n-1]
+		a.readers = a.readers[:n-1]
+		a.readerMu.Unlock()
+		return in
+	}
+	a.readerMu.Unlock()
+	return a.interp.ReadOnlyFork()
+}
+
+func (a *App) releaseReader(in *script.Interp) {
+	a.readerMu.Lock()
+	a.readers = append(a.readers, in)
+	a.readerMu.Unlock()
+}
+
+// SetReadOnlyRoutes installs the analysis-derived route classification
+// (keyed by Route.String()), overriding the static fallback computed at
+// construction. Call before serving starts.
+func (a *App) SetReadOnlyRoutes(ro map[string]bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.readOnly = ro
+}
+
+// RequestReadOnly reports whether req resolves to a route classified as
+// read-only, i.e. safe for InvokeRead. Unroutable requests report false.
+func (a *App) RequestReadOnly(req *Request) bool {
+	rt, _, err := a.Lookup(req.Method, req.Path)
+	if err != nil {
+		return false
+	}
+	return a.routeReadOnly(rt)
+}
+
+func (a *App) routeReadOnly(rt Route) bool {
+	if a.readOnly != nil {
+		if ro, ok := a.readOnly[rt.String()]; ok {
+			return ro
+		}
+	}
+	return a.staticReadOnly[rt.String()]
+}
+
+// ReadOnlyRoutes returns the effective classification for every route.
+func (a *App) ReadOnlyRoutes() map[string]bool {
+	out := make(map[string]bool, len(a.routes))
+	for _, rt := range a.routes {
+		out[rt.String()] = a.routeReadOnly(rt)
+	}
+	return out
+}
+
 func marshalValue(resp *Response) error {
 	b, err := json.Marshal(script.ToJSONValue(resp.Value))
 	if err != nil {
@@ -338,7 +447,16 @@ func dbExec(db *sqldb.DB, c *script.Call) (any, error) {
 	for _, a := range c.Args[1:] {
 		args = append(args, a)
 	}
-	res, err := db.Exec(q, args...)
+	var res *sqldb.Result
+	var err error
+	if c.Interp.WriteGuarded() {
+		res, err = db.ExecReadOnly(q, args...)
+		if errors.Is(err, sqldb.ErrMutation) {
+			return nil, fmt.Errorf("%w: %v", script.ErrWriteGuard, err)
+		}
+	} else {
+		res, err = db.Exec(q, args...)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -373,6 +491,9 @@ func FSObject(fs *vfs.FS) *script.Object {
 			return fs.Read(c.StringArg(0))
 		},
 		"write": func(c *script.Call) (any, error) {
+			if c.Interp.WriteGuarded() {
+				return nil, fmt.Errorf("%w: fs.write", script.ErrWriteGuard)
+			}
 			content, ok := c.Arg(1).([]byte)
 			if !ok {
 				content = []byte(c.StringArg(1))
@@ -383,6 +504,9 @@ func FSObject(fs *vfs.FS) *script.Object {
 			return fs.Exists(c.StringArg(0)), nil
 		},
 		"remove": func(c *script.Call) (any, error) {
+			if c.Interp.WriteGuarded() {
+				return nil, fmt.Errorf("%w: fs.remove", script.ErrWriteGuard)
+			}
 			return nil, fs.Remove(c.StringArg(0))
 		},
 		"list": func(c *script.Call) (any, error) {

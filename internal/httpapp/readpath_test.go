@@ -1,0 +1,212 @@
+package httpapp
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+const readPathSrc = `
+var hits = 0
+var notes = map[string]any{"seed": "x"}
+
+func init() any {
+	db.exec("CREATE TABLE logs (id INT, msg TEXT)")
+	db.exec("INSERT INTO logs (id, msg) VALUES (?, ?)", 1, "hello")
+	fs.write("/cfg", "v1")
+	return nil
+}
+
+func getLogs(req any, res any) any {
+	rows := db.query("SELECT id, msg FROM logs")
+	res.send(map[string]any{"rows": rows, "hits": hits})
+	return nil
+}
+
+func addLog(req any, res any) any {
+	hits = hits + 1
+	db.exec("INSERT INTO logs (id, msg) VALUES (?, ?)", hits+1, req.param("msg"))
+	res.send(map[string]any{"hits": hits})
+	return nil
+}
+
+func maybeWrite(req any, res any) any {
+	if req.param("mode") == "write" {
+		hits = hits + 1
+	}
+	res.send(map[string]any{"hits": hits})
+	return nil
+}
+
+func readCfg(req any, res any) any {
+	res.send(map[string]any{"cfg": bytes.toString(fs.read("/cfg"))})
+	return nil
+}
+
+func writeCfg(req any, res any) any {
+	fs.write("/cfg", req.param("v"))
+	res.send("ok")
+	return nil
+}
+
+func dynamicSQL(req any, res any) any {
+	q := "SELECT id FROM " + req.param("t")
+	res.send(db.query(q))
+	return nil
+}
+
+func viaHelper(req any, res any) any {
+	res.send(helper(2))
+	return nil
+}
+
+func helper(n any) any {
+	if n <= 0 {
+		return 0
+	}
+	return n + helper(n-1)
+}
+`
+
+var readPathRoutes = []Route{
+	{Method: "GET", Path: "/logs", Handler: "getLogs"},
+	{Method: "POST", Path: "/logs", Handler: "addLog"},
+	{Method: "GET", Path: "/maybe", Handler: "maybeWrite"},
+	{Method: "GET", Path: "/cfg", Handler: "readCfg"},
+	{Method: "POST", Path: "/cfg", Handler: "writeCfg"},
+	{Method: "GET", Path: "/dyn", Handler: "dynamicSQL"},
+	{Method: "GET", Path: "/helper", Handler: "viaHelper"},
+}
+
+func newReadPathApp(t *testing.T) *App {
+	t.Helper()
+	app, err := New("readpath", readPathSrc, readPathRoutes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestStaticClassifier(t *testing.T) {
+	app := newReadPathApp(t)
+	want := map[string]bool{
+		"GET /logs":   true,  // literal SELECT + global read
+		"POST /logs":  false, // global write + INSERT
+		"GET /maybe":  false, // conditional global write
+		"GET /cfg":    true,  // fs.read only
+		"POST /cfg":   false, // fs.write
+		"GET /dyn":    false, // dynamically built SQL
+		"GET /helper": true,  // pure transitive callee
+	}
+	got := app.ReadOnlyRoutes()
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("route %s classified %v, want %v", k, got[k], w)
+		}
+	}
+}
+
+func TestInvokeReadMatchesInvoke(t *testing.T) {
+	appA := newReadPathApp(t)
+	appB := newReadPathApp(t)
+	req := &Request{Method: "GET", Path: "/logs"}
+	r1, c1, err1 := appA.Invoke(req.Clone())
+	r2, c2, err2 := appB.InvokeRead(req.Clone())
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v / %v", err1, err2)
+	}
+	if !bytes.Equal(r1.Body, r2.Body) || r1.Status != r2.Status {
+		t.Fatalf("responses diverge: %s vs %s", r1.Body, r2.Body)
+	}
+	if c1 != c2 {
+		t.Fatalf("metered cost diverges: %v vs %v", c1, c2)
+	}
+}
+
+func TestInvokeReadGuardsMutations(t *testing.T) {
+	app := newReadPathApp(t)
+	for _, path := range []struct {
+		method, path string
+		query        map[string]string
+	}{
+		{"POST", "/logs", map[string]string{"msg": "x"}},
+		{"GET", "/maybe", map[string]string{"mode": "write"}},
+		{"POST", "/cfg", map[string]string{"v": "v2"}},
+	} {
+		req := &Request{Method: path.method, Path: path.path, Query: path.query}
+		_, _, err := app.InvokeRead(req)
+		if !errors.Is(err, ErrWriteGuard) {
+			t.Errorf("%s %s: err = %v, want ErrWriteGuard", path.method, path.path, err)
+		}
+	}
+	// Aborted reads left no trace: the logs table and hits are pristine.
+	resp, _, err := app.Invoke(&Request{Method: "GET", Path: "/logs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"hits":0,"rows":[{"id":1,"msg":"hello"}]}`
+	if string(resp.Body) != want {
+		t.Fatalf("state after guarded aborts: %s, want %s", resp.Body, want)
+	}
+}
+
+func TestInvokeReadGuardedNonWrite(t *testing.T) {
+	// The conditional-write handler on its read path stays on the fork.
+	app := newReadPathApp(t)
+	resp, _, err := app.InvokeRead(&Request{Method: "GET", Path: "/maybe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != `{"hits":0}` {
+		t.Fatalf("body = %s", resp.Body)
+	}
+}
+
+func TestSetReadOnlyRoutesOverridesStatic(t *testing.T) {
+	app := newReadPathApp(t)
+	app.SetReadOnlyRoutes(map[string]bool{"GET /logs": false, "GET /dyn": true})
+	if app.RequestReadOnly(&Request{Method: "GET", Path: "/logs"}) {
+		t.Fatal("override to mutating ignored")
+	}
+	if !app.RequestReadOnly(&Request{Method: "GET", Path: "/dyn"}) {
+		t.Fatal("override to read-only ignored")
+	}
+	// Routes absent from the override keep the static verdict.
+	if !app.RequestReadOnly(&Request{Method: "GET", Path: "/cfg"}) {
+		t.Fatal("static fallback lost")
+	}
+}
+
+func TestConcurrentInvokeRead(t *testing.T) {
+	app := newReadPathApp(t)
+	want, _, err := app.Invoke(&Request{Method: "GET", Path: "/logs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				resp, _, err := app.InvokeRead(&Request{Method: "GET", Path: "/logs"})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(resp.Body, want.Body) {
+					errs <- errors.New("read diverged: " + string(resp.Body))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -121,7 +121,7 @@ type gref struct {
 // caching positive and negative results until a new global is defined.
 func (in *Interp) globalBox(i int32, comp *progComp) *any {
 	r := &in.refs[i]
-	if r.gen == in.defineGen+1 {
+	if r.gen == *in.defineGen+1 {
 		return r.box
 	}
 	name := comp.grefs[i]
@@ -132,7 +132,7 @@ func (in *Interp) globalBox(i int32, comp *progComp) *any {
 		box = p
 	}
 	r.box = box
-	r.gen = in.defineGen + 1
+	r.gen = *in.defineGen + 1
 	return box
 }
 

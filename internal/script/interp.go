@@ -95,6 +95,20 @@ func (e *env) set(name string, v any) bool {
 	return false
 }
 
+// owner returns the scope holding name's binding, or nil when unbound.
+func (e *env) owner(name string) *env {
+	for s := e; s != nil; s = s.parent {
+		if s.boxes != nil {
+			if _, ok := s.boxes[name]; ok {
+				return s
+			}
+		} else if _, ok := s.vars[name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
 func (e *env) define(name string, v any) {
 	if e.boxes != nil {
 		if p, ok := e.boxes[name]; ok {
@@ -134,9 +148,14 @@ type Interp struct {
 
 	// refEval selects the tree-walking reference evaluator for Call.
 	refEval bool
+	// guarded marks a read-only fork (see ReadOnlyFork): any attempt to
+	// write shared base/globals state aborts with ErrWriteGuard.
+	guarded bool
 	// defineGen counts new-name defines in the boxed base/globals scopes;
-	// the VM uses it to invalidate cached negative global lookups.
-	defineGen uint64
+	// the VM uses it to invalidate cached negative global lookups. It is a
+	// pointer because read-only forks share their parent's boxed scopes
+	// and must observe the same generation counter.
+	defineGen *uint64
 	// cfuncs caches this interpreter's link to compiled functions.
 	cfuncs map[string]*compiledFunc
 	// refs is the per-interpreter global-reference link table, indexed by
@@ -185,9 +204,9 @@ const maxDepth = 256
 // New returns an interpreter for prog with the standard library
 // installed. Global var declarations are not evaluated until RunInit.
 func New(prog *Program) *Interp {
-	in := &Interp{prog: prog, refEval: referenceEvalDefault.Load()}
-	in.base = newBoxedEnv(nil, &in.defineGen)
-	in.globals = newBoxedEnv(in.base, &in.defineGen)
+	in := &Interp{prog: prog, refEval: referenceEvalDefault.Load(), defineGen: new(uint64)}
+	in.base = newBoxedEnv(nil, in.defineGen)
+	in.globals = newBoxedEnv(in.base, in.defineGen)
 	in.cfuncs = make(map[string]*compiledFunc, len(prog.Funcs))
 	installStdlib(in)
 	return in
@@ -427,8 +446,17 @@ func (in *Interp) assignTo(e *env, lhs ast.Expr, v any) error {
 		if l.Name == "_" {
 			return nil // discard
 		}
-		if !e.set(l.Name, v) {
+		s := e.owner(l.Name)
+		if s == nil {
 			return fmt.Errorf("%w: variable %q (declare with := or var)", ErrUndefined, l.Name)
+		}
+		if s.boxes != nil {
+			if in.guarded {
+				return in.guardErr(l.Name)
+			}
+			*s.boxes[l.Name] = v
+		} else {
+			s.vars[l.Name] = v
 		}
 		in.fireWrite(l.Name, v)
 		return nil
@@ -440,6 +468,11 @@ func (in *Interp) assignTo(e *env, lhs ast.Expr, v any) error {
 		idx, err := in.eval(e, l.Index)
 		if err != nil {
 			return err
+		}
+		if in.guarded {
+			if err := in.guardContainer(baseName(l.X), base); err != nil {
+				return err
+			}
 		}
 		if err := containerSet(base, idx, v); err != nil {
 			return err
@@ -454,6 +487,11 @@ func (in *Interp) assignTo(e *env, lhs ast.Expr, v any) error {
 		m, ok := base.(map[string]any)
 		if !ok {
 			return fmt.Errorf("script: selector assignment on %T", base)
+		}
+		if in.guarded {
+			if err := in.guardContainer(baseName(l.X), base); err != nil {
+				return err
+			}
 		}
 		m[l.Sel.Name] = v
 		in.fireWrite(baseName(l.X), base)

@@ -1,0 +1,121 @@
+package script
+
+// readonly.go implements write-guarded reader views of an interpreter.
+// The serve path classifies routes as read-only using the pipeline's
+// analysis output; classified invocations execute concurrently on
+// ReadOnlyFork interpreters that share the parent's live global bindings
+// under a shared (reader) lock held by the caller. Because the
+// classification is a prediction, every fork is write-guarded: the
+// moment a "read-only" invocation tries to mutate shared state the
+// execution aborts with ErrWriteGuard, and the caller re-runs it once
+// under the exclusive (writer) slot.
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+)
+
+// ErrWriteGuard marks a shared-state write attempted by a write-guarded
+// (read-only) invocation. Callers detect it with errors.Is and fall back
+// to the exclusive serialized path.
+var ErrWriteGuard = errors.New("write to shared state in read-only invocation")
+
+// ReadOnlyFork returns a write-guarded view of this interpreter for
+// concurrent read-only execution. The fork shares the parent's program,
+// builtins, and global bindings — reads observe live values through the
+// same boxed cells — but owns its own execution state (meter, call
+// depth, scratch buffers, bytecode links), so multiple forks can run
+// concurrently as long as the caller excludes writers (the parent
+// interpreter and state-sync goroutines) for the duration, e.g. by
+// holding the reader side of an RWMutex. Hooks are not inherited:
+// analysis runs are single-threaded and use the parent directly.
+//
+// The guard aborts before any shared value is modified, so a guarded
+// abort leaves globals, database, and files untouched and the fallback
+// re-run starts from a clean state.
+func (in *Interp) ReadOnlyFork() *Interp {
+	return &Interp{
+		prog:      in.prog,
+		base:      in.base,
+		globals:   in.globals,
+		refEval:   in.refEval,
+		guarded:   true,
+		defineGen: in.defineGen,
+		cfuncs:    make(map[string]*compiledFunc, len(in.prog.Funcs)),
+	}
+}
+
+// WriteGuarded reports whether this interpreter is a write-guarded
+// read-only fork. Native builtins with side effects (db mutations, file
+// writes) consult it to reject shared-state mutations with ErrWriteGuard.
+func (in *Interp) WriteGuarded() bool { return in.guarded }
+
+// guardErr builds the abort error for a guarded write to name.
+func (in *Interp) guardErr(name string) error {
+	return fmt.Errorf("script: %w: %q", ErrWriteGuard, name)
+}
+
+// guardContainer rejects container writes that target shared state:
+// either the lvalue chain roots at a name bound in the boxed base or
+// globals scopes, or the container value itself is (top-level) identical
+// to a value bound there — which catches writes through local aliases of
+// a global container. Writes reaching a global only through a nested
+// alias chain (a local bound to an element of a global) are not caught
+// here; the analysis-side classification observes those through the
+// write hooks' base names, so such routes are never classified read-only
+// in the first place.
+func (in *Interp) guardContainer(root string, base any) error {
+	if root != "" && in.boxedName(root) {
+		return in.guardErr(root)
+	}
+	if in.sharedWithGlobals(base) {
+		return in.guardErr(root)
+	}
+	return nil
+}
+
+// boxedName reports whether name is bound in the shared boxed scopes.
+func (in *Interp) boxedName(name string) bool {
+	if _, ok := in.globals.boxes[name]; ok {
+		return true
+	}
+	_, ok := in.base.boxes[name]
+	return ok
+}
+
+// sharedWithGlobals reports whether v is identical (same backing
+// container) to a value bound in the boxed base/globals scopes.
+func (in *Interp) sharedWithGlobals(v any) bool {
+	if v == nil {
+		return false
+	}
+	return scopeShares(in.globals, v) || scopeShares(in.base, v)
+}
+
+func scopeShares(e *env, v any) bool {
+	for _, p := range e.boxes {
+		if sameContainer(*p, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// sameContainer reports top-level container identity for the mutable
+// script value kinds (lists, maps, byte buffers).
+func sameContainer(a, b any) bool {
+	switch x := b.(type) {
+	case *List:
+		y, ok := a.(*List)
+		return ok && x == y
+	case map[string]any:
+		y, ok := a.(map[string]any)
+		return ok && reflect.ValueOf(x).Pointer() == reflect.ValueOf(y).Pointer()
+	case []byte:
+		y, ok := a.([]byte)
+		return ok && len(x) > 0 && len(y) > 0 && &x[0] == &y[0]
+	default:
+		return false
+	}
+}

@@ -1,0 +1,178 @@
+package script
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// guardSrc exercises every shared-write shape the guard must catch.
+const guardSrc = `
+var counter = 0
+var tags = map[string]any{"a": 1}
+var items = []any{1, 2, 3}
+
+func readCounter(x any) any { return counter + x }
+func writeCounter(x any) any { counter = counter + x; return counter }
+func bumpCounter() any { counter++; return counter }
+func setTag(k any, v any) any { tags[k] = v; return tags }
+func setItem(i any, v any) any { items[i] = v; return items }
+func pushItem(v any) any { return push(items, v) }
+func popItem() any { return pop(items) }
+func delTag(k any) any { del(tags, k); return tags }
+func aliasWrite(v any) any {
+	t := tags
+	t["x"] = v
+	return t
+}
+func aliasPush(v any) any {
+	l := items
+	return push(l, v)
+}
+func localOnly(v any) any {
+	m := map[string]any{"k": 0}
+	m["k"] = v
+	l := []any{1}
+	push(l, v)
+	return m["k"] + len(l)
+}
+`
+
+func forkOf(t *testing.T, src string) (*Interp, *Interp) {
+	t.Helper()
+	parent := mustInterp(t, src)
+	return parent, parent.ReadOnlyFork()
+}
+
+func TestReadOnlyForkReadsLiveGlobals(t *testing.T) {
+	parent, fork := forkOf(t, guardSrc)
+	if v, err := fork.Call("readCounter", 5.0); err != nil || v != 5.0 {
+		t.Fatalf("readCounter = %v, %v", v, err)
+	}
+	// A parent-side write must be visible to the fork through the shared
+	// boxed bindings.
+	if _, err := parent.Call("writeCounter", 10.0); err != nil {
+		t.Fatalf("parent writeCounter: %v", err)
+	}
+	if v, err := fork.Call("readCounter", 5.0); err != nil || v != 15.0 {
+		t.Fatalf("readCounter after parent write = %v, %v", v, err)
+	}
+}
+
+func TestWriteGuardCatchesSharedWrites(t *testing.T) {
+	cases := []struct {
+		fn   string
+		args []any
+	}{
+		{"writeCounter", []any{1.0}},
+		{"bumpCounter", nil},
+		{"setTag", []any{"b", 2.0}},
+		{"setItem", []any{0.0, 9.0}},
+		{"pushItem", []any{4.0}},
+		{"popItem", nil},
+		{"delTag", []any{"a"}},
+		{"aliasWrite", []any{7.0}},
+		{"aliasPush", []any{8.0}},
+	}
+	for _, ref := range []bool{false, true} {
+		parent, fork := forkOf(t, guardSrc)
+		fork.SetReferenceEval(ref)
+		for _, tc := range cases {
+			_, err := fork.Call(tc.fn, tc.args...)
+			if !errors.Is(err, ErrWriteGuard) {
+				t.Errorf("refEval=%v %s: err = %v, want ErrWriteGuard", ref, tc.fn, err)
+			}
+		}
+		// Guard aborts must leave shared state untouched.
+		if v, err := parent.Call("readCounter", 0.0); err != nil || v != 0.0 {
+			t.Fatalf("refEval=%v counter after aborts = %v, %v", ref, v, err)
+		}
+		if v, err := parent.Call("popItem"); err != nil || v != 3.0 {
+			t.Fatalf("refEval=%v items tail after aborts = %v, %v", ref, v, err)
+		}
+	}
+}
+
+func TestWriteGuardErrorTextMatchesAcrossEvaluators(t *testing.T) {
+	for _, fn := range []string{"writeCounter", "setTag", "setItem"} {
+		texts := map[bool]string{}
+		for _, ref := range []bool{false, true} {
+			_, fork := forkOf(t, guardSrc)
+			fork.SetReferenceEval(ref)
+			_, err := fork.Call(fn, "a", 1.0)
+			if err == nil {
+				t.Fatalf("%s refEval=%v: no error", fn, ref)
+			}
+			texts[ref] = err.Error()
+		}
+		if texts[false] != texts[true] {
+			t.Errorf("%s: VM error %q != tree-walker error %q", fn, texts[false], texts[true])
+		}
+	}
+}
+
+func TestWriteGuardAllowsLocalMutation(t *testing.T) {
+	for _, ref := range []bool{false, true} {
+		_, fork := forkOf(t, guardSrc)
+		fork.SetReferenceEval(ref)
+		if v, err := fork.Call("localOnly", 3.0); err != nil || v != 5.0 {
+			t.Fatalf("refEval=%v localOnly = %v, %v", ref, v, err)
+		}
+	}
+}
+
+func TestReadOnlyForkOwnsMeter(t *testing.T) {
+	parent, fork := forkOf(t, guardSrc)
+	before := parent.Meter().Ops()
+	if _, err := fork.Call("readCounter", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if fork.Meter().Ops() == 0 {
+		t.Fatal("fork metered no ops")
+	}
+	if parent.Meter().Ops() != before {
+		t.Fatal("fork execution charged the parent's meter")
+	}
+}
+
+func TestConcurrentReadOnlyForks(t *testing.T) {
+	parent := mustInterp(t, guardSrc)
+	if _, err := parent.Call("writeCounter", 42.0); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fork := parent.ReadOnlyFork()
+			for i := 0; i < 200; i++ {
+				v, err := fork.Call("readCounter", 1.0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v != 43.0 {
+					errs <- errors.New("stale read")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardErrMentionsVariable(t *testing.T) {
+	_, fork := forkOf(t, guardSrc)
+	_, err := fork.Call("writeCounter", 1.0)
+	if err == nil || !strings.Contains(err.Error(), `"counter"`) {
+		t.Fatalf("guard error %v does not name the variable", err)
+	}
+}

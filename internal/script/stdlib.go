@@ -38,6 +38,9 @@ func installStdlib(in *Interp) {
 		if !ok {
 			return nil, fmt.Errorf("push: first argument must be a list, got %T", c.Arg(0))
 		}
+		if c.Interp.guarded && c.Interp.sharedWithGlobals(lst) {
+			return nil, c.Interp.guardErr("push")
+		}
 		lst.Elems = append(lst.Elems, c.Args[1:]...)
 		return float64(len(lst.Elems)), nil
 	}))
@@ -46,6 +49,9 @@ func installStdlib(in *Interp) {
 		lst, ok := c.Arg(0).(*List)
 		if !ok {
 			return nil, fmt.Errorf("pop: first argument must be a list, got %T", c.Arg(0))
+		}
+		if c.Interp.guarded && c.Interp.sharedWithGlobals(lst) {
+			return nil, c.Interp.guardErr("pop")
 		}
 		if len(lst.Elems) == 0 {
 			return nil, nil
@@ -85,6 +91,9 @@ func installStdlib(in *Interp) {
 		m, ok := c.Arg(0).(map[string]any)
 		if !ok {
 			return nil, fmt.Errorf("del: first argument must be a map, got %T", c.Arg(0))
+		}
+		if c.Interp.guarded && c.Interp.sharedWithGlobals(m) {
+			return nil, c.Interp.guardErr("del")
 		}
 		delete(m, c.StringArg(1))
 		return nil, nil

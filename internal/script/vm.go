@@ -135,6 +135,10 @@ loop:
 				err = consts[ins.b].(error)
 				break loop
 			}
+			if in.guarded {
+				err = in.guardErr(comp.grefs[ins.a])
+				break loop
+			}
 			v := m.pop()
 			*p = v
 			if in.hooks.Write != nil && in.cur != NoStmt {
@@ -260,6 +264,12 @@ loop:
 			idx := m.pop()
 			base := m.pop()
 			v := m.pop()
+			if in.guarded {
+				if e := in.guardContainer(comp.names[ins.a], base); e != nil {
+					err = e
+					break loop
+				}
+			}
 			if e := containerSet(base, idx, v); e != nil {
 				err = e
 				break loop
@@ -274,6 +284,12 @@ loop:
 			if !ok {
 				err = fmt.Errorf("script: selector assignment on %T", base)
 				break loop
+			}
+			if in.guarded {
+				if e := in.guardContainer(comp.names[ins.b], base); e != nil {
+					err = e
+					break loop
+				}
 			}
 			mp[comp.names[ins.a]] = v
 			if in.hooks.Write != nil && in.cur != NoStmt {

@@ -1,0 +1,101 @@
+package sqldb
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func newLogsDB(t testing.TB) *DB {
+	t.Helper()
+	db := Open()
+	mustExec := func(q string, args ...any) {
+		if _, err := db.Exec(q, args...); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	mustExec("CREATE TABLE logs (id INT, msg TEXT)")
+	mustExec("INSERT INTO logs (id, msg) VALUES (?, ?)", 1, "a")
+	mustExec("INSERT INTO logs (id, msg) VALUES (?, ?)", 2, "b")
+	return db
+}
+
+func TestIsReadOnlyQuery(t *testing.T) {
+	cases := map[string]bool{
+		"SELECT * FROM logs":             true,
+		"  select id from logs":          true,
+		"INSERT INTO logs (id) VALUES ?": false,
+		"UPDATE logs SET msg = 'x'":      false,
+		"DELETE FROM logs":               false,
+		"CREATE TABLE t (id INT)":        false,
+		"":                               false,
+	}
+	for q, want := range cases {
+		if got := IsReadOnlyQuery(q); got != want {
+			t.Errorf("IsReadOnlyQuery(%q) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestExecReadOnly(t *testing.T) {
+	db := newLogsDB(t)
+	res, err := db.ExecReadOnly("SELECT id, msg FROM logs WHERE id = ?", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0]["msg"] != "b" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	_, err = db.ExecReadOnly("INSERT INTO logs (id, msg) VALUES (?, ?)", 3, "c")
+	if !errors.Is(err, ErrMutation) {
+		t.Fatalf("INSERT via ExecReadOnly: %v, want ErrMutation", err)
+	}
+	// The rejected statement must not have touched the table.
+	res, err = db.Exec("SELECT id FROM logs")
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("rows after rejected insert = %v, %v", res.Rows, err)
+	}
+}
+
+func TestConcurrentSelectsWithWriter(t *testing.T) {
+	db := newLogsDB(t)
+	const readers, rounds = 8, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				res, err := db.ExecReadOnly("SELECT id FROM logs")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Rows) < 2 {
+					errs <- errors.New("lost rows")
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if _, err := db.Exec("INSERT INTO logs (id, msg) VALUES (?, ?)", i+10, "w"); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("SELECT id FROM logs")
+	if err != nil || len(res.Rows) != 2+rounds {
+		t.Fatalf("final rows = %d, %v; want %d", len(res.Rows), err, 2+rounds)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -34,6 +35,9 @@ var (
 	ErrNoTransaction = errors.New("sqldb: no active transaction")
 	ErrInTransaction = errors.New("sqldb: transaction already active")
 	ErrDuplicateKey  = errors.New("sqldb: duplicate primary key")
+	// ErrMutation is returned by ExecReadOnly for statements that would
+	// mutate database state.
+	ErrMutation = errors.New("sqldb: statement mutates state")
 )
 
 // Row is a single table row: column name → value.
@@ -136,9 +140,11 @@ func (t *tableData) clone() *tableData {
 	return c
 }
 
-// DB is an in-memory SQL database. It is safe for concurrent use.
+// DB is an in-memory SQL database. It is safe for concurrent use;
+// SELECT statements take the lock in shared mode, so concurrent reads
+// execute in parallel and only mutations serialize.
 type DB struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	tables map[string]*tableData
 	txSnap map[string]*tableData // pre-transaction state, nil when idle
 	txMuts []Mutation            // mutations buffered until commit
@@ -289,15 +295,72 @@ func (db *DB) Dump() map[string][]Row {
 }
 
 // Exec parses and executes one SQL statement. Placeholders (?) are
-// substituted from args in order.
+// substituted from args in order. SELECT statements run under the
+// shared lock: they read db.tables whether or not a transaction is
+// open (buffered transaction writes land in the live tables, with the
+// pre-transaction state parked in txSnap), never emit mutations, and
+// build fresh result rows — so concurrent selects are safe.
 func (db *DB) Exec(query string, args ...any) (*Result, error) {
 	stmt, err := parse(query)
 	if err != nil {
 		return nil, err
 	}
+	if s, ok := stmt.(*selectStmt); ok {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.execReadStmt(s, args)
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.execStmt(stmt, args)
+}
+
+// ExecReadOnly executes a statement that must not mutate state; any
+// statement other than SELECT fails with ErrMutation before touching
+// the database. Write-guarded (read-only) service invocations route
+// their db calls through it.
+func (db *DB) ExecReadOnly(query string, args ...any) (*Result, error) {
+	stmt, err := parse(query)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := stmt.(*selectStmt)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrMutation, firstKeyword(query))
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.execReadStmt(s, args)
+}
+
+// IsReadOnlyQuery reports whether query parses as a SELECT. The static
+// route classifier uses it to decide whether a literal SQL command can
+// run on the shared read path.
+func IsReadOnlyQuery(query string) bool {
+	stmt, err := parse(query)
+	if err != nil {
+		return false
+	}
+	_, ok := stmt.(*selectStmt)
+	return ok
+}
+
+// firstKeyword returns the statement's leading word, for error text.
+func firstKeyword(query string) string {
+	fields := strings.Fields(query)
+	if len(fields) == 0 {
+		return "(empty)"
+	}
+	return strings.ToUpper(fields[0])
+}
+
+// execReadStmt runs a SELECT under the shared lock, replicating
+// execStmt's placeholder check.
+func (db *DB) execReadStmt(s *selectStmt, args []any) (*Result, error) {
+	if want := s.nparams(); want != len(args) {
+		return nil, fmt.Errorf("sqldb: statement has %d placeholders, got %d args", want, len(args))
+	}
+	return db.execSelect(s, args)
 }
 
 // InTransaction reports whether a transaction is active.

@@ -164,7 +164,7 @@ type TCPMaster struct {
 	ln  net.Listener
 	cfg TCPConfig
 
-	mu      sync.Mutex // guards ep state, stats, and the registry
+	mu      sync.RWMutex // guards ep state, stats, and the registry
 	stats   TCPStats
 	closed  bool
 	conns   map[net.Conn]*masterConn
@@ -235,6 +235,17 @@ func (m *TCPMaster) SetObs(o *obs.Obs) {
 func (m *TCPMaster) Do(f func()) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	f()
+}
+
+// RDo runs f while holding the master's state lock in shared mode:
+// concurrent RDo sections run in parallel with each other but serialize
+// against Do and against the transport's background goroutines. f must
+// not mutate replicated state — the concurrent serve path runs
+// write-guarded read-only invocations inside it.
+func (m *TCPMaster) RDo(f func()) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	f()
 }
 
@@ -565,7 +576,7 @@ type TCPEdge struct {
 	addr string
 	cfg  TCPConfig
 
-	mu        sync.Mutex // guards ep state, stats, status, conn
+	mu        sync.RWMutex // guards ep state, stats, status, conn
 	stats     TCPStats
 	status    EdgeStatus
 	peerKnown Heads
@@ -630,6 +641,14 @@ func (e *TCPEdge) SetObs(o *obs.Obs) {
 func (e *TCPEdge) Do(f func()) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	f()
+}
+
+// RDo runs f while holding the edge's state lock in shared mode; see
+// TCPMaster.RDo for the contract.
+func (e *TCPEdge) RDo(f func()) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	f()
 }
 
